@@ -1,0 +1,229 @@
+// Benchmarks: one per experiment (E1..E11, regenerating the corresponding
+// EXPERIMENTS.md artifact with quick parameters) plus micro-benchmarks of
+// the primitive operations the paper's cost model counts — curve key
+// encoding, ordered-array probes, cube enumeration, and covering queries.
+package sfccover_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"sfccover/internal/bits"
+	"sfccover/internal/core"
+	"sfccover/internal/cubes"
+	"sfccover/internal/dominance"
+	"sfccover/internal/experiments"
+	"sfccover/internal/geom"
+	"sfccover/internal/sfc"
+	"sfccover/internal/sfcarray"
+	"sfccover/internal/subscription"
+	"sfccover/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Figure2(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2Figure1(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3ApproxCost(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4ExhaustiveLB(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE5AspectRatio(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6Dimensions(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7Recall(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8Broker(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9Scaling(b *testing.B)      { benchExperiment(b, "E9") }
+func BenchmarkE10Array(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Curves(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12ProbeOrder(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13Churn(b *testing.B)       { benchExperiment(b, "E13") }
+
+// --- Micro-benchmarks -------------------------------------------------
+
+func benchCurveKey(b *testing.B, name string) {
+	b.Helper()
+	c, err := sfc.New(name, sfc.Config{Dims: 4, Bits: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cell := []uint32{
+		uint32(rng.Intn(1 << 16)), uint32(rng.Intn(1 << 16)),
+		uint32(rng.Intn(1 << 16)), uint32(rng.Intn(1 << 16)),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Key(cell)
+	}
+}
+
+func BenchmarkKeyEncodeZ(b *testing.B)       { benchCurveKey(b, "z") }
+func BenchmarkKeyEncodeHilbert(b *testing.B) { benchCurveKey(b, "hilbert") }
+func BenchmarkKeyEncodeGray(b *testing.B)    { benchCurveKey(b, "gray") }
+
+func benchArrayInsert(b *testing.B, impl string) {
+	b.Helper()
+	arr, err := sfcarray.New(impl, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr.Insert(bits.KeyFromUint64(rng.Uint64()), uint64(i))
+	}
+}
+
+func BenchmarkArrayInsertTreap(b *testing.B)    { benchArrayInsert(b, "treap") }
+func BenchmarkArrayInsertSkipList(b *testing.B) { benchArrayInsert(b, "skiplist") }
+
+func benchArrayProbe(b *testing.B, impl string) {
+	b.Helper()
+	arr, err := sfcarray.New(impl, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		arr.Insert(bits.KeyFromUint64(rng.Uint64()), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Uint64()
+		arr.FirstInRange(bits.KeyFromUint64(lo), bits.KeyFromUint64(lo|0xFFFFFF))
+	}
+}
+
+func BenchmarkArrayProbeTreap(b *testing.B)    { benchArrayProbe(b, "treap") }
+func BenchmarkArrayProbeSkipList(b *testing.B) { benchArrayProbe(b, "skiplist") }
+
+func BenchmarkDecomposeExtremal(b *testing.B) {
+	e := geom.MustExtremal([]uint64{257, 257}, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cubes.Decompose(e.Rect(), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumLevelVisit(b *testing.B) {
+	e := geom.MustExtremal([]uint64{1023, 1023, 1023, 1023}, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := cubes.EnumLevelVisit(e, 7, func([]uint32, uint64) bool {
+			count++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDominanceQuery(b *testing.B, eps float64, miss bool) {
+	b.Helper()
+	const d, k = 4, 14
+	idx := dominance.MustIndex(dominance.Config{Dims: d, Bits: k, MaxCubes: 50000})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50000; i++ {
+		p := make([]uint32, d)
+		for j := range p {
+			p[j] = uint32(rng.Int63n(1 << k))
+		}
+		idx.Insert(p, uint64(i))
+	}
+	qs := make([][]uint32, 256)
+	for i := range qs {
+		q := make([]uint32, d)
+		for j := range q {
+			if miss {
+				q[j] = uint32(uint64(1)<<k - 1 - uint64(rng.Intn(4)))
+			} else {
+				q[j] = uint32(rng.Int63n(1 << k))
+			}
+		}
+		qs[i] = q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := idx.Query(qs[i%len(qs)], eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApproxQueryHit(b *testing.B)  { benchDominanceQuery(b, 0.3, false) }
+func BenchmarkApproxQueryMiss(b *testing.B) { benchDominanceQuery(b, 0.3, true) }
+
+func BenchmarkLinearQueryMiss(b *testing.B) {
+	const d, k = 4, 14
+	lin := dominance.NewLinear()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		p := make([]uint32, d)
+		for j := range p {
+			p[j] = uint32(rng.Int63n(1<<k - 16))
+		}
+		lin.Insert(p, uint64(i))
+	}
+	q := []uint32{1<<k - 1, 1<<k - 1, 1<<k - 1, 1<<k - 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lin.QueryDominating(q)
+	}
+}
+
+func BenchmarkDetectorAdd(b *testing.B) {
+	schema := subscription.MustSchema(10, "topic", "price")
+	det := core.MustNew(core.Config{
+		Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3, MaxCubes: 10000,
+	})
+	subs, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: 4096, WidthFrac: 0.3, Seed: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := det.Add(subs[i%len(subs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubscriptionMatch(b *testing.B) {
+	schema := subscription.MustSchema(10, "stock", "volume", "current")
+	sub := subscription.MustParse(schema, "stock == 3 && volume > 500 && current < 95")
+	ev, err := subscription.ParseEvent(schema, "stock = 3, volume = 1000, current = 88")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sub.Matches(ev) {
+			b.Fatal("must match")
+		}
+	}
+}
+
+func BenchmarkEOTransform(b *testing.B) {
+	schema := subscription.MustSchema(12, "a", "b", "c", "d")
+	sub := subscription.MustParse(schema, "a in [10,2000] && b in [5,100] && c >= 7 && d <= 3000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sub.Point()
+	}
+}

@@ -1,0 +1,141 @@
+// Command pubsubsim runs the deterministic broker-network simulation with a
+// synthetic workload and reports the routing metrics the paper's covering
+// optimization targets: routing-table size, subscription messages
+// propagated, suppression counts and event traffic.
+//
+// Example:
+//
+//	pubsubsim -brokers 31 -topology tree -subs 300 -mode approx -eps 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sfccover/internal/broker"
+	"sfccover/internal/core"
+	"sfccover/internal/stats"
+	"sfccover/internal/subscription"
+	"sfccover/internal/workload"
+)
+
+func main() {
+	var (
+		brokers  = flag.Int("brokers", 31, "number of brokers")
+		topology = flag.String("topology", "tree", "overlay shape: line | star | tree | random")
+		nSubs    = flag.Int("subs", 300, "number of subscriptions")
+		nClients = flag.Int("clients", 24, "number of clients")
+		nEvents  = flag.Int("events", 100, "number of published events")
+		mode     = flag.String("mode", "approx", "covering mode: off | exact | approx")
+		eps      = flag.Float64("eps", 0.2, "approximation parameter for -mode approx")
+		maxCubes = flag.Int("cap", 10000, "per-query probe budget (0 = library default, -1 = unlimited)")
+		width    = flag.Float64("width", 0.3, "mean subscription width as a fraction of the domain")
+		dist     = flag.String("dist", "uniform", "value distribution: uniform | zipf | clustered")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*brokers, *topology, *nSubs, *nClients, *nEvents, *mode, *eps, *maxCubes, *width, *dist, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "pubsubsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(brokers int, topology string, nSubs, nClients, nEvents int, mode string, eps float64, maxCubes int, width float64, dist string, seed int64) error {
+	schema, err := subscription.NewSchema(10, "topic", "price")
+	if err != nil {
+		return err
+	}
+	var topo broker.Topology
+	switch topology {
+	case "line":
+		topo = broker.Line(brokers)
+	case "star":
+		topo = broker.Star(brokers)
+	case "tree":
+		topo = broker.BalancedTree(brokers)
+	case "random":
+		topo = broker.RandomTree(brokers, seed)
+	default:
+		return fmt.Errorf("unknown topology %q", topology)
+	}
+	cfg := broker.Config{Schema: schema, MaxCubes: maxCubes, Seed: seed}
+	switch mode {
+	case "off":
+		cfg.Mode = core.ModeOff
+	case "exact":
+		cfg.Mode = core.ModeExact
+		cfg.Strategy = core.StrategyLinear
+	case "approx":
+		cfg.Mode = core.ModeApprox
+		cfg.Epsilon = eps
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	subs, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: nSubs, Dist: workload.SubDist(dist),
+		WidthFrac: width, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	events, err := workload.Events(workload.EventSpec{Schema: schema, N: nEvents, Seed: seed + 1})
+	if err != nil {
+		return err
+	}
+
+	net, err := broker.NewNetwork(topo, cfg)
+	if err != nil {
+		return err
+	}
+	clients := make([]*broker.Client, nClients)
+	for i := range clients {
+		c, err := net.AttachClient(i % net.NumBrokers())
+		if err != nil {
+			return err
+		}
+		clients[i] = c
+	}
+	for i, s := range subs {
+		if err := net.Subscribe(clients[i%nClients].ID, s); err != nil {
+			return err
+		}
+	}
+	net.Drain()
+	for i, ev := range events {
+		if err := net.Publish(clients[i%nClients].ID, ev); err != nil {
+			return err
+		}
+	}
+	net.Drain()
+
+	m := net.Metrics()
+	tot := net.CoverTotals()
+	fmt.Printf("pubsubsim: %d brokers (%s), %d clients, %d subscriptions, %d events, mode=%s",
+		topo.N, topology, nClients, nSubs, nEvents, mode)
+	if cfg.Mode == core.ModeApprox {
+		fmt.Printf(" eps=%v cap=%d", eps, maxCubes)
+	}
+	fmt.Println()
+	tb := stats.NewTable("metric", "value")
+	tb.AddRow("routing table rows", net.TableRows())
+	tb.AddRow("forwarded-set entries", net.ForwardedEntries())
+	tb.AddRow("subscribe msgs", m.SubscribeMsgs)
+	tb.AddRow("unsubscribe msgs", m.UnsubscribeMsgs)
+	tb.AddRow("suppressed forwards", m.SuppressedForwards)
+	tb.AddRow("duplicate forwards", m.DuplicateForwards)
+	tb.AddRow("event msgs", m.EventMsgs)
+	tb.AddRow("deliveries", m.Deliveries)
+	tb.AddRow("cover queries", tot.Queries)
+	tb.AddRow("cover hits", tot.Hits)
+	if tot.Queries > 0 {
+		tb.AddRow("mean probes/query", float64(tot.RunsProbed)/float64(tot.Queries))
+	}
+	tb.AddRow("protocol errors", m.ProtocolErrors)
+	fmt.Println(tb)
+	if m.ProtocolErrors != 0 {
+		return fmt.Errorf("simulation reported %d protocol errors", m.ProtocolErrors)
+	}
+	return nil
+}

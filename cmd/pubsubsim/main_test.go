@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunAllModesAndTopologies(t *testing.T) {
+	for _, topo := range []string{"line", "star", "tree", "random"} {
+		if err := run(7, topo, 40, 6, 10, "exact", 0, 0, 0.3, "uniform", 1); err != nil {
+			t.Errorf("topology %s: %v", topo, err)
+		}
+	}
+	for _, mode := range []string{"off", "exact", "approx"} {
+		if err := run(5, "tree", 30, 4, 10, mode, 0.3, 2000, 0.3, "uniform", 2); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+	for _, dist := range []string{"uniform", "zipf", "clustered"} {
+		if err := run(3, "line", 20, 3, 5, "off", 0, 0, 0.25, dist, 3); err != nil {
+			t.Errorf("dist %s: %v", dist, err)
+		}
+	}
+}
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	if err := run(5, "mesh", 10, 2, 2, "exact", 0, 0, 0.3, "uniform", 1); err == nil {
+		t.Error("unknown topology must fail")
+	}
+	if err := run(5, "tree", 10, 2, 2, "fuzzy", 0, 0, 0.3, "uniform", 1); err == nil {
+		t.Error("unknown mode must fail")
+	}
+	if err := run(5, "tree", 10, 2, 2, "approx", 7, 0, 0.3, "uniform", 1); err == nil {
+		t.Error("epsilon out of range must fail")
+	}
+	if err := run(5, "tree", 10, 2, 2, "off", 0, 0, 0.3, "bimodal", 1); err == nil {
+		t.Error("unknown distribution must fail")
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: build a covering detector, feed it subscriptions, and watch
+// approximate covering detection at work — found covers are always genuine,
+// missed covers only cost a little redundancy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sfccover"
+)
+
+func main() {
+	// Two numeric attributes, each on a 10-bit grid [0, 1023].
+	schema, err := sfccover.NewSchema(10, "volume", "price")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An ε-approximate detector: searches at least 70% of the covering
+	// region's volume per query, at a tiny fraction of an exact search's
+	// worst-case cost.
+	det, err := sfccover.NewDetector(sfccover.DetectorConfig{
+		Schema:  schema,
+		Mode:    sfccover.ModeApprox,
+		Epsilon: 0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A broad subscription arrives first and is stored.
+	broad := sfccover.MustParseSubscription(schema, "volume in [100,900] && price in [10,400]")
+	if _, err := det.Insert(broad); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored:  %v\n", broad)
+
+	// A narrower subscription arrives: the detector finds the cover, so a
+	// router would suppress its propagation.
+	narrow := sfccover.MustParseSubscription(schema, "volume in [300,700] && price in [88,95]")
+	_, covered, coveredBy, err := det.Add(narrow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("arrived: %v\n", narrow)
+	if covered {
+		cover, _ := det.Subscription(coveredBy)
+		fmt.Printf("covered: yes — by #%d (%v); no need to forward it\n", coveredBy, cover)
+	} else {
+		fmt.Println("covered: no — forward it")
+	}
+
+	// A disjoint subscription is not covered.
+	other := sfccover.MustParseSubscription(schema, "volume in [950,1000]")
+	_, covered, _, err = det.Add(other)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("arrived: %v\n", other)
+	fmt.Printf("covered: %v\n", covered)
+
+	// Events match subscriptions by simple range tests.
+	ev, err := sfccover.ParseEvent(schema, "volume = 500, price = 90")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nevent %v matches narrow=%v broad=%v other=%v\n",
+		ev, narrow.Matches(ev), broad.Matches(ev), other.Matches(ev))
+
+	// The detector keeps the paper's cost accounting.
+	tot := det.Totals()
+	fmt.Printf("\ncost: %d queries, %d hits, %d SFC run probes total\n",
+		tot.Queries, tot.Hits, tot.RunsProbed)
+}

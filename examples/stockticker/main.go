@@ -1,0 +1,141 @@
+// Stockticker: the paper's motivating scenario — a stock-quote feed routed
+// through a broker network to traders with content-based subscriptions.
+// Prices are continuous; a Quantizer maps them onto the discrete grid the
+// SFC index needs. Covering detection suppresses redundant subscription
+// propagation while every trader still receives exactly the quotes they
+// asked for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sfccover"
+)
+
+// tickers maps symbols onto the discrete "stock" attribute.
+var tickers = map[string]uint32{"IBM": 1, "MSFT": 2, "AAPL": 3, "GOOG": 4}
+
+func main() {
+	// stock: symbol id; volume: shares (0..10000, quantized; pick the
+	// domain so the thresholds you care about land in distinct grid
+	// cells); price: dollars (0..500, quantized). 10 bits per attribute.
+	schema, err := sfccover.NewSchema(10, "stock", "volume", "price")
+	if err != nil {
+		log.Fatal(err)
+	}
+	volQ, err := sfccover.NewQuantizer(0, 10_000, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	priceQ, err := sfccover.NewQuantizer(0, 500, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A hub broker with four edge brokers; traders attach to the edges.
+	//
+	// Mode choice: stock subscriptions pin the symbol with an equality
+	// constraint, which gives covering queries a unit-length side — the
+	// paper's aspect-ratio caveat, where the approximate SFC search has
+	// nothing to approximate away. Exact linear search is the right tool
+	// at this schema shape (see EXPERIMENTS.md E5/E7); the sensornet
+	// example shows the approximate mode in its favourable regime.
+	net, err := sfccover.NewNetwork(sfccover.StarTopology(5), sfccover.NetworkConfig{
+		Schema:   schema,
+		Mode:     sfccover.ModeExact,
+		Strategy: sfccover.StrategyLinear,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type trader struct {
+		name   string
+		broker int
+		expr   string // built below with quantized values
+	}
+	subFor := func(symbol string, volLo, volHi, priceLo, priceHi float64) *sfccover.Subscription {
+		s := sfccover.NewSubscription(schema)
+		if err := s.SetEq("stock", tickers[symbol]); err != nil {
+			log.Fatal(err)
+		}
+		vr, err := volQ.QuantizeRange(volLo, volHi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.SetRange("volume", vr.Lo, vr.Hi); err != nil {
+			log.Fatal(err)
+		}
+		pr, err := priceQ.QuantizeRange(priceLo, priceHi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.SetRange("price", pr.Lo, pr.Hi); err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+
+	alice, err := net.AttachClient(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := net.AttachClient(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed, err := net.AttachClient(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob has a broad IBM interest; Alice wants IBM trades of 500+ shares
+	// below $95 — the paper's intro example. Because Bob's subscription
+	// covers Alice's, the hub broker suppresses the propagation of
+	// Alice's subscription toward the brokers that already see Bob's.
+	if err := net.Subscribe(bob.ID, subFor("IBM", 0, 10_000, 0, 200)); err != nil {
+		log.Fatal(err)
+	}
+	net.Drain()
+	if err := net.Subscribe(alice.ID, subFor("IBM", 500, 10_000, 0, 95)); err != nil {
+		log.Fatal(err)
+	}
+	net.Drain()
+
+	// The feed publishes quotes.
+	quotes := []struct {
+		symbol string
+		volume float64
+		price  float64
+	}{
+		{"IBM", 1000, 88},  // matches both (the paper's example event)
+		{"IBM", 100, 88},   // only Bob (volume too small for Alice)
+		{"IBM", 1000, 150}, // only Bob (price too high for Alice)
+		{"MSFT", 5000, 80}, // nobody
+	}
+	for _, q := range quotes {
+		ev, err := sfccover.NewEvent(schema, map[string]uint32{
+			"stock":  tickers[q.symbol],
+			"volume": volQ.Quantize(q.volume),
+			"price":  priceQ.Quantize(q.price),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.Publish(feed.ID, ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	net.Drain()
+
+	fmt.Printf("alice received %d quotes (expected 1: the paper's [IBM, 1000, 88] example)\n", len(alice.Received))
+	fmt.Printf("bob   received %d quotes (expected 3: all IBM quotes under $200)\n", len(bob.Received))
+
+	m := net.Metrics()
+	fmt.Printf("\nnetwork: %d subscribe msgs, %d suppressed by covering, %d event msgs, %d deliveries\n",
+		m.SubscribeMsgs, m.SuppressedForwards, m.EventMsgs, m.Deliveries)
+	if m.ProtocolErrors != 0 {
+		log.Fatalf("protocol errors: %d", m.ProtocolErrors)
+	}
+}

@@ -1,0 +1,127 @@
+package sfccover_test
+
+import (
+	"testing"
+
+	"sfccover"
+)
+
+func TestMergeSubscriptionsFacade(t *testing.T) {
+	schema := sfccover.MustSchema(8, "x", "y")
+	a := sfccover.MustParseSubscription(schema, "x in [0,10] && y in [5,9]")
+	b := sfccover.MustParseSubscription(schema, "x in [11,30] && y in [5,9]")
+	m, ok := sfccover.MergeSubscriptions(a, b)
+	if !ok {
+		t.Fatal("adjacent rectangles must merge")
+	}
+	if !m.Covers(a) || !m.Covers(b) {
+		t.Fatal("merged subscription must cover both inputs")
+	}
+	c := sfccover.MustParseSubscription(schema, "x in [50,60] && y in [50,60]")
+	if _, ok := sfccover.MergeSubscriptions(a, c); ok {
+		t.Fatal("disjoint rectangles must not merge")
+	}
+}
+
+func TestFindCoveredFacade(t *testing.T) {
+	schema := sfccover.MustSchema(10, "volume", "price")
+	det, err := sfccover.NewDetector(sfccover.DetectorConfig{
+		Schema:       schema,
+		Mode:         sfccover.ModeApprox,
+		Epsilon:      0.3,
+		TrackCovered: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := sfccover.MustParseSubscription(schema, "volume in [400,600] && price in [100,200]")
+	narrowID, err := det.Insert(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := sfccover.MustParseSubscription(schema, "volume in [100,900] && price in [10,500]")
+	id, found, _, err := det.FindCovered(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || id != narrowID {
+		t.Fatalf("FindCovered = (%d,%v), want (%d,true)", id, found, narrowID)
+	}
+
+	// Covering degree through the facade: the wide subscription covers the
+	// probe generously, so even the approximate count sees at least it.
+	if _, err := det.Insert(wide); err != nil {
+		t.Fatal(err)
+	}
+	n, err := det.CoverDegree(sfccover.MustParseSubscription(schema, "volume in [450,550] && price in [120,180]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("CoverDegree = %d, want >= 1 (the wide subscription)", n)
+	}
+}
+
+func TestWireFacade(t *testing.T) {
+	schema := sfccover.MustSchema(10, "volume", "price")
+	s := sfccover.MustParseSubscription(schema, "volume in [10,20] && price >= 500")
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sfccover.UnmarshalSubscription(schema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatal("subscription wire roundtrip failed")
+	}
+
+	ev, err := sfccover.ParseEvent(schema, "volume = 15, price = 700")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evData, err := ev.MarshalBinary(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evBack, err := sfccover.UnmarshalEvent(schema, evData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evBack[0] != 15 || !back.Matches(evBack) {
+		t.Fatal("event wire roundtrip failed")
+	}
+}
+
+func TestConcurrentNetworkFacade(t *testing.T) {
+	schema := sfccover.MustSchema(8, "topic", "level")
+	net, err := sfccover.NewConcurrentNetwork(sfccover.LineTopology(3), sfccover.NetworkConfig{
+		Schema: schema, Mode: sfccover.ModeExact, Strategy: sfccover.StrategyLinear,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	sub, err := net.AttachClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := net.AttachClient(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	if err := net.Subscribe(sub.ID, sfccover.MustParseSubscription(schema, "level >= 100")); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	ev, _ := sfccover.ParseEvent(schema, "topic = 1, level = 150")
+	if err := net.Publish(pub.ID, ev); err != nil {
+		t.Fatal(err)
+	}
+	net.Flush()
+	if len(sub.Received) != 1 {
+		t.Fatalf("received %d events, want 1", len(sub.Received))
+	}
+}

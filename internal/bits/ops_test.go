@@ -1,0 +1,191 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBExamples(t *testing.T) {
+	tests := []struct {
+		x    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {9, 4}, {255, 8}, {256, 9},
+		{1 << 63, 64},
+	}
+	for _, tt := range tests {
+		if got := B(tt.x); got != tt.want {
+			t.Errorf("B(%d) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestTProperties(t *testing.T) {
+	// t(x,m) keeps the m most significant bits: t(x,m) <= x,
+	// b(t(x,m)) == b(x) for m >= 1, and x - t(x,m) < 2^(b(x)-m).
+	f := func(x uint64, mRaw uint8) bool {
+		if x == 0 {
+			return T(x, int(mRaw)) == 0
+		}
+		m := int(mRaw%64) + 1
+		tx := T(x, m)
+		if tx > x || B(tx) != B(x) {
+			return false
+		}
+		if m < B(x) && x-tx >= 1<<uint(B(x)-m) {
+			return false
+		}
+		if m >= B(x) && tx != x {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTExamples(t *testing.T) {
+	tests := []struct {
+		x    uint64
+		m    int
+		want uint64
+	}{
+		{0b1011, 1, 0b1000},
+		{0b1011, 2, 0b1000},
+		{0b1011, 3, 0b1010},
+		{0b1011, 4, 0b1011},
+		{0b1011, 9, 0b1011},
+		{0b1011, 0, 0},
+		{1, 1, 1},
+	}
+	for _, tt := range tests {
+		if got := T(tt.x, tt.m); got != tt.want {
+			t.Errorf("T(%b,%d) = %b, want %b", tt.x, tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestSExamples(t *testing.T) {
+	tests := []struct {
+		x    uint64
+		i    int
+		want uint64
+	}{
+		{0b101101, 0, 0b101101},
+		{0b101101, 1, 0b101100},
+		{0b101101, 2, 0b101100},
+		{0b101101, 3, 0b101000},
+		{0b101101, 6, 0},
+		{0b101101, 64, 0},
+		{0b101101, -1, 0b101101},
+	}
+	for _, tt := range tests {
+		if got := S(tt.x, tt.i); got != tt.want {
+			t.Errorf("S(%b,%d) = %b, want %b", tt.x, tt.i, got, tt.want)
+		}
+	}
+}
+
+func TestSRecurrence(t *testing.T) {
+	// S_i(x) = S_{i+1}(x) + x_i * 2^i (the identity Lemma 3.6 relies on).
+	f := func(x uint64, iRaw uint8) bool {
+		i := int(iRaw % 63)
+		return S(x, i) == S(x, i+1)+BitOf(x, i)<<uint(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	xs := []uint64{0b1011, 0b110, 0b1}
+	tv := TVec(xs, 2)
+	want := []uint64{0b1000, 0b110, 0b1}
+	for i := range tv {
+		if tv[i] != want[i] {
+			t.Errorf("TVec[%d] = %b, want %b", i, tv[i], want[i])
+		}
+	}
+	sv := SVec(xs, 1)
+	wantS := []uint64{0b1010, 0b110, 0}
+	for i := range sv {
+		if sv[i] != wantS[i] {
+			t.Errorf("SVec[%d] = %b, want %b", i, sv[i], wantS[i])
+		}
+	}
+}
+
+func TestInterleavePaperExample(t *testing.T) {
+	// Coordinates (3,5) = (011,101)2 interleave to key (011011)2 = 27
+	// with dimension 1 occupying the most significant slot of each group.
+	key := Interleave([]uint32{3, 5}, 3)
+	if got, _ := key.Uint64(); got != 27 {
+		t.Fatalf("Interleave((3,5),3) = %d, want 27", got)
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		d := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(16)
+		coords := make([]uint32, d)
+		for i := range coords {
+			coords[i] = uint32(rng.Intn(1 << uint(k)))
+		}
+		key := Interleave(coords, k)
+		back := Deinterleave(key, d, k)
+		for i := range coords {
+			if back[i] != coords[i] {
+				t.Fatalf("roundtrip d=%d k=%d: coords %v -> %v", d, k, coords, back)
+			}
+		}
+	}
+}
+
+func TestInterleaveOrderMatchesZOrder2D(t *testing.T) {
+	// In 2-d with k=2 the Z order of cells (x1 is the high bit of each
+	// group) visits (0,0),(0,1),(1,0),(1,1),(0,2),(0,3),... Verify keys
+	// are unique and cover [0, 2^(dk)).
+	seen := make(map[uint64]bool)
+	for x1 := uint32(0); x1 < 4; x1++ {
+		for x2 := uint32(0); x2 < 4; x2++ {
+			v, ok := Interleave([]uint32{x1, x2}, 2).Uint64()
+			if !ok {
+				t.Fatal("key does not fit")
+			}
+			if seen[v] {
+				t.Fatalf("duplicate key %d", v)
+			}
+			seen[v] = true
+			if v >= 16 {
+				t.Fatalf("key %d out of range", v)
+			}
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("expected 16 distinct keys, got %d", len(seen))
+	}
+}
+
+func TestInterleaveMonotoneInCoordinates(t *testing.T) {
+	// Increasing any single coordinate strictly increases the key when all
+	// other coordinates are held fixed (true for bit interleaving).
+	f := func(a, b uint16, other uint16) bool {
+		x, y := uint32(a), uint32(b)
+		if x == y {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		k1 := Interleave([]uint32{x, uint32(other)}, 16)
+		k2 := Interleave([]uint32{y, uint32(other)}, 16)
+		return k1.Less(k2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

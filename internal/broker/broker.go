@@ -1,0 +1,558 @@
+// Package broker simulates a distributed content-based publish/subscribe
+// network of the kind the paper targets (Siena, Gryphon, REBECA): brokers
+// form an acyclic overlay, subscriptions propagate through the overlay so
+// that events published anywhere reach every matching subscriber, and each
+// broker suppresses the forwarding of subscriptions that are covered by
+// ones it already forwarded — using a core.Detector in any of the paper's
+// modes (off / exact / ε-approximate).
+//
+// The simulation is deterministic: messages are processed from a single
+// FIFO queue, and all iteration orders are fixed. The safety property the
+// tests pin down is the paper's central premise: covering (exact or
+// approximate) changes how many subscriptions are propagated, never which
+// events are delivered.
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sfccover/internal/core"
+	"sfccover/internal/subscription"
+)
+
+// Config parameterizes every broker's covering detectors.
+type Config struct {
+	// Schema is the pub/sub attribute schema (required).
+	Schema *subscription.Schema
+	// Mode is the covering-detection mode each broker runs; ModeOff floods.
+	Mode core.Mode
+	// Epsilon is the approximation parameter for core.ModeApprox.
+	Epsilon float64
+	// Strategy selects the exact-search backend; empty means SFC.
+	Strategy core.Strategy
+	// MaxCubes caps per-query work in SFC searches (0 = unlimited).
+	MaxCubes int
+	// Seed derives the deterministic randomness of the SFC arrays.
+	Seed int64
+}
+
+// Metrics aggregates network-wide counters. Subscription/unsubscription
+// message counts are the quantity the paper's optimization reduces.
+type Metrics struct {
+	// SubscribeMsgs counts broker-to-broker subscribe messages.
+	SubscribeMsgs int
+	// UnsubscribeMsgs counts broker-to-broker unsubscribe messages.
+	UnsubscribeMsgs int
+	// EventMsgs counts broker-to-broker event messages.
+	EventMsgs int
+	// Deliveries counts events handed to clients.
+	Deliveries int
+	// SuppressedForwards counts subscription forwards avoided thanks to a
+	// detected cover.
+	SuppressedForwards int
+	// DuplicateForwards counts forwards avoided because the identical
+	// subscription was already forwarded on that link.
+	DuplicateForwards int
+	// ProtocolErrors counts internal inconsistencies (always zero unless
+	// the simulation itself is buggy).
+	ProtocolErrors int
+}
+
+// ifaceKind distinguishes the two sides a broker talks to.
+type ifaceKind int
+
+const (
+	ifNeighbor ifaceKind = iota + 1
+	ifClient
+)
+
+// iface identifies a message source/sink at a broker: a neighboring broker
+// or an attached client.
+type iface struct {
+	kind ifaceKind
+	id   int
+}
+
+func (i iface) key() string {
+	if i.kind == ifNeighbor {
+		return "n" + strconv.Itoa(i.id)
+	}
+	return "c" + strconv.Itoa(i.id)
+}
+
+// message is a queued simulation step.
+type message struct {
+	to    int // destination broker
+	from  iface
+	sub   *subscription.Subscription // subscribe/unsubscribe payload
+	event subscription.Event         // event payload
+	kind  msgKind
+}
+
+type msgKind int
+
+const (
+	msgSubscribe msgKind = iota + 1
+	msgUnsubscribe
+	msgEvent
+)
+
+// Client is an endpoint attached to one broker.
+type Client struct {
+	// ID is the network-unique client id.
+	ID int
+	// Broker is the id of the broker the client is attached to.
+	Broker int
+	// Received records delivered events in delivery order.
+	Received []subscription.Event
+
+	subs []*subscription.Subscription
+}
+
+// Subscriptions returns the client's live subscriptions.
+func (c *Client) Subscriptions() []*subscription.Subscription {
+	out := make([]*subscription.Subscription, len(c.subs))
+	for i, s := range c.subs {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Network is a deterministic simulation of a broker overlay.
+type Network struct {
+	cfg     Config
+	brokers []*Broker
+	clients map[int]*Client
+	nextCli int
+	queue   []message
+	metrics Metrics
+}
+
+// environment is the world a broker's state machine acts on: it sends
+// messages, delivers events to clients and bumps metrics. The sequential
+// Network implements it directly; the Concurrent runtime implements it
+// with channels and atomics, reusing the identical state machine.
+type environment interface {
+	enqueue(m message)
+	deliver(clientID int, e subscription.Event)
+	bump(counter metricID)
+}
+
+// metricID names a Metrics counter for environment.bump.
+type metricID int
+
+const (
+	metricSubscribeMsgs metricID = iota
+	metricUnsubscribeMsgs
+	metricEventMsgs
+	metricDeliveries
+	metricSuppressed
+	metricDuplicate
+	metricProtocolError
+)
+
+// Broker is one routing node.
+type Broker struct {
+	id        int
+	env       environment
+	neighbors []int // sorted
+	table     map[string]*tableRow
+	out       map[int]*neighborState // per neighbor
+	clients   []int                  // sorted attachment order
+}
+
+// tableRow is one routing-table entry: a subscription together with the
+// interface it arrived from.
+type tableRow struct {
+	sub   *subscription.Subscription
+	from  iface
+	count int // reference count for repeated identical subscribes
+}
+
+// neighborState tracks what this broker has forwarded to one neighbor: a
+// covering detector over the forwarded set plus the id needed to remove
+// entries on unsubscription.
+type neighborState struct {
+	det *core.Detector
+	ids map[string]uint64 // subKey -> detector id
+}
+
+// NewNetwork builds the overlay and its per-link covering detectors.
+func NewNetwork(topo Topology, cfg Config) (*Network, error) {
+	if err := topo.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("broker: config needs a schema")
+	}
+	n := &Network{cfg: cfg, clients: make(map[int]*Client)}
+	n.brokers = make([]*Broker, topo.N)
+	for i := range n.brokers {
+		n.brokers[i] = &Broker{
+			id:    i,
+			env:   n,
+			table: make(map[string]*tableRow),
+			out:   make(map[int]*neighborState),
+		}
+	}
+	for _, e := range topo.Edges {
+		n.brokers[e[0]].neighbors = append(n.brokers[e[0]].neighbors, e[1])
+		n.brokers[e[1]].neighbors = append(n.brokers[e[1]].neighbors, e[0])
+	}
+	for _, b := range n.brokers {
+		sort.Ints(b.neighbors)
+		for _, j := range b.neighbors {
+			det, err := core.New(core.Config{
+				Schema:   cfg.Schema,
+				Mode:     cfg.Mode,
+				Epsilon:  cfg.Epsilon,
+				Strategy: cfg.Strategy,
+				MaxCubes: cfg.MaxCubes,
+				Seed:     cfg.Seed + int64(b.id)<<16 + int64(j),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("broker: building detector %d->%d: %w", b.id, j, err)
+			}
+			b.out[j] = &neighborState{det: det, ids: make(map[string]uint64)}
+		}
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork for known-good arguments.
+func MustNetwork(topo Topology, cfg Config) *Network {
+	n, err := NewNetwork(topo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NumBrokers returns the overlay size.
+func (n *Network) NumBrokers() int { return len(n.brokers) }
+
+// Metrics returns a snapshot of the aggregate counters.
+func (n *Network) Metrics() Metrics { return n.metrics }
+
+// TableRows returns the total number of routing-table entries across all
+// brokers — the paper's "size of routing tables".
+func (n *Network) TableRows() int {
+	total := 0
+	for _, b := range n.brokers {
+		total += len(b.table)
+	}
+	return total
+}
+
+// ForwardedEntries returns the total size of all per-link forwarded sets.
+func (n *Network) ForwardedEntries() int {
+	total := 0
+	for _, b := range n.brokers {
+		for _, st := range b.out {
+			total += st.det.Len()
+		}
+	}
+	return total
+}
+
+// CoverTotals sums query counters across every per-link detector.
+func (n *Network) CoverTotals() core.Totals {
+	var tot core.Totals
+	for _, b := range n.brokers {
+		for _, j := range b.neighbors {
+			t := b.out[j].det.Totals()
+			tot.Queries += t.Queries
+			tot.Hits += t.Hits
+			tot.RunsProbed += t.RunsProbed
+			tot.CubesGenerated += t.CubesGenerated
+		}
+	}
+	return tot
+}
+
+// AttachClient creates a client on the given broker and returns it.
+func (n *Network) AttachClient(brokerID int) (*Client, error) {
+	if brokerID < 0 || brokerID >= len(n.brokers) {
+		return nil, fmt.Errorf("broker: no broker %d", brokerID)
+	}
+	c := &Client{ID: n.nextCli, Broker: brokerID}
+	n.nextCli++
+	n.clients[c.ID] = c
+	n.brokers[brokerID].clients = append(n.brokers[brokerID].clients, c.ID)
+	return c, nil
+}
+
+// Subscribe registers a subscription for the client and propagates it.
+// Call Drain to let the propagation settle.
+func (n *Network) Subscribe(clientID int, s *subscription.Subscription) error {
+	c, ok := n.clients[clientID]
+	if !ok {
+		return fmt.Errorf("broker: no client %d", clientID)
+	}
+	if s.Schema() != n.cfg.Schema {
+		return fmt.Errorf("broker: subscription schema differs from network schema")
+	}
+	c.subs = append(c.subs, s.Clone())
+	n.queue = append(n.queue, message{
+		to: c.Broker, from: iface{kind: ifClient, id: clientID}, sub: s.Clone(), kind: msgSubscribe,
+	})
+	return nil
+}
+
+// Unsubscribe withdraws one previously registered identical subscription.
+func (n *Network) Unsubscribe(clientID int, s *subscription.Subscription) error {
+	c, ok := n.clients[clientID]
+	if !ok {
+		return fmt.Errorf("broker: no client %d", clientID)
+	}
+	for i, held := range c.subs {
+		if held.Equal(s) {
+			c.subs = append(c.subs[:i], c.subs[i+1:]...)
+			n.queue = append(n.queue, message{
+				to: c.Broker, from: iface{kind: ifClient, id: clientID}, sub: s.Clone(), kind: msgUnsubscribe,
+			})
+			return nil
+		}
+	}
+	return fmt.Errorf("broker: client %d holds no such subscription", clientID)
+}
+
+// Publish injects an event at the client's broker. Matching subscribers —
+// including the publisher itself, if subscribed — receive it during Drain.
+func (n *Network) Publish(clientID int, e subscription.Event) error {
+	c, ok := n.clients[clientID]
+	if !ok {
+		return fmt.Errorf("broker: no client %d", clientID)
+	}
+	if len(e) != n.cfg.Schema.NumAttrs() {
+		return fmt.Errorf("broker: event has %d attributes, schema needs %d", len(e), n.cfg.Schema.NumAttrs())
+	}
+	n.queue = append(n.queue, message{
+		to: c.Broker, from: iface{kind: ifClient, id: clientID},
+		event: append(subscription.Event(nil), e...), kind: msgEvent,
+	})
+	return nil
+}
+
+// Drain processes queued messages until the network is quiescent,
+// returning the number of messages processed.
+func (n *Network) Drain() int {
+	processed := 0
+	for len(n.queue) > 0 {
+		m := n.queue[0]
+		n.queue = n.queue[1:]
+		processed++
+		b := n.brokers[m.to]
+		switch m.kind {
+		case msgSubscribe:
+			b.handleSubscribe(m.from, m.sub)
+		case msgUnsubscribe:
+			b.handleUnsubscribe(m.from, m.sub)
+		case msgEvent:
+			b.handleEvent(m.from, m.event)
+		}
+	}
+	return processed
+}
+
+// subKey canonicalizes a subscription's constraint rectangle.
+func subKey(s *subscription.Subscription) string {
+	var sb strings.Builder
+	for i := 0; i < s.Schema().NumAttrs(); i++ {
+		r := s.Range(i)
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		sb.WriteString(strconv.FormatUint(uint64(r.Lo), 10))
+		sb.WriteByte('-')
+		sb.WriteString(strconv.FormatUint(uint64(r.Hi), 10))
+	}
+	return sb.String()
+}
+
+func (b *Broker) handleSubscribe(from iface, s *subscription.Subscription) {
+	rowKey := subKey(s) + "@" + from.key()
+	if row, ok := b.table[rowKey]; ok {
+		row.count++
+		return // forwarding state already reflects this subscription
+	}
+	b.table[rowKey] = &tableRow{sub: s, from: from, count: 1}
+	for _, j := range b.neighbors {
+		if from.kind == ifNeighbor && from.id == j {
+			continue
+		}
+		b.forwardIfUncovered(j, s)
+	}
+}
+
+// forwardIfUncovered implements the covering optimization on one link: the
+// subscription is forwarded unless an already-forwarded subscription covers
+// it (or the identical subscription is already forwarded).
+func (b *Broker) forwardIfUncovered(j int, s *subscription.Subscription) {
+	st := b.out[j]
+	key := subKey(s)
+	if _, dup := st.ids[key]; dup {
+		b.env.bump(metricDuplicate)
+		return
+	}
+	_, covered, _, err := st.det.FindCover(s)
+	if err != nil {
+		b.env.bump(metricProtocolError)
+		return
+	}
+	if covered {
+		b.env.bump(metricSuppressed)
+		return
+	}
+	id, err := st.det.Insert(s)
+	if err != nil {
+		b.env.bump(metricProtocolError)
+		return
+	}
+	st.ids[key] = id
+	b.env.bump(metricSubscribeMsgs)
+	b.env.enqueue(message{
+		to: j, from: iface{kind: ifNeighbor, id: b.id}, sub: s.Clone(), kind: msgSubscribe,
+	})
+}
+
+func (b *Broker) handleUnsubscribe(from iface, s *subscription.Subscription) {
+	rowKey := subKey(s) + "@" + from.key()
+	row, ok := b.table[rowKey]
+	if !ok {
+		b.env.bump(metricProtocolError)
+		return
+	}
+	row.count--
+	if row.count > 0 {
+		return
+	}
+	delete(b.table, rowKey)
+	key := subKey(s)
+	for _, j := range b.neighbors {
+		if from.kind == ifNeighbor && from.id == j {
+			continue
+		}
+		st := b.out[j]
+		id, forwarded := st.ids[key]
+		if !forwarded {
+			continue // it was suppressed on this link; nothing to retract
+		}
+		// Check no other table row still justifies the forwarded entry
+		// (an identical subscription from a different interface).
+		if b.hasOtherSource(key, j) {
+			continue
+		}
+		if err := st.det.Remove(id); err != nil {
+			b.env.bump(metricProtocolError)
+			continue
+		}
+		delete(st.ids, key)
+		b.env.bump(metricUnsubscribeMsgs)
+		b.env.enqueue(message{
+			to: j, from: iface{kind: ifNeighbor, id: b.id}, sub: s.Clone(), kind: msgUnsubscribe,
+		})
+		// Re-forward any table entries that the retracted subscription had
+		// been covering on this link.
+		for _, r := range b.sortedRows() {
+			if r.from.kind == ifNeighbor && r.from.id == j {
+				continue
+			}
+			b.forwardIfUncovered(j, r.sub)
+		}
+	}
+}
+
+// hasOtherSource reports whether some other live table row carries the same
+// subscription rectangle toward neighbor j.
+func (b *Broker) hasOtherSource(key string, j int) bool {
+	for _, r := range b.table {
+		if r.from.kind == ifNeighbor && r.from.id == j {
+			continue
+		}
+		if subKey(r.sub) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedRows returns table rows in a deterministic order.
+func (b *Broker) sortedRows() []*tableRow {
+	keys := make([]string, 0, len(b.table))
+	for k := range b.table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]*tableRow, len(keys))
+	for i, k := range keys {
+		rows[i] = b.table[k]
+	}
+	return rows
+}
+
+func (b *Broker) handleEvent(from iface, e subscription.Event) {
+	delivered := make(map[int]bool)
+	forward := make(map[int]bool)
+	for _, r := range b.sortedRows() {
+		if !r.sub.Matches(e) {
+			continue
+		}
+		switch r.from.kind {
+		case ifClient:
+			if !delivered[r.from.id] {
+				delivered[r.from.id] = true
+				b.env.deliver(r.from.id, e)
+			}
+		case ifNeighbor:
+			if !(from.kind == ifNeighbor && from.id == r.from.id) {
+				forward[r.from.id] = true
+			}
+		}
+	}
+	targets := make([]int, 0, len(forward))
+	for j := range forward {
+		targets = append(targets, j)
+	}
+	sort.Ints(targets)
+	for _, j := range targets {
+		b.env.bump(metricEventMsgs)
+		b.env.enqueue(message{
+			to: j, from: iface{kind: ifNeighbor, id: b.id},
+			event: append(subscription.Event(nil), e...), kind: msgEvent,
+		})
+	}
+}
+
+// enqueue implements environment for the sequential Network.
+func (n *Network) enqueue(m message) { n.queue = append(n.queue, m) }
+
+// deliver implements environment for the sequential Network.
+func (n *Network) deliver(clientID int, e subscription.Event) {
+	c := n.clients[clientID]
+	c.Received = append(c.Received, append(subscription.Event(nil), e...))
+	n.metrics.Deliveries++
+}
+
+// bump implements environment for the sequential Network.
+func (n *Network) bump(id metricID) {
+	switch id {
+	case metricSubscribeMsgs:
+		n.metrics.SubscribeMsgs++
+	case metricUnsubscribeMsgs:
+		n.metrics.UnsubscribeMsgs++
+	case metricEventMsgs:
+		n.metrics.EventMsgs++
+	case metricDeliveries:
+		n.metrics.Deliveries++
+	case metricSuppressed:
+		n.metrics.SuppressedForwards++
+	case metricDuplicate:
+		n.metrics.DuplicateForwards++
+	case metricProtocolError:
+		n.metrics.ProtocolErrors++
+	}
+}

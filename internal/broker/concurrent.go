@@ -1,0 +1,283 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sfccover/internal/subscription"
+)
+
+// Concurrent runs every broker of an overlay as its own goroutine (an
+// actor owning its routing state), connected by buffered channels. It
+// reuses the exact same broker state machine as the sequential Network —
+// only the environment differs: sends become channel writes, metrics
+// become atomics, deliveries lock the client.
+//
+// Ordering note: the covering protocol needs FIFO delivery per link
+// (an unsubscribe retraction must not overtake its re-forwards); each
+// broker's handler emits messages sequentially into the destination's
+// inbox channel, which Go channels preserve. Cross-link interleaving is
+// unconstrained, exactly as in a real deployment, so tests quiesce
+// (Flush) between phases before asserting.
+//
+// Usage: build with NewConcurrent, AttachClient before Start, then
+// Subscribe/Publish freely from any goroutine; Flush waits for quiescence;
+// Close shuts the actors down.
+type Concurrent struct {
+	net     *Network
+	inboxes []chan message // pump -> actor, unbuffered
+	intake  []chan message // senders -> pump
+	done    chan struct{}
+	actors  sync.WaitGroup
+
+	inflight sync.WaitGroup // counts queued-but-unprocessed messages
+
+	mu      sync.Mutex // guards clients' Received and deliveries counter
+	started bool
+
+	subscribeMsgs   atomic.Int64
+	unsubscribeMsgs atomic.Int64
+	eventMsgs       atomic.Int64
+	deliveries      atomic.Int64
+	suppressed      atomic.Int64
+	duplicates      atomic.Int64
+	protocolErrors  atomic.Int64
+}
+
+// NewConcurrent builds a concurrent overlay. The topology and config rules
+// are those of NewNetwork.
+func NewConcurrent(topo Topology, cfg Config) (*Concurrent, error) {
+	n, err := NewNetwork(topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Concurrent{
+		net:     n,
+		inboxes: make([]chan message, len(n.brokers)),
+		intake:  make([]chan message, len(n.brokers)),
+		done:    make(chan struct{}),
+	}
+	for i, b := range n.brokers {
+		c.inboxes[i] = make(chan message)
+		c.intake[i] = make(chan message, 64)
+		b.env = c // swap the environment: same state machine, new world
+	}
+	return c, nil
+}
+
+// pump is an unbounded FIFO mailbox between intake and the actor's inbox.
+// Brokers sending into a busy peer would otherwise deadlock on full
+// buffered channels (A blocked sending to B while B is blocked sending to
+// A); the pump is always ready to receive, so sends never block for long
+// and per-link FIFO order is preserved.
+func (c *Concurrent) pump(intake <-chan message, inbox chan<- message) {
+	defer c.actors.Done()
+	var buf []message
+	for {
+		var out chan<- message
+		var head message
+		if len(buf) > 0 {
+			out = inbox
+			head = buf[0]
+		}
+		select {
+		case <-c.done:
+			return
+		case m := <-intake:
+			buf = append(buf, m)
+		case out <- head:
+			buf = buf[1:]
+		}
+	}
+}
+
+// AttachClient creates a client on the given broker. Must be called before
+// Start.
+func (c *Concurrent) AttachClient(brokerID int) (*Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return nil, fmt.Errorf("broker: AttachClient after Start")
+	}
+	return c.net.AttachClient(brokerID)
+}
+
+// Start launches one goroutine per broker.
+func (c *Concurrent) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	for i, b := range c.net.brokers {
+		c.actors.Add(2)
+		go c.pump(c.intake[i], c.inboxes[i])
+		go c.run(b, c.inboxes[i])
+	}
+}
+
+func (c *Concurrent) run(b *Broker, inbox chan message) {
+	defer c.actors.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case m := <-inbox:
+			switch m.kind {
+			case msgSubscribe:
+				b.handleSubscribe(m.from, m.sub)
+			case msgUnsubscribe:
+				b.handleUnsubscribe(m.from, m.sub)
+			case msgEvent:
+				b.handleEvent(m.from, m.event)
+			}
+			c.inflight.Done()
+		}
+	}
+}
+
+// enqueue implements environment.
+func (c *Concurrent) enqueue(m message) {
+	c.inflight.Add(1)
+	c.intake[m.to] <- m
+}
+
+// deliver implements environment.
+func (c *Concurrent) deliver(clientID int, e subscription.Event) {
+	c.mu.Lock()
+	cl := c.net.clients[clientID]
+	cl.Received = append(cl.Received, append(subscription.Event(nil), e...))
+	c.mu.Unlock()
+	c.deliveries.Add(1)
+}
+
+// bump implements environment.
+func (c *Concurrent) bump(id metricID) {
+	switch id {
+	case metricSubscribeMsgs:
+		c.subscribeMsgs.Add(1)
+	case metricUnsubscribeMsgs:
+		c.unsubscribeMsgs.Add(1)
+	case metricEventMsgs:
+		c.eventMsgs.Add(1)
+	case metricDeliveries:
+		c.deliveries.Add(1)
+	case metricSuppressed:
+		c.suppressed.Add(1)
+	case metricDuplicate:
+		c.duplicates.Add(1)
+	case metricProtocolError:
+		c.protocolErrors.Add(1)
+	}
+}
+
+// Subscribe registers a subscription for the client and injects it at the
+// client's broker. Safe for concurrent use after Start.
+func (c *Concurrent) Subscribe(clientID int, s *subscription.Subscription) error {
+	c.mu.Lock()
+	cl, ok := c.net.clients[clientID]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("broker: no client %d", clientID)
+	}
+	if s.Schema() != c.net.cfg.Schema {
+		c.mu.Unlock()
+		return fmt.Errorf("broker: subscription schema differs from network schema")
+	}
+	cl.subs = append(cl.subs, s.Clone())
+	c.mu.Unlock()
+	c.enqueue(message{
+		to: cl.Broker, from: iface{kind: ifClient, id: clientID}, sub: s.Clone(), kind: msgSubscribe,
+	})
+	return nil
+}
+
+// Unsubscribe withdraws one previously registered identical subscription.
+func (c *Concurrent) Unsubscribe(clientID int, s *subscription.Subscription) error {
+	c.mu.Lock()
+	cl, ok := c.net.clients[clientID]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("broker: no client %d", clientID)
+	}
+	found := false
+	for i, held := range cl.subs {
+		if held.Equal(s) {
+			cl.subs = append(cl.subs[:i], cl.subs[i+1:]...)
+			found = true
+			break
+		}
+	}
+	c.mu.Unlock()
+	if !found {
+		return fmt.Errorf("broker: client %d holds no such subscription", clientID)
+	}
+	c.enqueue(message{
+		to: cl.Broker, from: iface{kind: ifClient, id: clientID}, sub: s.Clone(), kind: msgUnsubscribe,
+	})
+	return nil
+}
+
+// Publish injects an event at the client's broker.
+func (c *Concurrent) Publish(clientID int, e subscription.Event) error {
+	c.mu.Lock()
+	cl, ok := c.net.clients[clientID]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("broker: no client %d", clientID)
+	}
+	if len(e) != c.net.cfg.Schema.NumAttrs() {
+		return fmt.Errorf("broker: event has %d attributes, schema needs %d", len(e), c.net.cfg.Schema.NumAttrs())
+	}
+	c.enqueue(message{
+		to: cl.Broker, from: iface{kind: ifClient, id: clientID},
+		event: append(subscription.Event(nil), e...), kind: msgEvent,
+	})
+	return nil
+}
+
+// Flush blocks until every queued message — including those generated
+// while draining — has been processed. Callers must not inject new work
+// concurrently with Flush if they need a true quiescence point.
+func (c *Concurrent) Flush() { c.inflight.Wait() }
+
+// Close stops all broker goroutines. Pending messages are abandoned, so
+// Flush first for a clean shutdown.
+func (c *Concurrent) Close() {
+	c.mu.Lock()
+	if !c.started {
+		c.started = true // prevent a later Start
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	select {
+	case <-c.done:
+		return // already closed
+	default:
+	}
+	close(c.done)
+	c.actors.Wait()
+}
+
+// Metrics returns a snapshot of the counters. Only stable at quiescence.
+func (c *Concurrent) Metrics() Metrics {
+	return Metrics{
+		SubscribeMsgs:      int(c.subscribeMsgs.Load()),
+		UnsubscribeMsgs:    int(c.unsubscribeMsgs.Load()),
+		EventMsgs:          int(c.eventMsgs.Load()),
+		Deliveries:         int(c.deliveries.Load()),
+		SuppressedForwards: int(c.suppressed.Load()),
+		DuplicateForwards:  int(c.duplicates.Load()),
+		ProtocolErrors:     int(c.protocolErrors.Load()),
+	}
+}
+
+// TableRows reports the total routing-table rows. Only stable at
+// quiescence.
+func (c *Concurrent) TableRows() int { return c.net.TableRows() }
+
+// NumBrokers returns the overlay size.
+func (c *Concurrent) NumBrokers() int { return c.net.NumBrokers() }

@@ -1,0 +1,252 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/subscription"
+)
+
+// runConcurrentPhased executes the workload on a Concurrent network in
+// three quiesced phases (subscribes, unsubscribes, publishes) so the
+// expected deliveries are well defined despite concurrent processing.
+func runConcurrentPhased(t *testing.T, cfg Config, topo Topology, ops []workloadOp, nClients int) ([][]subscription.Event, Metrics) {
+	t.Helper()
+	c, err := NewConcurrent(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		cl, err := c.AttachClient(i % c.NumBrokers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = cl
+	}
+	c.Start()
+	// Phase 1: all subscribes, concurrently from several goroutines.
+	var wg sync.WaitGroup
+	for _, op := range ops {
+		if op.kind != 0 {
+			continue
+		}
+		op := op
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Subscribe(clients[op.client].ID, op.sub); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	c.Flush()
+	// Phase 2: all unsubscribes.
+	for _, op := range ops {
+		if op.kind != 1 {
+			continue
+		}
+		if err := c.Unsubscribe(clients[op.client].ID, op.sub); err != nil {
+			t.Error(err)
+		}
+	}
+	c.Flush()
+	// Phase 3: all publishes.
+	for _, op := range ops {
+		if op.kind != 2 {
+			continue
+		}
+		if err := c.Publish(clients[op.client].ID, op.event); err != nil {
+			t.Error(err)
+		}
+	}
+	c.Flush()
+
+	out := make([][]subscription.Event, nClients)
+	for i, cl := range clients {
+		out[i] = cl.Received
+	}
+	return out, c.Metrics()
+}
+
+// phasedOracle computes expected deliveries for the phased execution:
+// every publish sees the post-phase-2 subscription state.
+func phasedOracle(ops []workloadOp, nClients int) [][]subscription.Event {
+	live := make(map[int][]*subscription.Subscription)
+	for _, op := range ops {
+		if op.kind == 0 {
+			live[op.client] = append(live[op.client], op.sub)
+		}
+	}
+	for _, op := range ops {
+		if op.kind != 1 {
+			continue
+		}
+		for i, s := range live[op.client] {
+			if s.Equal(op.sub) {
+				live[op.client] = append(live[op.client][:i], live[op.client][i+1:]...)
+				break
+			}
+		}
+	}
+	out := make([][]subscription.Event, nClients)
+	for _, op := range ops {
+		if op.kind != 2 {
+			continue
+		}
+		for cID := 0; cID < nClients; cID++ {
+			for _, s := range live[cID] {
+				if s.Matches(op.event) {
+					out[cID] = append(out[cID], op.event)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// eventMultiset canonicalizes deliveries for order-insensitive comparison
+// (concurrent interleavings may reorder deliveries of distinct events).
+func eventMultiset(evs []subscription.Event) string {
+	strs := make([]string, len(evs))
+	for i, e := range evs {
+		strs[i] = fmt.Sprintf("%v", e)
+	}
+	sort.Strings(strs)
+	return strings.Join(strs, "|")
+}
+
+func TestConcurrentMatchesOracle(t *testing.T) {
+	schema := testSchema()
+	const nClients = 8
+	ops := genWorkload(schema, 321, 150, nClients)
+	want := phasedOracle(ops, nClients)
+
+	for name, cfg := range map[string]Config{
+		"off":    {Schema: schema, Mode: core.ModeOff},
+		"exact":  {Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear},
+		"approx": {Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3, MaxCubes: 2000},
+	} {
+		t.Run(name, func(t *testing.T) {
+			got, m := runConcurrentPhased(t, cfg, BalancedTree(7), ops, nClients)
+			if m.ProtocolErrors != 0 {
+				t.Fatalf("protocol errors: %d", m.ProtocolErrors)
+			}
+			for cID := range want {
+				if len(got[cID]) != len(want[cID]) {
+					t.Fatalf("client %d received %d events, oracle %d", cID, len(got[cID]), len(want[cID]))
+				}
+				// Compare value multisets: raw event payloads, not the
+				// rough letter fingerprint alone.
+				if eventMultiset(got[cID]) != eventMultiset(want[cID]) {
+					t.Fatalf("client %d delivery multiset differs", cID)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentMatchesSequential(t *testing.T) {
+	// Same phased workload through the sequential simulator: final
+	// delivery multisets and table sizes must agree (the state machines
+	// are identical; only scheduling differs).
+	schema := testSchema()
+	const nClients = 6
+	ops := genWorkload(schema, 55, 100, nClients)
+	cfg := Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear}
+
+	// Sequential, phased the same way.
+	seq := MustNetwork(BalancedTree(7), cfg)
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		cl, err := seq.AttachClient(i % seq.NumBrokers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = cl
+	}
+	for _, op := range ops {
+		if op.kind == 0 {
+			if err := seq.Subscribe(clients[op.client].ID, op.sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seq.Drain()
+	for _, op := range ops {
+		if op.kind == 1 {
+			if err := seq.Unsubscribe(clients[op.client].ID, op.sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seq.Drain()
+	for _, op := range ops {
+		if op.kind == 2 {
+			if err := seq.Publish(clients[op.client].ID, op.event); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seq.Drain()
+
+	got, m := runConcurrentPhased(t, cfg, BalancedTree(7), ops, nClients)
+	if m.ProtocolErrors != 0 {
+		t.Fatalf("concurrent protocol errors: %d", m.ProtocolErrors)
+	}
+	for i, cl := range clients {
+		if eventMultiset(got[i]) != eventMultiset(cl.Received) {
+			t.Fatalf("client %d deliveries differ between runtimes", i)
+		}
+	}
+	if m.Deliveries != seq.Metrics().Deliveries {
+		t.Fatalf("deliveries differ: concurrent %d vs sequential %d", m.Deliveries, seq.Metrics().Deliveries)
+	}
+}
+
+func TestConcurrentLifecycle(t *testing.T) {
+	schema := testSchema()
+	c, err := NewConcurrent(Line(3), Config{Schema: schema, Mode: core.ModeOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.AttachClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Start() // idempotent
+	if _, err := c.AttachClient(1); err == nil {
+		t.Error("AttachClient after Start must fail")
+	}
+	if err := c.Subscribe(999, subscription.New(schema)); err == nil {
+		t.Error("unknown client must fail")
+	}
+	if err := c.Unsubscribe(cl.ID, subscription.New(schema)); err == nil {
+		t.Error("unknown subscription must fail")
+	}
+	if err := c.Publish(cl.ID, subscription.Event{1}); err == nil {
+		t.Error("wrong arity must fail")
+	}
+	if err := c.Subscribe(cl.ID, subscription.New(schema)); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	ev, _ := subscription.ParseEvent(schema, "topic = 1, price = 2")
+	if err := c.Publish(cl.ID, ev); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	if len(cl.Received) != 1 {
+		t.Fatalf("received %d, want 1", len(cl.Received))
+	}
+	c.Close()
+	c.Close() // idempotent
+}

@@ -1,0 +1,93 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Topology describes an acyclic broker overlay: n brokers (ids 0..n-1)
+// connected by undirected links forming a tree, the standard deployment
+// shape of Siena-style content-based routing networks.
+type Topology struct {
+	N     int
+	Edges [][2]int
+}
+
+// Line returns a path topology 0-1-2-...-(n-1).
+func Line(n int) Topology {
+	t := Topology{N: n}
+	for i := 0; i+1 < n; i++ {
+		t.Edges = append(t.Edges, [2]int{i, i + 1})
+	}
+	return t
+}
+
+// Star returns a hub-and-spoke topology with broker 0 at the center.
+func Star(n int) Topology {
+	t := Topology{N: n}
+	for i := 1; i < n; i++ {
+		t.Edges = append(t.Edges, [2]int{0, i})
+	}
+	return t
+}
+
+// BalancedTree returns a complete binary tree with n brokers, rooted at 0.
+func BalancedTree(n int) Topology {
+	t := Topology{N: n}
+	for i := 1; i < n; i++ {
+		t.Edges = append(t.Edges, [2]int{(i - 1) / 2, i})
+	}
+	return t
+}
+
+// RandomTree returns a uniformly random recursive tree: broker i attaches
+// to a uniformly chosen earlier broker. Deterministic for a given seed.
+func RandomTree(n int, seed int64) Topology {
+	rng := rand.New(rand.NewSource(seed))
+	t := Topology{N: n}
+	for i := 1; i < n; i++ {
+		t.Edges = append(t.Edges, [2]int{rng.Intn(i), i})
+	}
+	return t
+}
+
+// validate checks that the topology is a connected tree over N brokers.
+func (t Topology) validate() error {
+	if t.N < 1 {
+		return fmt.Errorf("broker: topology needs at least one broker")
+	}
+	if len(t.Edges) != t.N-1 {
+		return fmt.Errorf("broker: tree over %d brokers needs %d edges, got %d", t.N, t.N-1, len(t.Edges))
+	}
+	adj := make([][]int, t.N)
+	for _, e := range t.Edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= t.N || b < 0 || b >= t.N {
+			return fmt.Errorf("broker: edge %v out of range", e)
+		}
+		if a == b {
+			return fmt.Errorf("broker: self-loop at %d", a)
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	seen := make([]bool, t.N)
+	stack := []int{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	if count != t.N {
+		return fmt.Errorf("broker: topology is disconnected (%d of %d reachable)", count, t.N)
+	}
+	return nil
+}

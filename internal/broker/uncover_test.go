@@ -1,0 +1,128 @@
+package broker
+
+import (
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/subscription"
+)
+
+// TestMultiHopUncover exercises the uncover cascade across several hops: a
+// wide subscription suppresses a narrow one at an intermediate broker;
+// withdrawing the wide one must re-establish the narrow subscription's
+// routing state along the whole path.
+func TestMultiHopUncover(t *testing.T) {
+	schema := testSchema()
+	n := MustNetwork(Line(4), Config{Schema: schema, Mode: core.ModeExact})
+	wideClient, _ := n.AttachClient(0)
+	narrowClient, _ := n.AttachClient(1)
+	pub, _ := n.AttachClient(3)
+
+	wide := subscription.MustParse(schema, "price <= 200")
+	narrow := subscription.MustParse(schema, "price in [10,20]")
+
+	if err := n.Subscribe(wideClient.ID, wide); err != nil {
+		t.Fatal(err)
+	}
+	n.Drain()
+	if err := n.Subscribe(narrowClient.ID, narrow); err != nil {
+		t.Fatal(err)
+	}
+	n.Drain()
+	// narrow is suppressed at broker 1 toward broker 2 (wide already
+	// forwarded there) but forwarded toward broker 0 (wide arrived from 0,
+	// so nothing covering was ever *sent* toward 0).
+	if got := n.Metrics().SuppressedForwards; got != 1 {
+		t.Fatalf("suppressed = %d, want 1", got)
+	}
+
+	// Withdraw the wide subscription; the retraction travels 0->1->2->3
+	// and each hop re-forwards the narrow subscription.
+	if err := n.Unsubscribe(wideClient.ID, wide); err != nil {
+		t.Fatal(err)
+	}
+	n.Drain()
+
+	inRange, _ := subscription.ParseEvent(schema, "topic = 0, price = 15")
+	outRange, _ := subscription.ParseEvent(schema, "topic = 0, price = 100")
+	if err := n.Publish(pub.ID, inRange); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Publish(pub.ID, outRange); err != nil {
+		t.Fatal(err)
+	}
+	n.Drain()
+
+	if len(narrowClient.Received) != 1 {
+		t.Fatalf("narrow client received %d events, want exactly the in-range one", len(narrowClient.Received))
+	}
+	if len(wideClient.Received) != 0 {
+		t.Fatal("unsubscribed wide client must receive nothing")
+	}
+	if m := n.Metrics(); m.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors: %d", m.ProtocolErrors)
+	}
+}
+
+// TestUncoverChainOfCovers checks the re-forward scan when the removed
+// cover was itself covering several subscriptions at different widths.
+func TestUncoverChainOfCovers(t *testing.T) {
+	schema := testSchema()
+	n := MustNetwork(Line(3), Config{Schema: schema, Mode: core.ModeExact})
+	c, _ := n.AttachClient(0)
+	pub, _ := n.AttachClient(2)
+
+	widest := subscription.MustParse(schema, "price <= 250")
+	mid := subscription.MustParse(schema, "price <= 100")
+	narrow := subscription.MustParse(schema, "price in [5,10]")
+	for _, s := range []*subscription.Subscription{widest, mid, narrow} {
+		if err := n.Subscribe(c.ID, s); err != nil {
+			t.Fatal(err)
+		}
+		n.Drain()
+	}
+	// Only the widest was forwarded.
+	if got := n.Metrics().SubscribeMsgs; got != 2 {
+		t.Fatalf("forwarded %d msgs, want 2 (widest down 2 links)", got)
+	}
+
+	if err := n.Unsubscribe(c.ID, widest); err != nil {
+		t.Fatal(err)
+	}
+	n.Drain()
+
+	// mid must now be forwarded; narrow stays suppressed (covered by mid).
+	ev60, _ := subscription.ParseEvent(schema, "topic = 1, price = 60")
+	ev7, _ := subscription.ParseEvent(schema, "topic = 1, price = 7")
+	ev200, _ := subscription.ParseEvent(schema, "topic = 1, price = 200")
+	for _, ev := range []subscription.Event{ev60, ev7, ev200} {
+		if err := n.Publish(pub.ID, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Drain()
+	// c holds mid and narrow: expects ev60 (mid) and ev7 (both), not ev200.
+	if len(c.Received) != 2 {
+		t.Fatalf("received %d events, want 2", len(c.Received))
+	}
+	if m := n.Metrics(); m.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors: %d", m.ProtocolErrors)
+	}
+}
+
+// TestApproxUncoverSafety runs subscription withdrawal under approximate
+// covering: even when the approximate detector misses covers, the uncover
+// path must keep delivery intact.
+func TestApproxUncoverSafety(t *testing.T) {
+	schema := testSchema()
+	ops := genWorkload(schema, 17, 150, 6)
+	want := oracleDeliveries(ops, 6)
+	got := runWorkload(t, Config{
+		Schema: schema, Mode: core.ModeApprox, Epsilon: 0.2, MaxCubes: 2000,
+	}, Line(5), ops, 6)
+	for c := range want {
+		if len(got[c]) != len(want[c]) {
+			t.Fatalf("client %d: %d events vs oracle %d", c, len(got[c]), len(want[c]))
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package core implements the paper's primary contribution: covering
+// detection among content-based subscriptions, exact or ε-approximate,
+// backed by the space-filling-curve point-dominance index of Section 5.
+//
+// A Detector holds a set of subscriptions. Given a new subscription s, it
+// reports whether some held subscription covers s (N(cover) ⊇ N(s)), by
+// transforming subscriptions to 2β-dimensional points (Edelsbrunner–
+// Overmars) and running a point dominance query. In approximate mode the
+// search inspects at least a (1−ε) fraction of the covering region's
+// volume: it can miss a cover (routers then forward a redundant
+// subscription — harmless), but it never invents one (suppression is
+// always justified), which is exactly the asymmetry that makes approximate
+// covering safe in publish/subscribe routing.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sfccover/internal/dominance"
+	"sfccover/internal/subscription"
+)
+
+// Mode selects how hard the detector searches for covers.
+type Mode int
+
+const (
+	// ModeOff disables covering detection: FindCover always misses. This
+	// is the flooding baseline.
+	ModeOff Mode = iota
+	// ModeExact searches exhaustively; a cover is found whenever one exists.
+	ModeExact
+	// ModeApprox runs the ε-approximate search of the paper.
+	ModeApprox
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeExact:
+		return "exact"
+	case ModeApprox:
+		return "approx"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Strategy selects the search backend for ModeExact.
+type Strategy string
+
+const (
+	// StrategySFC uses the space-filling-curve index (exhaustive run
+	// enumeration in exact mode; the paper's Section 5 algorithm in
+	// approximate mode).
+	StrategySFC Strategy = "sfc"
+	// StrategyLinear scans all subscriptions (exact only).
+	StrategyLinear Strategy = "linear"
+	// StrategyKDTree uses a k-d tree with pruning (exact only).
+	StrategyKDTree Strategy = "kdtree"
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Schema is the pub/sub attribute schema (required).
+	Schema *subscription.Schema
+	// Mode defaults to ModeExact.
+	Mode Mode
+	// Epsilon is the approximation parameter for ModeApprox (0 < ε < 1).
+	Epsilon float64
+	// Strategy defaults to StrategySFC. ModeApprox requires StrategySFC.
+	Strategy Strategy
+	// Curve, Array and Seed configure the SFC index; see dominance.Config.
+	Curve string
+	Array string
+	Seed  int64
+	// MaxCubes caps the probes a single SFC query may issue. Zero selects
+	// DefaultMaxCubes; UnlimitedCubes (-1) removes the cap entirely.
+	//
+	// A cap is the pragmatic answer to the paper's aspect-ratio caveat:
+	// subscriptions with equality or one-sided constraints yield query
+	// regions with unit-length sides, whose greedy partitions degenerate
+	// to astronomically many small cubes (the 2^(α(d−1)) factor in
+	// Theorem 3.1). Capping turns those queries into coarser approximate
+	// searches — covers can be missed, which only costs redundant
+	// forwarding, never correctness.
+	MaxCubes int
+	// TrackCovered additionally maintains a mirrored index enabling
+	// FindCovered — the reverse question "which stored subscription does s
+	// cover?" — at the cost of a second index insert/delete per
+	// subscription. Dominance in mirrored coordinates (max − x per axis)
+	// is exactly reverse covering, so the same ε-approximate machinery
+	// answers it. Routers use this at unsubscription time to find
+	// subscriptions that the removed one had been covering.
+	TrackCovered bool
+}
+
+const (
+	// DefaultMaxCubes is the per-query probe budget used when Config
+	// leaves MaxCubes zero (~1M probes, roughly hundreds of milliseconds
+	// worst case).
+	DefaultMaxCubes = 1 << 20
+	// UnlimitedCubes disables the per-query probe budget.
+	UnlimitedCubes = -1
+)
+
+// Totals aggregates query-cost counters across a detector's lifetime, in
+// the cost units of the paper's analysis.
+type Totals struct {
+	// Queries is the number of FindCover searches issued.
+	Queries int
+	// Hits is how many of them found a cover.
+	Hits int
+	// RunsProbed sums the SFC range probes across all queries (zero for
+	// linear/kd-tree strategies).
+	RunsProbed int
+	// CubesGenerated sums the standard cubes generated across all queries.
+	CubesGenerated int
+}
+
+// Detector detects covering relationships among a dynamic set of
+// subscriptions. It is safe for concurrent use.
+type Detector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sfc      *dominance.Index   // non-nil iff Strategy == StrategySFC
+	mirror   *dominance.Index   // non-nil iff TrackCovered (mirrored points)
+	exact    dominance.Searcher // backend for exact queries
+	subs     map[uint64]*subscription.Subscription
+	nextID   uint64
+	totals   Totals
+	maxCoord uint32
+}
+
+// New builds a Detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("core: config needs a schema")
+	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = StrategySFC
+	}
+	if cfg.Mode == ModeApprox {
+		if cfg.Strategy != StrategySFC {
+			return nil, fmt.Errorf("core: approximate mode requires the SFC strategy, got %q", cfg.Strategy)
+		}
+		if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+			return nil, fmt.Errorf("core: approximate mode needs 0 < epsilon < 1, got %v", cfg.Epsilon)
+		}
+	}
+	switch {
+	case cfg.MaxCubes == 0:
+		cfg.MaxCubes = DefaultMaxCubes
+	case cfg.MaxCubes == UnlimitedCubes:
+		cfg.MaxCubes = 0 // dominance.Config uses 0 for "no cap"
+	case cfg.MaxCubes < 0:
+		return nil, fmt.Errorf("core: invalid MaxCubes %d", cfg.MaxCubes)
+	}
+	d := &Detector{
+		cfg:      cfg,
+		subs:     make(map[uint64]*subscription.Subscription),
+		nextID:   1,
+		maxCoord: cfg.Schema.MaxValue(),
+	}
+	dims, bits := cfg.Schema.Dims(), cfg.Schema.Bits()
+	switch cfg.Strategy {
+	case StrategySFC:
+		idx, err := dominance.NewIndex(dominance.Config{
+			Dims: dims, Bits: bits,
+			Curve: cfg.Curve, Array: cfg.Array, Seed: cfg.Seed, MaxCubes: cfg.MaxCubes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		d.sfc = idx
+		d.exact = idx
+	case StrategyLinear:
+		d.exact = dominance.NewLinear()
+	case StrategyKDTree:
+		d.exact = dominance.NewKDTree(dims)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q", cfg.Strategy)
+	}
+	if cfg.TrackCovered {
+		if cfg.Strategy != StrategySFC {
+			return nil, fmt.Errorf("core: TrackCovered requires the SFC strategy, got %q", cfg.Strategy)
+		}
+		idx, err := dominance.NewIndex(dominance.Config{
+			Dims: dims, Bits: bits,
+			Curve: cfg.Curve, Array: cfg.Array, Seed: cfg.Seed + 1, MaxCubes: cfg.MaxCubes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		d.mirror = idx
+	}
+	return d, nil
+}
+
+// mirrorPoint reflects a transformed subscription point through the
+// universe's center: dominance among mirrored points is reverse covering.
+func (d *Detector) mirrorPoint(p []uint32) []uint32 {
+	out := make([]uint32, len(p))
+	for i, v := range p {
+		out[i] = d.maxCoord - v
+	}
+	return out
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Detector {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Mode returns the configured detection mode.
+func (d *Detector) Mode() Mode { return d.cfg.Mode }
+
+// Len returns the number of held subscriptions.
+func (d *Detector) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.subs)
+}
+
+// Insert stores the subscription unconditionally and returns its id.
+func (d *Detector) Insert(s *subscription.Subscription) (uint64, error) {
+	if s.Schema() != d.cfg.Schema {
+		return 0, fmt.Errorf("core: subscription schema differs from detector schema")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextID
+	d.nextID++
+	d.subs[id] = s.Clone()
+	d.exact.Insert(s.Point(), id)
+	if d.mirror != nil {
+		d.mirror.Insert(d.mirrorPoint(s.Point()), id)
+	}
+	return id, nil
+}
+
+// Remove deletes a previously inserted subscription by id.
+func (d *Detector) Remove(id uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.subs[id]
+	if !ok {
+		return fmt.Errorf("core: no subscription with id %d", id)
+	}
+	delete(d.subs, id)
+	if !d.exact.Delete(s.Point(), id) {
+		return fmt.Errorf("core: index out of sync for id %d", id)
+	}
+	if d.mirror != nil && !d.mirror.Delete(d.mirrorPoint(s.Point()), id) {
+		return fmt.Errorf("core: mirror index out of sync for id %d", id)
+	}
+	return nil
+}
+
+// Subscription returns the held subscription with the given id.
+func (d *Detector) Subscription(id uint64) (*subscription.Subscription, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.subs[id]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+// FindCover searches the held set for a subscription covering s, per the
+// configured mode. The returned stats are zero-valued for non-SFC
+// strategies and for ModeOff.
+func (d *Detector) FindCover(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error) {
+	if s.Schema() != d.cfg.Schema {
+		return 0, false, stats, fmt.Errorf("core: subscription schema differs from detector schema")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.cfg.Mode {
+	case ModeOff:
+		return 0, false, stats, nil
+	case ModeApprox:
+		id, found, stats, err = d.sfc.Query(s.Point(), d.cfg.Epsilon)
+	default: // ModeExact
+		if d.sfc != nil {
+			id, found, stats, err = d.sfc.Query(s.Point(), 0)
+		} else {
+			id, found = d.exact.QueryDominating(s.Point())
+		}
+	}
+	if err != nil {
+		return 0, false, stats, err
+	}
+	d.totals.Queries++
+	if found {
+		d.totals.Hits++
+	}
+	d.totals.RunsProbed += stats.RunsProbed
+	d.totals.CubesGenerated += stats.CubesGenerated
+	return id, found, stats, nil
+}
+
+// FindCovered searches the held set for a subscription that s covers — the
+// reverse of FindCover. In ModeExact it scans the held set directly (exact,
+// O(n), always available). In ModeApprox it runs the ε-approximate search
+// on a mirrored SFC index — dominance among center-reflected points is
+// reverse covering — which requires Config.TrackCovered; the usual
+// guarantee applies: a reported subscription is genuinely covered, misses
+// are possible.
+func (d *Detector) FindCovered(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error) {
+	if s.Schema() != d.cfg.Schema {
+		return 0, false, stats, fmt.Errorf("core: subscription schema differs from detector schema")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.cfg.Mode {
+	case ModeOff:
+		return 0, false, stats, nil
+	case ModeExact:
+		for candID, cand := range d.subs {
+			if s.Covers(cand) {
+				d.totals.Queries++
+				d.totals.Hits++
+				return candID, true, stats, nil
+			}
+		}
+		d.totals.Queries++
+		return 0, false, stats, nil
+	}
+	// ModeApprox.
+	if d.mirror == nil {
+		return 0, false, stats, fmt.Errorf("core: approximate FindCovered requires Config.TrackCovered")
+	}
+	id, found, stats, err = d.mirror.Query(d.mirrorPoint(s.Point()), d.cfg.Epsilon)
+	if err != nil {
+		return 0, false, stats, err
+	}
+	d.totals.Queries++
+	if found {
+		d.totals.Hits++
+	}
+	d.totals.RunsProbed += stats.RunsProbed
+	d.totals.CubesGenerated += stats.CubesGenerated
+	return id, found, stats, nil
+}
+
+// Add is the router's arrival path: search for a cover of s and insert s
+// either way. covered reports whether a cover was found, coveredBy its id.
+func (d *Detector) Add(s *subscription.Subscription) (id uint64, covered bool, coveredBy uint64, err error) {
+	coveredBy, covered, _, err = d.FindCover(s)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	id, err = d.Insert(s)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	return id, covered, coveredBy, nil
+}
+
+// Totals returns a snapshot of the aggregate query counters.
+func (d *Detector) Totals() Totals {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.totals
+}
+
+// CoverDegree counts the stored subscriptions that cover s. ModeExact
+// counts exactly (a direct scan); ModeApprox enumerates the searched
+// (1−ε)-volume region of the SFC index, so the result is a guaranteed
+// undercount with no false members; ModeOff reports zero.
+func (d *Detector) CoverDegree(s *subscription.Subscription) (int, error) {
+	if s.Schema() != d.cfg.Schema {
+		return 0, fmt.Errorf("core: subscription schema differs from detector schema")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.cfg.Mode {
+	case ModeOff:
+		return 0, nil
+	case ModeExact:
+		count := 0
+		for _, cand := range d.subs {
+			if cand.Covers(s) {
+				count++
+			}
+		}
+		return count, nil
+	}
+	count, stats, err := d.sfc.CountDominating(s.Point(), d.cfg.Epsilon)
+	if err != nil {
+		return 0, err
+	}
+	d.totals.Queries++
+	if count > 0 {
+		d.totals.Hits++
+	}
+	d.totals.RunsProbed += stats.RunsProbed
+	d.totals.CubesGenerated += stats.CubesGenerated
+	return count, nil
+}

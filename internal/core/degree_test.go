@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfccover/internal/subscription"
+)
+
+func TestCoverDegreeExactMatchesOracle(t *testing.T) {
+	schema := testSchema(t)
+	d := MustNew(Config{Schema: schema, Mode: ModeExact})
+	rng := rand.New(rand.NewSource(7))
+	var stored []*subscription.Subscription
+	for i := 0; i < 60; i++ {
+		s := subscription.New(schema)
+		for _, attr := range schema.Attrs() {
+			lo := uint32(rng.Intn(200))
+			hi := lo + uint32(rng.Intn(56))
+			if err := s.SetRange(attr, lo, hi); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := d.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+		stored = append(stored, s)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := subscription.New(schema)
+		lo := uint32(rng.Intn(150))
+		if err := q.SetRange("x", lo, lo+20); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.SetRange("y", lo, lo+20); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, s := range stored {
+			if s.Covers(q) {
+				want++
+			}
+		}
+		got, err := d.CoverDegree(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("CoverDegree=%d, oracle=%d", got, want)
+		}
+	}
+}
+
+func TestCoverDegreeApproxNeverOvercounts(t *testing.T) {
+	schema := testSchema(t)
+	approx := MustNew(Config{Schema: schema, Mode: ModeApprox, Epsilon: 0.25, MaxCubes: 20000})
+	exact := MustNew(Config{Schema: schema, Mode: ModeExact})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 60; i++ {
+		s := subscription.New(schema)
+		for _, attr := range schema.Attrs() {
+			lo := uint32(rng.Intn(150))
+			hi := lo + 40 + uint32(rng.Intn(60))
+			if err := s.SetRange(attr, lo, hi); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := approx.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exact.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := subscription.New(schema)
+		lo := uint32(30 + rng.Intn(100))
+		if err := q.SetRange("x", lo, lo+25); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.SetRange("y", lo, lo+25); err != nil {
+			t.Fatal(err)
+		}
+		approxN, err := approx.CoverDegree(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactN, err := exact.CoverDegree(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approxN > exactN {
+			t.Fatalf("approx degree %d exceeds exact %d", approxN, exactN)
+		}
+	}
+}
+
+func TestCoverDegreeModeOffAndSchema(t *testing.T) {
+	schema := testSchema(t)
+	d := MustNew(Config{Schema: schema, Mode: ModeOff})
+	if _, err := d.Insert(subscription.New(schema)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.CoverDegree(subscription.MustParse(schema, "x == 1"))
+	if err != nil || n != 0 {
+		t.Fatalf("ModeOff degree = %d, %v", n, err)
+	}
+	other := subscription.MustSchema(8, "x", "y")
+	if _, err := d.CoverDegree(subscription.New(other)); err == nil {
+		t.Error("foreign schema must fail")
+	}
+}

@@ -1,0 +1,105 @@
+package cubes
+
+import (
+	"fmt"
+
+	"sfccover/internal/geom"
+)
+
+// BudgetResult is the outcome of a budgeted decomposition.
+type BudgetResult struct {
+	// Cubes is the emitted prefix of the greedy partition in descending
+	// side order (the probe order of the Section 5 algorithm).
+	Cubes []Cube
+	// Volume is the total volume of the emitted cubes.
+	Volume float64
+	// Complete reports whether the emitted cubes are the entire partition
+	// of the rectangle (no stopping condition fired).
+	Complete bool
+	// LowestLevel is the level (log2 side) of the smallest cubes emitted.
+	// Zero-valued when no cubes were emitted.
+	LowestLevel int
+	// LowestLevelComplete reports whether every partition cube at
+	// LowestLevel was emitted. The volume target only stops at level
+	// boundaries, so it always leaves this true; only the hard maxCubes
+	// cap can interrupt a level midway.
+	LowestLevelComplete bool
+}
+
+// DecomposeBudget produces the greedy standard-cube partition of r in
+// descending cube-size order — largest cubes first, exactly the order the
+// Section 5 search probes — stopping early once the accumulated volume
+// reaches targetVolume (<= 0 means no volume target) or once maxCubes cubes
+// have been emitted (0 means unlimited).
+//
+// It runs a breadth-first refinement: the frontier at each level holds the
+// standard cubes of that size that straddle r's boundary; contained cubes
+// are emitted, disjoint ones dropped, straddling ones split. Because all
+// cubes of side 2^(j+1) are emitted before any of side 2^j, the emitted
+// prefix is always the maximum-volume subset of the partition for its
+// cardinality, which is what makes early stopping sound: the skipped
+// suffix has the smallest possible volume.
+//
+// The volume target is only checked at level boundaries, so when it fires
+// the emitted set is all partition cubes of side >= the stop level — for an
+// extremal rectangle R(ℓ) that is exactly the extremal rectangle R(S_j(ℓ))
+// of Lemma 3.4, which gives the searched region a clean closed form. The
+// maxCubes cap, in contrast, is a hard resource limit and may cut a level
+// midway (reported via LowestLevelComplete).
+func DecomposeBudget(r geom.Rect, k int, targetVolume float64, maxCubes int) (BudgetResult, error) {
+	d := r.Dims()
+	if k < 1 || k > 32 {
+		return BudgetResult{}, fmt.Errorf("cubes: universe bits k=%d out of range [1,32]", k)
+	}
+	max := uint64(1) << uint(k)
+	for i := 0; i < d; i++ {
+		if uint64(r.Hi[i]) >= max {
+			return BudgetResult{}, fmt.Errorf("cubes: rectangle exceeds universe on dimension %d", i)
+		}
+	}
+
+	res := BudgetResult{LowestLevelComplete: true}
+	frontier := []Cube{{Corner: make([]uint32, d), Side: max}}
+	level := k
+	for side := max; side >= 1 && len(frontier) > 0; side /= 2 {
+		var next []Cube
+		emittedThisLevel := false
+		for _, cube := range frontier {
+			cr := cube.Rect()
+			if !r.Intersects(cr) {
+				continue
+			}
+			if r.ContainsRect(cr) {
+				res.Cubes = append(res.Cubes, cube)
+				res.Volume += cube.Volume()
+				if !emittedThisLevel {
+					emittedThisLevel = true
+					res.LowestLevel = level
+				}
+				if maxCubes > 0 && len(res.Cubes) >= maxCubes {
+					res.LowestLevelComplete = false
+					return res, nil
+				}
+				continue
+			}
+			half := cube.Side / 2
+			for mask := 0; mask < 1<<uint(d); mask++ {
+				child := make([]uint32, d)
+				for i := 0; i < d; i++ {
+					child[i] = cube.Corner[i]
+					if mask>>uint(i)&1 == 1 {
+						child[i] = uint32(uint64(cube.Corner[i]) + half)
+					}
+				}
+				next = append(next, Cube{Corner: child, Side: half})
+			}
+		}
+		if targetVolume > 0 && res.Volume >= targetVolume {
+			return res, nil
+		}
+		frontier = next
+		level--
+	}
+	res.Complete = true
+	return res, nil
+}

@@ -1,0 +1,99 @@
+package cubes
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfccover/internal/geom"
+)
+
+func TestDecomposeBudgetUnlimitedMatchesDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		d := 2 + rng.Intn(2)
+		k := 4
+		if d == 3 {
+			k = 3
+		}
+		n := 1 << uint(k)
+		lo := make([]uint32, d)
+		hi := make([]uint32, d)
+		for i := 0; i < d; i++ {
+			a, b := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		}
+		r := geom.MustRect(lo, hi)
+		want, err := Decompose(r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecomposeBudget(r, k, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Complete {
+			t.Fatal("unlimited budget must complete")
+		}
+		if len(got.Cubes) != len(want) {
+			t.Fatalf("budget found %d cubes, greedy %d", len(got.Cubes), len(want))
+		}
+		if got.Volume != r.Volume() {
+			t.Fatalf("volume %v != rect volume %v", got.Volume, r.Volume())
+		}
+		// Descending side order.
+		for i := 1; i < len(got.Cubes); i++ {
+			if got.Cubes[i].Side > got.Cubes[i-1].Side {
+				t.Fatalf("cubes not in descending side order at %d: %v then %v",
+					i, got.Cubes[i-1], got.Cubes[i])
+			}
+		}
+	}
+}
+
+func TestDecomposeBudgetVolumeTarget(t *testing.T) {
+	// 257x257 region: the 256-cube alone covers >99%, so a 0.99 volume
+	// target must stop after very few cubes.
+	e := geom.MustExtremal([]uint64{257, 257}, 10)
+	target := 0.99 * e.Volume()
+	res, err := DecomposeBudget(e.Rect(), 10, target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("volume target should stop early")
+	}
+	if res.Volume < target {
+		t.Fatalf("stopped below target: %v < %v", res.Volume, target)
+	}
+	if len(res.Cubes) > 2 {
+		t.Fatalf("needed %d cubes to reach 99%%, expected <= 2", len(res.Cubes))
+	}
+}
+
+func TestDecomposeBudgetMaxCubes(t *testing.T) {
+	e := geom.MustExtremal([]uint64{257, 257}, 10)
+	res, err := DecomposeBudget(e.Rect(), 10, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete || len(res.Cubes) != 10 {
+		t.Fatalf("maxCubes: complete=%v n=%d", res.Complete, len(res.Cubes))
+	}
+	// The emitted prefix must be the largest cubes of the partition.
+	if res.Cubes[0].Side != 256 {
+		t.Fatalf("first cube side = %d, want 256", res.Cubes[0].Side)
+	}
+}
+
+func TestDecomposeBudgetValidation(t *testing.T) {
+	r := geom.MustRect([]uint32{0}, []uint32{31})
+	if _, err := DecomposeBudget(r, 4, 0, 0); err == nil {
+		t.Error("rect beyond universe must fail")
+	}
+	if _, err := DecomposeBudget(r, 0, 0, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+}

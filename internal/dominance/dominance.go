@@ -1,0 +1,262 @@
+// Package dominance implements the paper's two query problems over a set
+// of points in d-dimensional space:
+//
+//   - Problem 1 (Point Dominance): report any indexed point inside the
+//     extremal region [x_1,∞] × ... × [x_d,∞].
+//   - Problem 2 (ε-Approximate Point Dominance): search a subset of that
+//     region covering at least a (1−ε) fraction of its volume and report a
+//     point if the searched part contains one.
+//
+// The SFC-based Index follows Section 5: points live in an SFC array
+// sorted by curve key; a query greedily partitions (a truncation of) the
+// query region into standard cubes, largest first, and probes each cube's
+// key range with one ordered-search until a point is found or the target
+// volume has been covered.
+//
+// Linear and KDTree are the exact baselines used for correctness oracles
+// and for the scaling experiments.
+package dominance
+
+import (
+	"fmt"
+
+	"sfccover/internal/bits"
+	"sfccover/internal/cubes"
+	"sfccover/internal/geom"
+	"sfccover/internal/sfc"
+	"sfccover/internal/sfcarray"
+)
+
+// Searcher is the interface shared by the SFC index and the baselines.
+type Searcher interface {
+	// Insert indexes point p under the given id.
+	Insert(p []uint32, id uint64)
+	// Delete removes one (p, id) entry, reporting whether it existed.
+	Delete(p []uint32, id uint64) bool
+	// QueryDominating reports any indexed point that dominates q
+	// (exhaustive semantics).
+	QueryDominating(q []uint32) (id uint64, ok bool)
+	// Len returns the number of indexed points.
+	Len() int
+}
+
+// Stats describes the work one SFC query performed, in the units of the
+// paper's cost model.
+type Stats struct {
+	// M is the truncation parameter used (0 for exhaustive queries).
+	M int
+	// CubesGenerated is how many standard cubes the decomposition emitted.
+	CubesGenerated int
+	// RunsProbed is the number of ordered-structure range probes issued —
+	// the paper's unit of query cost.
+	RunsProbed int
+	// VolumeFraction is the fraction of the query region's volume that the
+	// generated cubes cover (>= 1-ε for approximate queries that ran to
+	// their target).
+	VolumeFraction float64
+	// AspectRatio is α = b(ℓ_max) − b(ℓ_min) of the query region.
+	AspectRatio int
+	// Found reports whether a dominating point was returned.
+	Found bool
+	// SearchedLen gives the side lengths of the extremal rectangle that was
+	// fully searched before the search ended: every indexed point inside
+	// R(SearchedLen) is guaranteed to have been considered. It is nil when
+	// the search ended mid-level (success, or the MaxCubes cap) before
+	// completing its first level. For exhaustive queries that find nothing
+	// it is the whole query region.
+	SearchedLen []uint64
+}
+
+// Config parameterizes an SFC dominance index.
+type Config struct {
+	// Dims is d, the dimensionality of indexed points.
+	Dims int
+	// Bits is k; coordinates range over [0, 2^k−1].
+	Bits int
+	// Curve selects the space filling curve: "z" (default), "hilbert" or
+	// "gray".
+	Curve string
+	// Array selects the ordered structure: "treap" (default) or "skiplist".
+	Array string
+	// Seed drives the ordered structure's internal randomness.
+	Seed int64
+	// MaxCubes caps the cubes generated per query (0 = unlimited). When
+	// the cap fires the search still probes the largest-volume prefix of
+	// the partition, so it degrades to a coarser approximation; Stats
+	// reports the volume actually covered.
+	MaxCubes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Curve == "" {
+		c.Curve = "z"
+	}
+	if c.Array == "" {
+		c.Array = "treap"
+	}
+	return c
+}
+
+// Index is the SFC-based dominance index of Section 5.
+type Index struct {
+	cfg   Config
+	curve sfc.Curve
+	arr   sfcarray.Index
+}
+
+// NewIndex builds an SFC dominance index.
+func NewIndex(cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	curve, err := sfc.New(cfg.Curve, sfc.Config{Dims: cfg.Dims, Bits: cfg.Bits})
+	if err != nil {
+		return nil, fmt.Errorf("dominance: %w", err)
+	}
+	arr, err := sfcarray.New(cfg.Array, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dominance: %w", err)
+	}
+	return &Index{cfg: cfg, curve: curve, arr: arr}, nil
+}
+
+// MustIndex is NewIndex for known-good configurations.
+func MustIndex(cfg Config) *Index {
+	idx, err := NewIndex(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+var _ Searcher = (*Index)(nil)
+
+// Len implements Searcher.
+func (x *Index) Len() int { return x.arr.Len() }
+
+// Insert implements Searcher.
+func (x *Index) Insert(p []uint32, id uint64) {
+	x.arr.Insert(x.curve.Key(p), id)
+}
+
+// Delete implements Searcher.
+func (x *Index) Delete(p []uint32, id uint64) bool {
+	return x.arr.Delete(x.curve.Key(p), id)
+}
+
+// QueryDominating implements Searcher with exhaustive semantics (ε = 0).
+func (x *Index) QueryDominating(q []uint32) (uint64, bool) {
+	id, ok, _, err := x.Query(q, 0)
+	if err != nil {
+		// Unreachable: ε=0 is always valid and q is in-universe by type.
+		panic(err)
+	}
+	return id, ok
+}
+
+// Query answers a point dominance query at q. eps == 0 requests an
+// exhaustive search (Problem 1); 0 < eps < 1 requests an ε-approximate
+// search (Problem 2) that truncates the query region per Lemma 3.2 and
+// probes cubes largest-first, stopping as soon as a point is found or the
+// searched volume reaches (1−ε) of the query region.
+func (x *Index) Query(q []uint32, eps float64) (uint64, bool, Stats, error) {
+	var stats Stats
+	if len(q) != x.cfg.Dims {
+		return 0, false, stats, fmt.Errorf("dominance: query has %d dims, index has %d", len(q), x.cfg.Dims)
+	}
+	if eps < 0 || eps >= 1 {
+		return 0, false, stats, fmt.Errorf("dominance: epsilon %v out of range [0,1)", eps)
+	}
+	region := geom.QueryRegion(q, x.cfg.Bits)
+	stats.AspectRatio = region.AspectRatio()
+
+	if eps == 0 {
+		return x.queryExhaustive(region, &stats)
+	}
+	return x.queryApprox(region, eps, &stats)
+}
+
+// queryExhaustive decomposes the whole query region, merges the partition
+// into maximal runs — the probe count is runs(R(ℓ)), the paper's exhaustive
+// cost — and probes every run until a point turns up.
+func (x *Index) queryExhaustive(region geom.Extremal, stats *Stats) (uint64, bool, Stats, error) {
+	partition, err := cubes.Decompose(region.Rect(), x.cfg.Bits)
+	if err != nil {
+		return 0, false, *stats, err
+	}
+	stats.CubesGenerated = len(partition)
+	stats.VolumeFraction = 1
+	stats.SearchedLen = append([]uint64(nil), region.Len...)
+	for _, r := range cubes.Runs(x.curve, partition) {
+		stats.RunsProbed++
+		if id, ok := x.arr.FirstInRange(r.Lo, r.Hi); ok {
+			stats.Found = true
+			return id, true, *stats, nil
+		}
+	}
+	return 0, false, *stats, nil
+}
+
+// queryApprox is the Section 5 algorithm: truncate the region per
+// Lemma 3.2, then enumerate the greedy partition level by level (largest
+// cubes first) with the Appendix-A algorithm, probing each cube's key range
+// as it is produced. The search ends at the first hit, at the level
+// boundary where the searched volume reaches (1−ε) of the query region, or
+// at the MaxCubes cap.
+func (x *Index) queryApprox(region geom.Extremal, eps float64, stats *Stats) (uint64, bool, Stats, error) {
+	fullVol := region.Volume()
+	target, m, err := cubes.TruncateExtremal(region, eps)
+	if err != nil {
+		return 0, false, *stats, err
+	}
+	stats.M = m
+	targetVol := (1 - eps) * fullVol
+
+	var (
+		foundID  uint64
+		searched float64 // volume probed so far
+		capped   bool
+	)
+	for level := x.cfg.Bits; level >= 0; level-- {
+		err := cubes.EnumLevelVisit(target, level, func(corner []uint32, side uint64) bool {
+			stats.CubesGenerated++
+			stats.RunsProbed++
+			cubeVol := 1.0
+			for range corner {
+				cubeVol *= float64(side)
+			}
+			searched += cubeVol
+			r := sfc.CubeRange(x.curve, corner, side)
+			if id, ok := x.arr.FirstInRange(r.Lo, r.Hi); ok {
+				foundID = id
+				stats.Found = true
+				return false
+			}
+			if x.cfg.MaxCubes > 0 && stats.CubesGenerated >= x.cfg.MaxCubes {
+				capped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return 0, false, *stats, err
+		}
+		stats.VolumeFraction = searched / fullVol
+		if stats.Found {
+			return foundID, true, *stats, nil
+		}
+		if capped {
+			if level < x.cfg.Bits {
+				stats.SearchedLen = bits.SVec(target.Len, level+1)
+			}
+			return 0, false, *stats, nil
+		}
+		// Level complete: the searched prefix tiles R(S_level(ℓ'))
+		// (Lemma 3.4). Stop at the boundary once the volume target is met.
+		stats.SearchedLen = bits.SVec(target.Len, level)
+		if searched >= targetVol {
+			return 0, false, *stats, nil
+		}
+	}
+	// Ran through every level: the whole truncated region was searched.
+	stats.SearchedLen = append([]uint64(nil), target.Len...)
+	return 0, false, *stats, nil
+}

@@ -1,0 +1,67 @@
+package dominance
+
+import "sfccover/internal/geom"
+
+// Linear is the brute-force baseline: points in a slice, queries scan all
+// of them. O(n·d) per query, exact. This is what a router without any
+// index effectively does, and the yardstick for the paper's "sublinear in
+// the number of subscriptions" claim.
+type Linear struct {
+	points [][]uint32
+	ids    []uint64
+}
+
+// NewLinear returns an empty linear searcher.
+func NewLinear() *Linear { return &Linear{} }
+
+var _ Searcher = (*Linear)(nil)
+
+// Len implements Searcher.
+func (l *Linear) Len() int { return len(l.ids) }
+
+// Insert implements Searcher.
+func (l *Linear) Insert(p []uint32, id uint64) {
+	l.points = append(l.points, append([]uint32(nil), p...))
+	l.ids = append(l.ids, id)
+}
+
+// Delete implements Searcher.
+func (l *Linear) Delete(p []uint32, id uint64) bool {
+	for i := range l.ids {
+		if l.ids[i] != id {
+			continue
+		}
+		if !equalPoint(l.points[i], p) {
+			continue
+		}
+		last := len(l.ids) - 1
+		l.points[i], l.points[last] = l.points[last], nil
+		l.ids[i] = l.ids[last]
+		l.points = l.points[:last]
+		l.ids = l.ids[:last]
+		return true
+	}
+	return false
+}
+
+// QueryDominating implements Searcher.
+func (l *Linear) QueryDominating(q []uint32) (uint64, bool) {
+	for i, p := range l.points {
+		if geom.Dominates(p, q) {
+			return l.ids[i], true
+		}
+	}
+	return 0, false
+}
+
+func equalPoint(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package dominance
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfccover/internal/geom"
+)
+
+func TestCountDominatingExhaustiveMatchesOracle(t *testing.T) {
+	const d, k = 2, 7
+	idx := MustIndex(Config{Dims: d, Bits: k})
+	rng := rand.New(rand.NewSource(71))
+	pts := randomPoints(rng, 120, d, k)
+	for i, p := range pts {
+		idx.Insert(p, uint64(i))
+	}
+	for trial := 0; trial < 150; trial++ {
+		q := randomPoints(rng, 1, d, k)[0]
+		want := 0
+		for _, p := range pts {
+			if geom.Dominates(p, q) {
+				want++
+			}
+		}
+		got, st, err := idx.CountDominating(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("q=%v: exhaustive count %d, oracle %d", q, got, want)
+		}
+		if (got > 0) != st.Found {
+			t.Fatal("Found flag inconsistent with count")
+		}
+	}
+}
+
+func TestCountDominatingApproxNeverOvercounts(t *testing.T) {
+	const d, k = 3, 6
+	idx := MustIndex(Config{Dims: d, Bits: k})
+	rng := rand.New(rand.NewSource(73))
+	pts := randomPoints(rng, 150, d, k)
+	for i, p := range pts {
+		idx.Insert(p, uint64(i))
+	}
+	for trial := 0; trial < 80; trial++ {
+		q := randomPoints(rng, 1, d, k)[0]
+		exact := 0
+		for _, p := range pts {
+			if geom.Dominates(p, q) {
+				exact++
+			}
+		}
+		for _, eps := range []float64{0.4, 0.1} {
+			got, _, err := idx.CountDominating(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got > exact {
+				t.Fatalf("approximate count %d exceeds exact %d", got, exact)
+			}
+		}
+	}
+}
+
+func TestVisitDominatingIDsAreGenuine(t *testing.T) {
+	const d, k = 2, 8
+	idx := MustIndex(Config{Dims: d, Bits: k})
+	rng := rand.New(rand.NewSource(79))
+	pts := randomPoints(rng, 200, d, k)
+	for i, p := range pts {
+		idx.Insert(p, uint64(i))
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := randomPoints(rng, 1, d, k)[0]
+		seen := make(map[uint64]bool)
+		_, err := idx.VisitDominating(q, 0.2, func(id uint64) bool {
+			if seen[id] {
+				t.Fatalf("id %d visited twice", id)
+			}
+			seen[id] = true
+			if !geom.Dominates(pts[id], q) {
+				t.Fatalf("visited non-dominating point %v for q=%v", pts[id], q)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestVisitDominatingEarlyStop(t *testing.T) {
+	const d, k = 2, 8
+	idx := MustIndex(Config{Dims: d, Bits: k})
+	for i := 0; i < 50; i++ {
+		idx.Insert([]uint32{200 + uint32(i), 200}, uint64(i))
+	}
+	visits := 0
+	_, err := idx.VisitDominating([]uint32{0, 0}, 0, func(uint64) bool {
+		visits++
+		return visits < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits != 5 {
+		t.Fatalf("visited %d, want early stop at 5", visits)
+	}
+}
+
+func TestVisitDominatingValidation(t *testing.T) {
+	idx := MustIndex(Config{Dims: 2, Bits: 4})
+	if _, err := idx.VisitDominating([]uint32{1}, 0, func(uint64) bool { return true }); err == nil {
+		t.Error("wrong dims must fail")
+	}
+	if _, err := idx.VisitDominating([]uint32{1, 1}, 1.5, func(uint64) bool { return true }); err == nil {
+		t.Error("bad eps must fail")
+	}
+}
+
+func TestVisitDominatingRespectsMaxCubes(t *testing.T) {
+	idx := MustIndex(Config{Dims: 2, Bits: 12, MaxCubes: 7})
+	q := []uint32{uint32(1<<12 - 257), uint32(1<<12 - 257)}
+	st, err := idx.VisitDominating(q, 0.001, func(uint64) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CubesGenerated > 7 {
+		t.Fatalf("cap ignored: %d cubes", st.CubesGenerated)
+	}
+}

@@ -1,0 +1,462 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"sfccover/internal/bits"
+	"sfccover/internal/broker"
+	"sfccover/internal/core"
+	"sfccover/internal/cubes"
+	"sfccover/internal/dominance"
+	"sfccover/internal/sfc"
+	"sfccover/internal/sfcarray"
+	"sfccover/internal/stats"
+	"sfccover/internal/subscription"
+	"sfccover/internal/workload"
+)
+
+// runE7 measures covering-detection recall against cover tightness and
+// epsilon — the system-level consequence of the truncated corner: the
+// approximate search skips the part of the dominance region adjacent to
+// the query point, which is exactly where barely-wider covers live.
+func runE7(w io.Writer, quick bool) error {
+	e, _ := ByID("E7")
+	header(w, e)
+	pairsN := 400
+	if quick {
+		pairsN = 120
+	}
+	for _, sc := range []struct {
+		name  string
+		attrs []string
+		bits  int
+		eps   []float64
+		cap   int
+	}{
+		{"beta=1 (d=2)", []string{"price"}, 12, []float64{0.3, 0.1, 0.05, 0.01}, core.UnlimitedCubes},
+		{"beta=2 (d=4)", []string{"price", "volume"}, 10, []float64{0.4, 0.2, 0.1}, 30000},
+	} {
+		schema := subscription.MustSchema(sc.bits, sc.attrs...)
+		n := pairsN
+		if len(sc.attrs) == 2 {
+			n = pairsN / 2
+		}
+		tb := stats.NewTable("slack", "eps", "recall", "mean probes/query", "mean volume frac")
+		for _, slack := range []struct {
+			name string
+			frac float64
+		}{{"tight 1%", 0.01}, {"medium 5%", 0.05}, {"wide 15%", 0.15}} {
+			pairs, err := workload.Covers(workload.CoverSpec{
+				Schema: schema, N: n, SlackFrac: slack.frac, Seed: 71,
+			})
+			if err != nil {
+				return err
+			}
+			for _, eps := range sc.eps {
+				det, err := core.New(core.Config{
+					Schema: schema, Mode: core.ModeApprox, Epsilon: eps, MaxCubes: sc.cap,
+				})
+				if err != nil {
+					return err
+				}
+				for _, p := range pairs {
+					if _, err := det.Insert(p.Parent); err != nil {
+						return err
+					}
+				}
+				found := 0
+				var probes, volFrac float64
+				for _, p := range pairs {
+					_, ok, st, err := det.FindCover(p.Child)
+					if err != nil {
+						return err
+					}
+					if ok {
+						found++
+					}
+					probes += float64(st.RunsProbed)
+					volFrac += float64(st.VolumeFraction)
+				}
+				tb.AddRow(slack.name, eps,
+					float64(found)/float64(len(pairs)),
+					probes/float64(len(pairs)),
+					volFrac/float64(len(pairs)))
+			}
+		}
+		fmt.Fprintf(w, "%s, %d planted covers:\n%s\n", sc.name, n, tb)
+	}
+	fmt.Fprintln(w, "paper: recall is high for well-distributed (generous) covers; tight covers sit in the")
+	fmt.Fprintln(w, "       skipped corner near the query point — the cost of the (1-eps) volume guarantee")
+	return nil
+}
+
+// runE8 runs the broker network under each covering mode and reports the
+// propagation metrics the paper's optimization targets.
+func runE8(w io.Writer, quick bool) error {
+	e, _ := ByID("E8")
+	header(w, e)
+	schema := subscription.MustSchema(8, "topic", "price")
+	nSubs, nClients, nEvents := 300, 24, 100
+	topo := broker.BalancedTree(31)
+	if quick {
+		nSubs, nClients, nEvents = 100, 12, 40
+		topo = broker.BalancedTree(15)
+	}
+	// A mixture of broad and narrow interests, all with both-sided
+	// constraints: narrow subscriptions tend to be covered by broad ones
+	// at generous slack — the paper's "well distributed" regime — and
+	// both-sided ranges keep the query regions' aspect ratios moderate
+	// (unconstrained attributes produce unit-length region sides; see E5).
+	broad, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: nSubs / 2, Dist: workload.DistUniform,
+		WidthFrac: 0.5, UnconstrainedProb: 0, Seed: 81,
+	})
+	if err != nil {
+		return err
+	}
+	narrow, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: nSubs - nSubs/2, Dist: workload.DistUniform,
+		WidthFrac: 0.1, UnconstrainedProb: 0, Seed: 83,
+	})
+	if err != nil {
+		return err
+	}
+	subs := make([]*subscription.Subscription, 0, nSubs)
+	for i := 0; i < len(broad) || i < len(narrow); i++ {
+		if i < len(broad) {
+			subs = append(subs, broad[i])
+		}
+		if i < len(narrow) {
+			subs = append(subs, narrow[i])
+		}
+	}
+	events, err := workload.Events(workload.EventSpec{Schema: schema, N: nEvents, Seed: 82})
+	if err != nil {
+		return err
+	}
+
+	type result struct {
+		name                  string
+		tableRows, subMsgs    int
+		suppressed, eventMsgs int
+		deliveries            int
+		meanProbes            float64
+	}
+	var results []result
+	var refDeliveries int
+	configs := []struct {
+		name string
+		cfg  broker.Config
+	}{
+		{"flood (off)", broker.Config{Schema: schema, Mode: core.ModeOff}},
+		{"exact (linear)", broker.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear}},
+		{"approx eps=0.4", broker.Config{Schema: schema, Mode: core.ModeApprox, Epsilon: 0.4, MaxCubes: 10000}},
+		{"approx eps=0.15", broker.Config{Schema: schema, Mode: core.ModeApprox, Epsilon: 0.15, MaxCubes: 10000}},
+	}
+	for _, c := range configs {
+		n, err := broker.NewNetwork(topo, c.cfg)
+		if err != nil {
+			return err
+		}
+		clients := make([]*broker.Client, nClients)
+		for i := range clients {
+			cl, err := n.AttachClient(i % n.NumBrokers())
+			if err != nil {
+				return err
+			}
+			clients[i] = cl
+		}
+		for i, s := range subs {
+			if err := n.Subscribe(clients[i%nClients].ID, s); err != nil {
+				return err
+			}
+		}
+		n.Drain()
+		for i, ev := range events {
+			if err := n.Publish(clients[i%nClients].ID, ev); err != nil {
+				return err
+			}
+		}
+		n.Drain()
+		m := n.Metrics()
+		if m.ProtocolErrors != 0 {
+			return fmt.Errorf("E8: %s produced %d protocol errors", c.name, m.ProtocolErrors)
+		}
+		tot := n.CoverTotals()
+		meanProbes := 0.0
+		if tot.Queries > 0 {
+			meanProbes = float64(tot.RunsProbed) / float64(tot.Queries)
+		}
+		if refDeliveries == 0 {
+			refDeliveries = m.Deliveries
+		} else if m.Deliveries != refDeliveries {
+			return fmt.Errorf("E8: %s delivered %d events, flood delivered %d — covering broke routing",
+				c.name, m.Deliveries, refDeliveries)
+		}
+		results = append(results, result{
+			name: c.name, tableRows: n.TableRows(), subMsgs: m.SubscribeMsgs,
+			suppressed: m.SuppressedForwards, eventMsgs: m.EventMsgs,
+			deliveries: m.Deliveries, meanProbes: meanProbes,
+		})
+	}
+	tb := stats.NewTable("mode", "table rows", "sub msgs", "suppressed", "event msgs", "deliveries", "mean probes/query")
+	for _, r := range results {
+		tb.AddRow(r.name, r.tableRows, r.subMsgs, r.suppressed, r.eventMsgs, r.deliveries, r.meanProbes)
+	}
+	fmt.Fprintf(w, "%d brokers, %d clients, %d subscriptions, %d events:\n%s\n",
+		topo.N, nClients, nSubs, nEvents, tb)
+	fmt.Fprintln(w, "paper: covering shrinks tables and propagation traffic; deliveries are identical across")
+	fmt.Fprintln(w, "       modes (safety), and approximate covering retains most of exact covering's savings")
+	return nil
+}
+
+// runE9 measures per-query latency against the number of indexed
+// subscriptions for the approximate SFC index and the exact baselines.
+func runE9(w io.Writer, quick bool) error {
+	e, _ := ByID("E9")
+	header(w, e)
+	const d, k = 4, 14
+	sizes := []int{1000, 10000, 100000}
+	queries := 200
+	if quick {
+		sizes = []int{1000, 10000}
+		queries = 50
+	}
+	rng := rand.New(rand.NewSource(91))
+	genPoint := func() []uint32 {
+		p := make([]uint32, d)
+		for i := range p {
+			p[i] = uint32(rng.Int63n(1 << k))
+		}
+		return p
+	}
+
+	tb := stats.NewTable("n",
+		"approx hit us", "linear hit us", "kd hit us",
+		"approx miss us", "linear miss us", "kd miss us", "approx found%")
+	for _, n := range sizes {
+		approx := dominance.MustIndex(dominance.Config{Dims: d, Bits: k, MaxCubes: 50000})
+		lin := dominance.NewLinear()
+		kd := dominance.NewKDTree(d)
+		for i := 0; i < n; i++ {
+			p := genPoint()
+			approx.Insert(p, uint64(i))
+			lin.Insert(p, uint64(i))
+			kd.Insert(p, uint64(i))
+		}
+		// Hit-heavy queries: uniform points, almost always dominated.
+		hitQs := make([][]uint32, queries)
+		for i := range hitQs {
+			hitQs[i] = genPoint()
+		}
+		// Miss queries: points hugging the max corner, where no indexed
+		// point dominates. Exact baselines must do their full worst-case
+		// work to prove the miss; this is where sublinearity in n shows.
+		missQs := make([][]uint32, queries)
+		for i := range missQs {
+			q := make([]uint32, d)
+			for j := range q {
+				q[j] = uint32(uint64(1)<<k - 1 - uint64(rng.Intn(4)))
+			}
+			missQs[i] = q
+		}
+
+		var approxFound int
+		timeQueries := func(idx func(q []uint32), qs [][]uint32) float64 {
+			start := time.Now()
+			for _, q := range qs {
+				idx(q)
+			}
+			return float64(time.Since(start).Microseconds()) / float64(len(qs))
+		}
+		approxHit := timeQueries(func(q []uint32) {
+			if _, ok, _, err := approx.Query(q, 0.3); err == nil && ok {
+				approxFound++
+			}
+		}, hitQs)
+		linHit := timeQueries(func(q []uint32) { lin.QueryDominating(q) }, hitQs)
+		kdHit := timeQueries(func(q []uint32) { kd.QueryDominating(q) }, hitQs)
+		approxMiss := timeQueries(func(q []uint32) { approx.Query(q, 0.3) }, missQs)
+		linMiss := timeQueries(func(q []uint32) { lin.QueryDominating(q) }, missQs)
+		kdMiss := timeQueries(func(q []uint32) { kd.QueryDominating(q) }, missQs)
+
+		tb.AddRow(n, approxHit, linHit, kdHit, approxMiss, linMiss, kdMiss,
+			100*float64(approxFound)/float64(queries))
+	}
+	fmt.Fprintln(w, tb)
+
+	// Exhaustive SFC on a small universe, for scale.
+	exN := 2000
+	exQueries := 20
+	if quick {
+		exQueries = 5
+	}
+	ex := dominance.MustIndex(dominance.Config{Dims: d, Bits: 6})
+	rng2 := rand.New(rand.NewSource(92))
+	for i := 0; i < exN; i++ {
+		p := make([]uint32, d)
+		for j := range p {
+			p[j] = uint32(rng2.Int63n(1 << 6))
+		}
+		ex.Insert(p, uint64(i))
+	}
+	start := time.Now()
+	var runsTotal int
+	for i := 0; i < exQueries; i++ {
+		q := make([]uint32, d)
+		for j := range q {
+			q[j] = uint32(rng2.Int63n(1 << 6))
+		}
+		_, _, st, err := ex.Query(q, 0)
+		if err != nil {
+			return err
+		}
+		runsTotal += st.RunsProbed
+	}
+	exT := time.Since(start)
+	fmt.Fprintf(w, "exhaustive SFC reference (d=4 but only k=6, n=%d): %.0f us/query, mean %d runs probed\n",
+		exN, float64(exT.Microseconds())/float64(exQueries), runsTotal/exQueries)
+	fmt.Fprintln(w, "paper: approximate query cost does not scale with n (index probes are O(log n));")
+	fmt.Fprintln(w, "       linear scan grows with n; exhaustive SFC is infeasible beyond tiny universes")
+	return nil
+}
+
+// runE10 compares the two SFC-array implementations.
+func runE10(w io.Writer, quick bool) error {
+	e, _ := ByID("E10")
+	header(w, e)
+	n := 200000
+	probes := 200000
+	if quick {
+		n, probes = 20000, 20000
+	}
+	tb := stats.NewTable("implementation", "insert ns/op", "probe ns/op", "delete ns/op")
+	for _, impl := range []string{"treap", "skiplist"} {
+		arr, err := sfcarray.New(impl, 7)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(11))
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		start := time.Now()
+		for i, kv := range keys {
+			arr.Insert(keyOf(kv), uint64(i))
+		}
+		insertT := time.Since(start)
+
+		start = time.Now()
+		var hits int
+		for i := 0; i < probes; i++ {
+			lo := rng.Uint64()
+			if _, ok := arr.FirstInRange(keyOf(lo), keyOf(lo|0xFFFFFFFF)); ok {
+				hits++
+			}
+		}
+		probeT := time.Since(start)
+
+		start = time.Now()
+		for i, kv := range keys {
+			if !arr.Delete(keyOf(kv), uint64(i)) {
+				return fmt.Errorf("E10: %s lost a key", impl)
+			}
+		}
+		deleteT := time.Since(start)
+		tb.AddRow(impl,
+			float64(insertT.Nanoseconds())/float64(n),
+			float64(probeT.Nanoseconds())/float64(probes),
+			float64(deleteT.Nanoseconds())/float64(n))
+	}
+	fmt.Fprintln(w, tb)
+	fmt.Fprintln(w, "paper: any dynamic ordered structure works for the SFC array; both give O(log n) ops")
+	return nil
+}
+
+// runE11 compares curves along the two axes where the choice matters: how
+// well each curve merges a region's cubes into runs (exhaustive cost), and
+// how expensive its key encoding makes every probe (approximate cost).
+func runE11(w io.Writer, quick bool) error {
+	e, _ := ByID("E11")
+	header(w, e)
+
+	// Part 1: exhaustive run counts on random extremal regions.
+	const k2 = 10
+	trials := 300
+	if quick {
+		trials = 60
+	}
+	rng := rand.New(rand.NewSource(3))
+	curves2 := map[string]sfc.Curve{
+		"z":       sfc.MustZ(2, k2),
+		"hilbert": sfc.MustHilbert(2, k2),
+		"gray":    sfc.MustGray(2, k2),
+	}
+	runSums := map[string]float64{}
+	var cubeSum float64
+	for t := 0; t < trials; t++ {
+		ext, err := workload.RandomExtremal(rng, 2, k2, 1+rng.Intn(2))
+		if err != nil {
+			return err
+		}
+		part, err := cubes.Decompose(ext.Rect(), k2)
+		if err != nil {
+			return err
+		}
+		cubeSum += float64(len(part))
+		for name, c := range curves2 {
+			runSums[name] += float64(len(cubes.Runs(c, part)))
+		}
+	}
+	tb := stats.NewTable("curve", "mean exhaustive runs (d=2)", "runs/cubes", "vs hilbert")
+	for _, name := range []string{"hilbert", "gray", "z"} {
+		tb.AddRow(name, runSums[name]/float64(trials),
+			runSums[name]/cubeSum, runSums[name]/runSums["hilbert"])
+	}
+	fmt.Fprintf(w, "run-merging quality over %d random extremal regions (cubes are curve-independent):\n%s\n", trials, tb)
+
+	// Part 2: probe cost — same cube enumeration, different key encodings.
+	const d, k = 4, 14
+	const eps = 0.2
+	queries := 30
+	if quick {
+		queries = 8
+	}
+	qs := make([][]uint32, queries)
+	for i := range qs {
+		q := make([]uint32, d)
+		l := uint64(1)<<12 - 1 - uint64(rng.Intn(1024))
+		for j := range q {
+			q[j] = uint32(uint64(1)<<k - l)
+		}
+		qs[i] = q
+	}
+	tb2 := stats.NewTable("curve", "probes/query", "us/query (empty index)", "ns/probe")
+	for _, curve := range []string{"z", "hilbert", "gray"} {
+		idx := dominance.MustIndex(dominance.Config{Dims: d, Bits: k, Curve: curve})
+		var probes int
+		start := time.Now()
+		for _, q := range qs {
+			_, _, st, err := idx.Query(q, eps)
+			if err != nil {
+				return err
+			}
+			probes += st.RunsProbed
+		}
+		elapsed := time.Since(start)
+		tb2.AddRow(curve,
+			float64(probes)/float64(queries),
+			float64(elapsed.Microseconds())/float64(queries),
+			float64(elapsed.Nanoseconds())/float64(probes))
+	}
+	fmt.Fprintln(w, tb2)
+	fmt.Fprintln(w, "paper: Z and Hilbert (and Gray) behave within constant factors of each other [MJFS01];")
+	fmt.Fprintln(w, "       Hilbert merges runs best but costs more per key; Z is the cheapest to encode")
+	return nil
+}
+
+func keyOf(v uint64) bits.Key { return bits.KeyFromUint64(v) }

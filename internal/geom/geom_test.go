@@ -1,0 +1,224 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect(nil, nil); err == nil {
+		t.Error("empty corners should fail")
+	}
+	if _, err := NewRect([]uint32{1}, []uint32{1, 2}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if _, err := NewRect([]uint32{5}, []uint32{4}); err == nil {
+		t.Error("inverted range should fail")
+	}
+	r, err := NewRect([]uint32{1, 2}, []uint32{3, 2})
+	if err != nil {
+		t.Fatalf("valid rect rejected: %v", err)
+	}
+	if r.Dims() != 2 || r.Side(0) != 3 || r.Side(1) != 1 {
+		t.Errorf("unexpected rect: %v", r)
+	}
+}
+
+func TestRectCopiesCorners(t *testing.T) {
+	lo := []uint32{1, 1}
+	hi := []uint32{2, 2}
+	r := MustRect(lo, hi)
+	lo[0] = 99
+	if r.Lo[0] != 1 {
+		t.Error("NewRect must copy its corner slices")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	r := MustRect([]uint32{0, 0}, []uint32{255, 255})
+	if got := r.Volume(); got != 65536 {
+		t.Errorf("Volume = %v, want 65536", got)
+	}
+	unit := MustRect([]uint32{7}, []uint32{7})
+	if got := unit.Volume(); got != 1 {
+		t.Errorf("unit volume = %v", got)
+	}
+}
+
+func TestContainsAndIntersects(t *testing.T) {
+	r := MustRect([]uint32{2, 2}, []uint32{5, 5})
+	tests := []struct {
+		p    []uint32
+		want bool
+	}{
+		{[]uint32{2, 2}, true},
+		{[]uint32{5, 5}, true},
+		{[]uint32{3, 4}, true},
+		{[]uint32{1, 3}, false},
+		{[]uint32{3, 6}, false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v", tt.p, got)
+		}
+	}
+
+	other := MustRect([]uint32{5, 5}, []uint32{9, 9})
+	if !r.Intersects(other) {
+		t.Error("touching rects must intersect (closed boxes)")
+	}
+	disjoint := MustRect([]uint32{6, 0}, []uint32{9, 1})
+	if r.Intersects(disjoint) {
+		t.Error("disjoint rects must not intersect")
+	}
+	inner := MustRect([]uint32{3, 3}, []uint32{4, 4})
+	if !r.ContainsRect(inner) || inner.ContainsRect(r) {
+		t.Error("ContainsRect misbehaves")
+	}
+}
+
+func TestIntersectsIsSymmetricAndReflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randRect := func() Rect {
+		lo := []uint32{uint32(rng.Intn(16)), uint32(rng.Intn(16))}
+		hi := []uint32{lo[0] + uint32(rng.Intn(8)), lo[1] + uint32(rng.Intn(8))}
+		return MustRect(lo, hi)
+	}
+	for i := 0; i < 200; i++ {
+		a, b := randRect(), randRect()
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("asymmetric intersection: %v %v", a, b)
+		}
+		if !a.Intersects(a) {
+			t.Fatalf("rect should intersect itself: %v", a)
+		}
+		if a.ContainsRect(b) && !a.Intersects(b) {
+			t.Fatalf("containment implies intersection: %v %v", a, b)
+		}
+	}
+}
+
+func TestExtremalValidation(t *testing.T) {
+	if _, err := NewExtremal(nil, 4); err == nil {
+		t.Error("empty lens should fail")
+	}
+	if _, err := NewExtremal([]uint64{1}, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewExtremal([]uint64{0}, 4); err == nil {
+		t.Error("zero length should fail")
+	}
+	if _, err := NewExtremal([]uint64{17}, 4); err == nil {
+		t.Error("length > 2^k should fail")
+	}
+	if _, err := NewExtremal([]uint64{16}, 4); err != nil {
+		t.Error("length == 2^k must be allowed")
+	}
+}
+
+func TestExtremalRect(t *testing.T) {
+	e := MustExtremal([]uint64{3, 16}, 4)
+	r := e.Rect()
+	want := MustRect([]uint32{13, 0}, []uint32{15, 15})
+	if !r.Equal(want) {
+		t.Errorf("Rect() = %v, want %v", r, want)
+	}
+	if e.Volume() != 48 {
+		t.Errorf("Volume = %v", e.Volume())
+	}
+}
+
+func TestAspectRatio(t *testing.T) {
+	tests := []struct {
+		lens []uint64
+		want int
+	}{
+		{[]uint64{8, 8, 8}, 0},
+		{[]uint64{8, 15}, 0},  // both 4-bit
+		{[]uint64{7, 8}, 1},   // 3-bit vs 4-bit
+		{[]uint64{1, 255}, 7}, // 1-bit vs 8-bit
+		{[]uint64{255, 1, 8}, 7},
+	}
+	for _, tt := range tests {
+		e := MustExtremal(tt.lens, 10)
+		if got := e.AspectRatio(); got != tt.want {
+			t.Errorf("AspectRatio(%v) = %d, want %d", tt.lens, got, tt.want)
+		}
+	}
+}
+
+func TestTruncateContainment(t *testing.T) {
+	// R(t(ℓ,m)) is contained in R(ℓ) and volumes shrink monotonically in m.
+	f := func(a, b uint16, mRaw uint8) bool {
+		la := uint64(a%1023) + 1
+		lb := uint64(b%1023) + 1
+		m := int(mRaw%10) + 1
+		e := MustExtremal([]uint64{la, lb}, 10)
+		tr := e.Truncate(m)
+		if tr.Empty() {
+			return false // m >= 1 keeps the top bit, never empty
+		}
+		return tr.Len[0] <= la && tr.Len[1] <= lb &&
+			e.Rect().ContainsRect(tr.Rect())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMatchesBitPrefix(t *testing.T) {
+	e := MustExtremal([]uint64{0b1011, 0b110}, 4)
+	s := e.Sub(1)
+	if s.Len[0] != 0b1010 || s.Len[1] != 0b110 {
+		t.Errorf("Sub(1) lens = %v", s.Len)
+	}
+	s3 := e.Sub(3)
+	if s3.Len[0] != 0b1000 || s3.Len[1] != 0 {
+		t.Errorf("Sub(3) lens = %v", s3.Len)
+	}
+	if !s3.Empty() {
+		t.Error("Sub(3) should be empty (dimension collapsed)")
+	}
+}
+
+func TestQueryRegion(t *testing.T) {
+	e := QueryRegion([]uint32{0, 15, 7}, 4)
+	want := []uint64{16, 1, 9}
+	for i := range want {
+		if e.Len[i] != want[i] {
+			t.Errorf("QueryRegion len[%d] = %d, want %d", i, e.Len[i], want[i])
+		}
+	}
+	r := e.Rect()
+	if !r.Contains([]uint32{0, 15, 7}) {
+		t.Error("query point must be inside its own query region")
+	}
+	if !r.Contains([]uint32{15, 15, 15}) {
+		t.Error("max corner must be inside the query region")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates([]uint32{3, 4}, []uint32{3, 4}) {
+		t.Error("point dominates itself")
+	}
+	if !Dominates([]uint32{5, 9}, []uint32{3, 4}) {
+		t.Error("componentwise-greater dominates")
+	}
+	if Dominates([]uint32{5, 3}, []uint32{3, 4}) {
+		t.Error("mixed comparison must not dominate")
+	}
+}
+
+func TestDominatesIffInQueryRegion(t *testing.T) {
+	// p dominates q  <=>  p lies in QueryRegion(q).
+	f := func(p0, p1, q0, q1 uint8) bool {
+		p := []uint32{uint32(p0), uint32(p1)}
+		q := []uint32{uint32(q0), uint32(q1)}
+		return Dominates(p, q) == QueryRegion(q, 8).Rect().Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package sfc implements the space filling curves the paper analyzes — the
+// Z (Morton) curve, the Hilbert curve and the Gray-code curve — as
+// bijections between cells of the discrete universe [0,2^k−1]^d and d*k-bit
+// keys, together with the key-range machinery (standard-cube ranges and run
+// merging) on which both the exhaustive and the ε-approximate point
+// dominance searches are built.
+package sfc
+
+import (
+	"fmt"
+	"sort"
+
+	"sfccover/internal/bits"
+)
+
+// Curve is a proximity-preserving bijection between the cells of a
+// d-dimensional universe with 2^k cells per dimension and the integers
+// [0, 2^(d*k)). All curves here are recursive in the paper's sense, so
+// every standard cube occupies one contiguous, block-aligned key range
+// (Fact 2.1), which CubeRange exploits.
+type Curve interface {
+	// Name identifies the curve ("z", "hilbert", "gray").
+	Name() string
+	// Dims returns d, the number of dimensions.
+	Dims() int
+	// Bits returns k, the per-dimension resolution in bits.
+	Bits() int
+	// Key maps a cell (one coordinate per dimension, each < 2^k) to its
+	// position in the curve's total order.
+	Key(cell []uint32) bits.Key
+	// Cell inverts Key.
+	Cell(key bits.Key) []uint32
+}
+
+// Config carries the two parameters every curve needs.
+type Config struct {
+	Dims int // d >= 1
+	Bits int // k in [1,32]
+}
+
+// Validate checks that the universe fits the key width.
+func (c Config) Validate() error {
+	if c.Dims < 1 {
+		return fmt.Errorf("sfc: dims %d < 1", c.Dims)
+	}
+	if c.Bits < 1 || c.Bits > 32 {
+		return fmt.Errorf("sfc: bits %d out of range [1,32]", c.Bits)
+	}
+	if c.Dims*c.Bits > bits.KeyBits {
+		return fmt.Errorf("sfc: key width %d exceeds %d bits", c.Dims*c.Bits, bits.KeyBits)
+	}
+	return nil
+}
+
+// New constructs a curve by name: "z", "hilbert" or "gray".
+func New(name string, cfg Config) (Curve, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "z", "morton":
+		return NewZ(cfg)
+	case "hilbert":
+		return NewHilbert(cfg)
+	case "gray":
+		return NewGray(cfg)
+	default:
+		return nil, fmt.Errorf("sfc: unknown curve %q", name)
+	}
+}
+
+// KeyRange is a closed interval [Lo, Hi] of curve keys. A run in the
+// paper's terminology is a maximal KeyRange whose cells all belong to the
+// region under consideration.
+type KeyRange struct {
+	Lo, Hi bits.Key
+}
+
+// Contains reports whether key lies within the range.
+func (r KeyRange) Contains(k bits.Key) bool {
+	return r.Lo.Cmp(k) <= 0 && k.Cmp(r.Hi) <= 0
+}
+
+// CubeRange returns the key range occupied by the standard cube with the
+// given minimum corner and side length (a power of two). It relies on
+// Fact 2.1: for recursive curves the cube's cells form one contiguous,
+// block-aligned segment, so the range is the key of any member cell with
+// its low d*log2(side) bits cleared/set.
+func CubeRange(c Curve, corner []uint32, side uint64) KeyRange {
+	low := trailingBits(c.Dims(), side)
+	k := c.Key(corner)
+	return KeyRange{Lo: k.ClearLow(low), Hi: k.SetLow(low)}
+}
+
+func trailingBits(d int, side uint64) int {
+	lvl := 0
+	for s := side; s > 1; s >>= 1 {
+		lvl++
+	}
+	return d * lvl
+}
+
+// MergeRanges sorts ranges by Lo and coalesces ranges that touch
+// (hi+1 == next lo) or overlap, returning the minimal set of maximal
+// ranges — the runs. The input slice is not modified.
+func MergeRanges(ranges []KeyRange) []KeyRange {
+	if len(ranges) == 0 {
+		return nil
+	}
+	sorted := append([]KeyRange(nil), ranges...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo.Less(sorted[j].Lo) })
+	out := make([]KeyRange, 0, len(sorted))
+	cur := sorted[0]
+	for _, r := range sorted[1:] {
+		next, ok := cur.Hi.Inc()
+		if ok && r.Lo.Cmp(next) <= 0 {
+			if cur.Hi.Less(r.Hi) {
+				cur.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur = r
+	}
+	return append(out, cur)
+}

@@ -1,0 +1,292 @@
+package sfcarray
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sfccover/internal/bits"
+)
+
+// refModel is a trivially correct reference implementation used to validate
+// both real implementations under random operation sequences.
+type refModel struct {
+	entries []refEntry
+}
+
+type refEntry struct {
+	key bits.Key
+	id  uint64
+}
+
+func (m *refModel) Insert(k bits.Key, id uint64) {
+	m.entries = append(m.entries, refEntry{k, id})
+	sort.Slice(m.entries, func(i, j int) bool {
+		return entryLess(m.entries[i].key, m.entries[i].id, m.entries[j].key, m.entries[j].id)
+	})
+}
+
+func (m *refModel) Delete(k bits.Key, id uint64) bool {
+	for i, e := range m.entries {
+		if e.key.Equal(k) && e.id == id {
+			m.entries = append(m.entries[:i], m.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *refModel) FirstInRange(lo, hi bits.Key) (uint64, bool) {
+	for _, e := range m.entries {
+		if e.key.Cmp(lo) >= 0 {
+			if e.key.Cmp(hi) <= 0 {
+				return e.id, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+func (m *refModel) VisitRange(lo, hi bits.Key, visit func(bits.Key, uint64) bool) {
+	for _, e := range m.entries {
+		if e.key.Cmp(lo) >= 0 && e.key.Cmp(hi) <= 0 {
+			if !visit(e.key, e.id) {
+				return
+			}
+		}
+	}
+}
+
+func (m *refModel) Len() int { return len(m.entries) }
+
+func implementations(t *testing.T) map[string]Index {
+	t.Helper()
+	treap, err := New("treap", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := New("skiplist", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Index{"treap": treap, "skiplist": sl}
+}
+
+func TestNewUnknownImpl(t *testing.T) {
+	if _, err := New("btree", 1); err == nil {
+		t.Fatal("unknown implementation must fail")
+	}
+}
+
+func TestBasicInsertFind(t *testing.T) {
+	for name, idx := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			k := func(v uint64) bits.Key { return bits.KeyFromUint64(v) }
+			idx.Insert(k(10), 1)
+			idx.Insert(k(20), 2)
+			idx.Insert(k(30), 3)
+			if idx.Len() != 3 {
+				t.Fatalf("Len = %d", idx.Len())
+			}
+			if id, ok := idx.FirstInRange(k(15), k(25)); !ok || id != 2 {
+				t.Fatalf("FirstInRange(15,25) = %d,%v", id, ok)
+			}
+			if _, ok := idx.FirstInRange(k(21), k(29)); ok {
+				t.Fatal("empty range reported non-empty")
+			}
+			if id, ok := idx.FirstInRange(k(0), k(100)); !ok || id != 1 {
+				t.Fatalf("FirstInRange(0,100) = %d,%v; want smallest key's id", id, ok)
+			}
+			if !idx.Delete(k(20), 2) {
+				t.Fatal("delete existing failed")
+			}
+			if idx.Delete(k(20), 2) {
+				t.Fatal("double delete succeeded")
+			}
+			if _, ok := idx.FirstInRange(k(15), k(25)); ok {
+				t.Fatal("deleted entry still found")
+			}
+		})
+	}
+}
+
+func TestDuplicateKeysDistinctIDs(t *testing.T) {
+	for name, idx := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			k := bits.KeyFromUint64(42)
+			idx.Insert(k, 7)
+			idx.Insert(k, 3)
+			idx.Insert(k, 9)
+			if id, ok := idx.FirstInRange(k, k); !ok || id != 3 {
+				t.Fatalf("FirstInRange on duplicates = %d,%v; want smallest id 3", id, ok)
+			}
+			if !idx.Delete(k, 3) {
+				t.Fatal("delete by id failed")
+			}
+			if id, ok := idx.FirstInRange(k, k); !ok || id != 7 {
+				t.Fatalf("after delete: %d,%v; want 7", id, ok)
+			}
+			if idx.Len() != 2 {
+				t.Fatalf("Len = %d, want 2", idx.Len())
+			}
+		})
+	}
+}
+
+func TestRandomOpsAgainstReference(t *testing.T) {
+	for name := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			idx, err := New(name, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := &refModel{}
+			rng := rand.New(rand.NewSource(123))
+			var live []refEntry
+			for op := 0; op < 3000; op++ {
+				switch {
+				case len(live) == 0 || rng.Float64() < 0.5:
+					k := bits.KeyFromUint64(uint64(rng.Intn(500)))
+					id := uint64(rng.Intn(100))
+					idx.Insert(k, id)
+					ref.Insert(k, id)
+					live = append(live, refEntry{k, id})
+				case rng.Float64() < 0.6:
+					i := rng.Intn(len(live))
+					e := live[i]
+					got := idx.Delete(e.key, e.id)
+					want := ref.Delete(e.key, e.id)
+					if got != want {
+						t.Fatalf("op %d: Delete mismatch got=%v want=%v", op, got, want)
+					}
+					live = append(live[:i], live[i+1:]...)
+				default:
+					// Delete of a likely-absent entry.
+					k := bits.KeyFromUint64(uint64(rng.Intn(500)))
+					id := uint64(rng.Intn(100))
+					got := idx.Delete(k, id)
+					want := ref.Delete(k, id)
+					if got != want {
+						t.Fatalf("op %d: absent Delete mismatch got=%v want=%v", op, got, want)
+					}
+					if want {
+						for i, e := range live {
+							if e.key.Equal(k) && e.id == id {
+								live = append(live[:i], live[i+1:]...)
+								break
+							}
+						}
+					}
+				}
+				if idx.Len() != ref.Len() {
+					t.Fatalf("op %d: Len mismatch %d vs %d", op, idx.Len(), ref.Len())
+				}
+				// Random range queries after each op.
+				lo := uint64(rng.Intn(500))
+				hi := lo + uint64(rng.Intn(100))
+				kLo, kHi := bits.KeyFromUint64(lo), bits.KeyFromUint64(hi)
+				gotID, gotOK := idx.FirstInRange(kLo, kHi)
+				wantID, wantOK := ref.FirstInRange(kLo, kHi)
+				if gotOK != wantOK || (gotOK && gotID != wantID) {
+					t.Fatalf("op %d: FirstInRange(%d,%d) = (%d,%v), want (%d,%v)",
+						op, lo, hi, gotID, gotOK, wantID, wantOK)
+				}
+			}
+		})
+	}
+}
+
+func TestVisitRangeOrderAndEarlyStop(t *testing.T) {
+	for name, idx := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			inserted := make([]refEntry, 0, 200)
+			for i := 0; i < 200; i++ {
+				k := bits.KeyFromUint64(uint64(rng.Intn(100)))
+				id := uint64(i)
+				idx.Insert(k, id)
+				inserted = append(inserted, refEntry{k, id})
+			}
+			sort.Slice(inserted, func(i, j int) bool {
+				return entryLess(inserted[i].key, inserted[i].id, inserted[j].key, inserted[j].id)
+			})
+			lo, hi := bits.KeyFromUint64(20), bits.KeyFromUint64(60)
+			var want []refEntry
+			for _, e := range inserted {
+				if e.key.Cmp(lo) >= 0 && e.key.Cmp(hi) <= 0 {
+					want = append(want, e)
+				}
+			}
+			var got []refEntry
+			idx.VisitRange(lo, hi, func(k bits.Key, id uint64) bool {
+				got = append(got, refEntry{k, id})
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("visited %d entries, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].key.Equal(want[i].key) || got[i].id != want[i].id {
+					t.Fatalf("entry %d: got %v want %v", i, got[i], want[i])
+				}
+			}
+			// Early stop: visit only 3.
+			count := 0
+			idx.VisitRange(lo, hi, func(bits.Key, uint64) bool {
+				count++
+				return count < 3
+			})
+			if count != 3 {
+				t.Fatalf("early stop visited %d, want 3", count)
+			}
+		})
+	}
+}
+
+func TestEmptyIndexQueries(t *testing.T) {
+	for name, idx := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			if idx.Len() != 0 {
+				t.Fatal("new index not empty")
+			}
+			if _, ok := idx.FirstInRange(bits.KeyFromUint64(0), bits.KeyFromUint64(100)); ok {
+				t.Fatal("empty index found something")
+			}
+			if idx.Delete(bits.KeyFromUint64(5), 1) {
+				t.Fatal("delete on empty succeeded")
+			}
+			visited := false
+			idx.VisitRange(bits.KeyFromUint64(0), bits.KeyFromUint64(100), func(bits.Key, uint64) bool {
+				visited = true
+				return true
+			})
+			if visited {
+				t.Fatal("VisitRange on empty index visited entries")
+			}
+		})
+	}
+}
+
+func TestWideKeysBeyond64Bits(t *testing.T) {
+	// Keys wider than one word must order correctly.
+	for name, idx := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			var hiKey bits.Key
+			hiKey = hiKey.SetBit(200, 1)
+			loKey := bits.KeyFromUint64(^uint64(0)) // large 64-bit value, still < hiKey
+			idx.Insert(hiKey, 2)
+			idx.Insert(loKey, 1)
+			id, ok := idx.FirstInRange(bits.KeyFromUint64(0), hiKey)
+			if !ok || id != 1 {
+				t.Fatalf("expected 64-bit key first, got %d,%v", id, ok)
+			}
+			var lo201 bits.Key
+			lo201 = lo201.SetBit(199, 1)
+			id, ok = idx.FirstInRange(lo201, hiKey)
+			if !ok || id != 2 {
+				t.Fatalf("expected wide key, got %d,%v", id, ok)
+			}
+		})
+	}
+}

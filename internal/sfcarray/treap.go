@@ -1,0 +1,155 @@
+package sfcarray
+
+import (
+	"math/rand"
+
+	"sfccover/internal/bits"
+)
+
+// Treap is a randomized balanced binary search tree over (key, id) entries:
+// a BST in (key, id) order that is simultaneously a max-heap in random
+// priorities, giving O(log n) expected depth for every operation.
+// The zero value is not usable; construct with NewTreap.
+type Treap struct {
+	root *treapNode
+	rng  *rand.Rand
+	size int
+}
+
+type treapNode struct {
+	key         bits.Key
+	id          uint64
+	prio        uint64
+	left, right *treapNode
+}
+
+// NewTreap returns an empty treap whose rebalancing coin flips are driven
+// by the given seed (deterministic across runs).
+func NewTreap(seed int64) *Treap {
+	return &Treap{rng: rand.New(rand.NewSource(seed))}
+}
+
+var _ Index = (*Treap)(nil)
+
+// Len implements Index.
+func (t *Treap) Len() int { return t.size }
+
+// Insert implements Index.
+func (t *Treap) Insert(k bits.Key, id uint64) {
+	t.root = t.insert(t.root, &treapNode{key: k, id: id, prio: t.rng.Uint64()})
+	t.size++
+}
+
+func (t *Treap) insert(n, nw *treapNode) *treapNode {
+	if n == nil {
+		return nw
+	}
+	if entryLess(nw.key, nw.id, n.key, n.id) {
+		n.left = t.insert(n.left, nw)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	} else {
+		n.right = t.insert(n.right, nw)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	return n
+}
+
+func rotateRight(n *treapNode) *treapNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *treapNode) *treapNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
+// Delete implements Index.
+func (t *Treap) Delete(k bits.Key, id uint64) bool {
+	var deleted bool
+	t.root, deleted = t.delete(t.root, k, id)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Treap) delete(n *treapNode, k bits.Key, id uint64) (*treapNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case entryLess(k, id, n.key, n.id):
+		n.left, deleted = t.delete(n.left, k, id)
+	case entryLess(n.key, n.id, k, id):
+		n.right, deleted = t.delete(n.right, k, id)
+	default:
+		// Found: rotate down until a child slot frees up.
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		case n.left.prio > n.right.prio:
+			n = rotateRight(n)
+			n.right, deleted = t.delete(n.right, k, id)
+		default:
+			n = rotateLeft(n)
+			n.left, deleted = t.delete(n.left, k, id)
+		}
+	}
+	return n, deleted
+}
+
+// FirstInRange implements Index with a single root-to-leaf descent.
+func (t *Treap) FirstInRange(lo, hi bits.Key) (uint64, bool) {
+	var best *treapNode
+	for n := t.root; n != nil; {
+		if n.key.Cmp(lo) >= 0 {
+			best = n // candidate; smaller keys may exist on the left
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil || best.key.Cmp(hi) > 0 {
+		return 0, false
+	}
+	return best.id, true
+}
+
+// VisitRange implements Index by in-order traversal with subtree pruning.
+func (t *Treap) VisitRange(lo, hi bits.Key, visit func(bits.Key, uint64) bool) {
+	t.visit(t.root, lo, hi, visit)
+}
+
+func (t *Treap) visit(n *treapNode, lo, hi bits.Key, visit func(bits.Key, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key.Cmp(lo) >= 0 {
+		if !t.visit(n.left, lo, hi, visit) {
+			return false
+		}
+	}
+	if n.key.Cmp(lo) >= 0 && n.key.Cmp(hi) <= 0 {
+		if !visit(n.key, n.id) {
+			return false
+		}
+	}
+	if n.key.Cmp(hi) <= 0 {
+		if !t.visit(n.right, lo, hi, visit) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+// Package stats provides the small numeric and rendering helpers the
+// experiment harness uses: summaries (mean/percentiles), geometric series
+// fits for growth-rate checks, and fixed-width text tables matching the
+// row/column layout reported in EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64
+	Min, Max float64
+	P50, P90 float64
+	P99      float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(s.N)
+	s.Mean = mean
+	variance := sumSq/float64(s.N) - mean*mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[s.N-1]
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// GrowthExponent fits y ≈ c·x^e by least squares in log-log space and
+// returns e. It is the tool the harness uses to check claims like
+// "exhaustive cost grows as ℓ^(d−1)". Non-positive pairs are skipped;
+// fewer than two usable points yield NaN.
+func GrowthExponent(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := float64(len(lx))
+	if n < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / denom
+}
+
+// Table renders fixed-width text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1e6 || (v != 0 && math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

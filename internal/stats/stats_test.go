@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std = %v, want sqrt(2)", s.Std)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.5, 40}, {-1, 10},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestGrowthExponent(t *testing.T) {
+	// y = 3 x^2 exactly.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	if e := GrowthExponent(xs, ys); math.Abs(e-2) > 1e-9 {
+		t.Fatalf("exponent = %v, want 2", e)
+	}
+	// Constant y -> exponent 0.
+	if e := GrowthExponent(xs, []float64{5, 5, 5, 5, 5}); math.Abs(e) > 1e-9 {
+		t.Fatalf("constant exponent = %v", e)
+	}
+	if !math.IsNaN(GrowthExponent([]float64{1}, []float64{1})) {
+		t.Fatal("single point should be NaN")
+	}
+	if !math.IsNaN(GrowthExponent([]float64{0, -1}, []float64{1, 2})) {
+		t.Fatal("no usable points should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "count", "ratio")
+	tb.AddRow("alpha", 12, 0.5)
+	tb.AddRow("beta-long-name", 3, 1234567.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "ratio") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "0.500") {
+		t.Fatalf("row 1 wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "1234567") {
+		t.Fatalf("integer-valued float should render bare: %q", lines[3])
+	}
+	tb.AddRow("gamma", 1, 1234567.5)
+	if !strings.Contains(tb.String(), "1.23e+06") {
+		t.Fatalf("large non-integer float not compacted: %s", tb.String())
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("separator misaligned: %d vs %d", len(lines[0]), len(lines[1]))
+	}
+}
+
+func TestTableIntegerFloats(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(42.0)
+	if !strings.Contains(tb.String(), "42") || strings.Contains(tb.String(), "42.000") {
+		t.Fatalf("integer float should render bare: %s", tb.String())
+	}
+}

@@ -1,0 +1,157 @@
+package subscription
+
+import "testing"
+
+// FuzzParse hardens the constraint parser: arbitrary input must either
+// parse into a valid subscription or return an error — never panic, never
+// produce out-of-domain ranges.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"x == 5",
+		"x in [1,2] && y >= 3",
+		"true",
+		"",
+		"x in [,]",
+		"x <= 999999999999999999999",
+		"x && y",
+		"x in [5",
+		"&& && &&",
+		"x == 5 && x == 6",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := MustSchema(8, "x", "y")
+	f.Fuzz(func(t *testing.T, expr string) {
+		s, err := Parse(schema, expr)
+		if err != nil {
+			return
+		}
+		for i := 0; i < schema.NumAttrs(); i++ {
+			r := s.Range(i)
+			if r.Lo > r.Hi || r.Hi > schema.MaxValue() {
+				t.Fatalf("parsed invalid range %+v from %q", r, expr)
+			}
+		}
+		// Whatever parses must render and re-parse to the same thing.
+		back, err := Parse(schema, s.String())
+		if err != nil {
+			t.Fatalf("render of %q does not re-parse: %v", expr, err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("render roundtrip changed %q: %v vs %v", expr, s, back)
+		}
+	})
+}
+
+// FuzzParseEvent hardens the event parser the same way.
+func FuzzParseEvent(f *testing.F) {
+	for _, s := range []string{
+		"x = 1, y = 2",
+		"x = 1",
+		"x = , y = 2",
+		"x == 1, y = 2",
+		"x = 999, y = 0",
+	} {
+		f.Add(s)
+	}
+	schema := MustSchema(8, "x", "y")
+	f.Fuzz(func(t *testing.T, expr string) {
+		e, err := ParseEvent(schema, expr)
+		if err != nil {
+			return
+		}
+		if len(e) != 2 {
+			t.Fatalf("parsed event with %d attributes from %q", len(e), expr)
+		}
+		for _, v := range e {
+			if v > schema.MaxValue() {
+				t.Fatalf("parsed out-of-domain value %d from %q", v, expr)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalSubscription hardens the wire decoder against arbitrary
+// bytes: decode either fails or yields a subscription that re-encodes to
+// an equivalent payload.
+func FuzzUnmarshalSubscription(f *testing.F) {
+	schema := MustSchema(8, "x", "y")
+	good, _ := MustParse(schema, "x in [3,7] && y in [1,200]").MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x51, 2, 8, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSubscription(schema, data)
+		if err != nil {
+			return
+		}
+		re, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := UnmarshalSubscription(schema, re)
+		if err != nil || !back.Equal(s) {
+			t.Fatalf("re-marshal roundtrip broken")
+		}
+	})
+}
+
+// FuzzMerge checks Merge's core invariant on arbitrary range pairs: when a
+// merge is produced, it covers both inputs and has exactly the union's
+// volume (so it matches nothing extra).
+func FuzzMerge(f *testing.F) {
+	f.Add(uint8(0), uint8(10), uint8(5), uint8(9), uint8(11), uint8(30), uint8(5), uint8(9))
+	schema := MustSchema(8, "x", "y")
+	f.Fuzz(func(t *testing.T, aLoX, aHiX, aLoY, aHiY, bLoX, bHiX, bLoY, bHiY uint8) {
+		norm := func(lo, hi uint8) (uint32, uint32) {
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return uint32(lo), uint32(hi)
+		}
+		mk := func(loX, hiX, loY, hiY uint8) *Subscription {
+			s := New(schema)
+			lx, hx := norm(loX, hiX)
+			ly, hy := norm(loY, hiY)
+			if err := s.SetRange("x", lx, hx); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetRange("y", ly, hy); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		a := mk(aLoX, aHiX, aLoY, aHiY)
+		b := mk(bLoX, bHiX, bLoY, bHiY)
+		m, ok := Merge(a, b)
+		if !ok {
+			return
+		}
+		if !m.Covers(a) || !m.Covers(b) {
+			t.Fatalf("merge %v does not cover both inputs %v, %v", m, a, b)
+		}
+		// Volume check: |union| = |A| + |B| - |A∩B| must equal |M|.
+		volume := func(s *Subscription) uint64 {
+			v := uint64(1)
+			for i := 0; i < schema.NumAttrs(); i++ {
+				v *= s.Range(i).Width()
+			}
+			return v
+		}
+		inter := uint64(1)
+		for i := 0; i < schema.NumAttrs(); i++ {
+			ra, rb := a.Range(i), b.Range(i)
+			lo := max32(ra.Lo, rb.Lo)
+			hi := min32(ra.Hi, rb.Hi)
+			if lo > hi {
+				inter = 0
+				break
+			}
+			inter *= uint64(hi) - uint64(lo) + 1
+		}
+		if volume(m) != volume(a)+volume(b)-inter {
+			t.Fatalf("merge %v is not the exact union of %v and %v", m, a, b)
+		}
+	})
+}

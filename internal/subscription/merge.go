@@ -1,0 +1,51 @@
+package subscription
+
+// Merge returns a single subscription whose match set is exactly
+// N(a) ∪ N(b), when such a rectangle exists ("perfect merging" in the
+// terminology of the covering/merging literature the paper builds on
+// [LHJ05]). ok is false when the union is not a rectangle.
+//
+// The union of two axis-aligned rectangles is a rectangle iff one contains
+// the other, or they agree on every attribute except one and their ranges
+// on that attribute overlap or touch. Routers can use perfect merging as a
+// complement to covering: where covering suppresses a subscription inside
+// an existing one, merging replaces two mergeable subscriptions by their
+// exact union, shrinking tables without any approximation error.
+func Merge(a, b *Subscription) (merged *Subscription, ok bool) {
+	if a.schema != b.schema {
+		return nil, false
+	}
+	if a.Covers(b) {
+		return a.Clone(), true
+	}
+	if b.Covers(a) {
+		return b.Clone(), true
+	}
+	diff := -1
+	for i := range a.ranges {
+		if a.ranges[i] == b.ranges[i] {
+			continue
+		}
+		if diff >= 0 {
+			return nil, false // differ on two attributes: union is not a box
+		}
+		diff = i
+	}
+	// diff >= 0 here: the all-equal case was handled by Covers above.
+	ra, rb := a.ranges[diff], b.ranges[diff]
+	if !rangesTouch(ra, rb) {
+		return nil, false // disjoint with a gap: union is not an interval
+	}
+	merged = a.Clone()
+	merged.ranges[diff] = Range{Lo: min32(ra.Lo, rb.Lo), Hi: max32(ra.Hi, rb.Hi)}
+	return merged, true
+}
+
+// rangesTouch reports whether the union of two inclusive ranges is a
+// single interval (they overlap or are adjacent).
+func rangesTouch(a, b Range) bool {
+	if a.Lo > b.Lo {
+		a, b = b, a
+	}
+	return uint64(b.Lo) <= uint64(a.Hi)+1
+}

@@ -1,0 +1,119 @@
+package subscription
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMergeCoveringCases(t *testing.T) {
+	schema := MustSchema(8, "x", "y")
+	wide := MustParse(schema, "x in [0,100] && y in [0,100]")
+	narrow := MustParse(schema, "x in [10,20] && y in [10,20]")
+	m, ok := Merge(wide, narrow)
+	if !ok || !m.Equal(wide) {
+		t.Fatal("merge of covered pair should be the cover")
+	}
+	m, ok = Merge(narrow, wide)
+	if !ok || !m.Equal(wide) {
+		t.Fatal("merge is symmetric for covered pairs")
+	}
+	m, ok = Merge(wide, wide)
+	if !ok || !m.Equal(wide) {
+		t.Fatal("self merge is identity")
+	}
+}
+
+func TestMergeSingleAxisUnion(t *testing.T) {
+	schema := MustSchema(8, "x", "y")
+	a := MustParse(schema, "x in [0,10] && y in [5,9]")
+	b := MustParse(schema, "x in [11,30] && y in [5,9]") // adjacent on x
+	m, ok := Merge(a, b)
+	if !ok {
+		t.Fatal("adjacent single-axis rectangles must merge")
+	}
+	want := MustParse(schema, "x in [0,30] && y in [5,9]")
+	if !m.Equal(want) {
+		t.Fatalf("merged = %v, want %v", m, want)
+	}
+
+	c := MustParse(schema, "x in [5,40] && y in [5,9]") // overlapping on x
+	m, ok = Merge(a, c)
+	if !ok || !m.Equal(MustParse(schema, "x in [0,40] && y in [5,9]")) {
+		t.Fatalf("overlapping merge wrong: %v", m)
+	}
+}
+
+func TestMergeRejectsNonRectangularUnions(t *testing.T) {
+	schema := MustSchema(8, "x", "y")
+	cases := [][2]string{
+		{"x in [0,10] && y in [5,9]", "x in [12,30] && y in [5,9]"},    // gap on x
+		{"x in [0,10] && y in [5,9]", "x in [11,30] && y in [6,9]"},    // two axes differ
+		{"x in [0,10] && y in [0,10]", "x in [20,30] && y in [20,30]"}, // fully disjoint
+	}
+	for _, c := range cases {
+		a, b := MustParse(schema, c[0]), MustParse(schema, c[1])
+		if _, ok := Merge(a, b); ok {
+			t.Errorf("Merge(%q, %q) should fail", c[0], c[1])
+		}
+	}
+	other := MustSchema(8, "x", "y")
+	if _, ok := Merge(New(schema), New(other)); ok {
+		t.Error("cross-schema merge must fail")
+	}
+}
+
+func TestMergeIsExactUnionSemanticaly(t *testing.T) {
+	// Brute force on a tiny domain: whenever Merge succeeds, the merged
+	// subscription matches exactly the union of the inputs' match sets;
+	// whenever it fails, no rectangle equals the union.
+	schema := MustSchema(3, "a", "b")
+	rng := rand.New(rand.NewSource(99))
+	randSub := func() *Subscription {
+		s := New(schema)
+		for _, attr := range schema.Attrs() {
+			lo := uint32(rng.Intn(8))
+			hi := lo + uint32(rng.Intn(int(8-lo)))
+			if err := s.SetRange(attr, lo, hi); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	events := make([]Event, 0, 64)
+	for a := uint32(0); a < 8; a++ {
+		for b := uint32(0); b < 8; b++ {
+			events = append(events, Event{a, b})
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		s1, s2 := randSub(), randSub()
+		m, ok := Merge(s1, s2)
+		if ok {
+			for _, e := range events {
+				if m.Matches(e) != (s1.Matches(e) || s2.Matches(e)) {
+					t.Fatalf("merge of %v and %v is not the exact union at %v", s1, s2, e)
+				}
+			}
+			continue
+		}
+		// Merge refused: verify the union really is not a rectangle by
+		// checking that the bounding box over-matches.
+		bbox := New(schema)
+		for i := 0; i < schema.NumAttrs(); i++ {
+			r1, r2 := s1.Range(i), s2.Range(i)
+			if err := bbox.SetRange(schema.Attrs()[i], min32(r1.Lo, r2.Lo), max32(r1.Hi, r2.Hi)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		exact := true
+		for _, e := range events {
+			if bbox.Matches(e) != (s1.Matches(e) || s2.Matches(e)) {
+				exact = false
+				break
+			}
+		}
+		if exact {
+			t.Fatalf("Merge refused %v and %v although their union is the box %v", s1, s2, bbox)
+		}
+	}
+}

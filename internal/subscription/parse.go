@@ -1,0 +1,160 @@
+package subscription
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a subscription from a conjunction of constraints in the form
+//
+//	attr OP value        with OP one of ==, =, <, <=, >, >=
+//	attr in [lo, hi]
+//
+// joined by "&&". The literal "true" (or an empty string) parses to the
+// unconstrained subscription. Repeated constraints on one attribute
+// intersect. Example: "volume >= 500 && price in [10, 95] && stock == 3".
+func Parse(schema *Schema, expr string) (*Subscription, error) {
+	s := New(schema)
+	expr = strings.TrimSpace(expr)
+	if expr == "" || expr == "true" {
+		return s, nil
+	}
+	for _, clause := range strings.Split(expr, "&&") {
+		r, attr, err := parseClause(schema, strings.TrimSpace(clause))
+		if err != nil {
+			return nil, err
+		}
+		i, _ := schema.AttrIndex(attr) // validated by parseClause
+		cur := s.ranges[i]
+		lo, hi := max32(cur.Lo, r.Lo), min32(cur.Hi, r.Hi)
+		if lo > hi {
+			return nil, fmt.Errorf("subscription: constraints on %q are contradictory", attr)
+		}
+		s.ranges[i] = Range{Lo: lo, Hi: hi}
+	}
+	return s, nil
+}
+
+// MustParse is Parse for known-good literals.
+func MustParse(schema *Schema, expr string) *Subscription {
+	s, err := Parse(schema, expr)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseClause(schema *Schema, clause string) (Range, string, error) {
+	if clause == "" {
+		return Range{}, "", fmt.Errorf("subscription: empty clause")
+	}
+	fields := strings.Fields(clause)
+	if len(fields) < 2 {
+		return Range{}, "", fmt.Errorf("subscription: cannot parse clause %q", clause)
+	}
+	attr := fields[0]
+	if _, ok := schema.AttrIndex(attr); !ok {
+		return Range{}, "", fmt.Errorf("subscription: unknown attribute %q in clause %q", attr, clause)
+	}
+	maxV := schema.MaxValue()
+	op := fields[1]
+	rest := strings.TrimSpace(strings.TrimPrefix(clause, attr))
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, op))
+
+	if op == "in" {
+		lo, hi, err := parseInterval(rest)
+		if err != nil {
+			return Range{}, "", fmt.Errorf("subscription: clause %q: %w", clause, err)
+		}
+		if lo > hi || hi > maxV {
+			return Range{}, "", fmt.Errorf("subscription: interval [%d,%d] invalid in clause %q", lo, hi, clause)
+		}
+		return Range{Lo: lo, Hi: hi}, attr, nil
+	}
+
+	v64, err := strconv.ParseUint(rest, 10, 32)
+	if err != nil {
+		return Range{}, "", fmt.Errorf("subscription: bad value in clause %q: %w", clause, err)
+	}
+	v := uint32(v64)
+	if v > maxV {
+		return Range{}, "", fmt.Errorf("subscription: value %d exceeds domain max %d in clause %q", v, maxV, clause)
+	}
+	switch op {
+	case "==", "=":
+		return Range{Lo: v, Hi: v}, attr, nil
+	case "<=":
+		return Range{Lo: 0, Hi: v}, attr, nil
+	case "<":
+		if v == 0 {
+			return Range{}, "", fmt.Errorf("subscription: %q matches nothing", clause)
+		}
+		return Range{Lo: 0, Hi: v - 1}, attr, nil
+	case ">=":
+		return Range{Lo: v, Hi: maxV}, attr, nil
+	case ">":
+		if v == maxV {
+			return Range{}, "", fmt.Errorf("subscription: %q matches nothing", clause)
+		}
+		return Range{Lo: v + 1, Hi: maxV}, attr, nil
+	default:
+		return Range{}, "", fmt.Errorf("subscription: unknown operator %q in clause %q", op, clause)
+	}
+}
+
+func parseInterval(s string) (lo, hi uint32, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("interval must look like [lo, hi], got %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("interval must have two endpoints, got %q", s)
+	}
+	lo64, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 32)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi64, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint32(lo64), uint32(hi64), nil
+}
+
+// ParseEvent builds an event from "attr = value" pairs separated by commas,
+// e.g. "stock = 3, volume = 1000, price = 88". Every attribute must appear.
+func ParseEvent(schema *Schema, expr string) (Event, error) {
+	values := make(map[string]uint32, schema.NumAttrs())
+	for _, pair := range strings.Split(expr, ",") {
+		parts := strings.SplitN(pair, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("subscription: cannot parse event pair %q", pair)
+		}
+		name := strings.TrimSpace(parts[0])
+		v64, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("subscription: bad value in event pair %q: %w", pair, err)
+		}
+		if _, dup := values[name]; dup {
+			return nil, fmt.Errorf("subscription: attribute %q assigned twice", name)
+		}
+		values[name] = uint32(v64)
+	}
+	return NewEvent(schema, values)
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

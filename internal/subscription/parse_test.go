@@ -1,0 +1,161 @@
+package subscription
+
+import "testing"
+
+func TestParseOperators(t *testing.T) {
+	schema := MustSchema(10, "stock", "volume", "current")
+	tests := []struct {
+		expr   string
+		attr   string
+		wantLo uint32
+		wantHi uint32
+	}{
+		{"stock == 5", "stock", 5, 5},
+		{"stock = 5", "stock", 5, 5},
+		{"volume > 500", "volume", 501, 1023},
+		{"volume >= 500", "volume", 500, 1023},
+		{"current < 95", "current", 0, 94},
+		{"current <= 95", "current", 0, 95},
+		{"volume in [10, 20]", "volume", 10, 20},
+		{"volume in [10,20]", "volume", 10, 20},
+	}
+	for _, tt := range tests {
+		s, err := Parse(schema, tt.expr)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.expr, err)
+			continue
+		}
+		i, _ := schema.AttrIndex(tt.attr)
+		if got := s.Range(i); got.Lo != tt.wantLo || got.Hi != tt.wantHi {
+			t.Errorf("Parse(%q) range = [%d,%d], want [%d,%d]", tt.expr, got.Lo, got.Hi, tt.wantLo, tt.wantHi)
+		}
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	schema := MustSchema(10, "stock", "volume", "current")
+	s, err := Parse(schema, "stock == 3 && volume > 500 && current < 95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := NewEvent(schema, map[string]uint32{"stock": 3, "volume": 1000, "current": 88})
+	if !s.Matches(ev) {
+		t.Error("conjunction should match the paper's example event")
+	}
+}
+
+func TestParseRepeatedConstraintsIntersect(t *testing.T) {
+	schema := MustSchema(8, "x")
+	s, err := Parse(schema, "x >= 10 && x <= 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Range(0); got.Lo != 10 || got.Hi != 20 {
+		t.Errorf("intersection = [%d,%d]", got.Lo, got.Hi)
+	}
+	if _, err := Parse(schema, "x >= 20 && x <= 10"); err == nil {
+		t.Error("contradictory constraints must fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	schema := MustSchema(8, "x")
+	bad := []string{
+		"y == 1",       // unknown attribute
+		"x",            // no operator
+		"x ~= 3",       // unknown operator
+		"x == 999",     // out of domain
+		"x in [5]",     // malformed interval
+		"x in (5,6)",   // wrong brackets
+		"x in [9,2]",   // inverted interval
+		"x in [0,999]", // interval out of domain
+		"x == abc",     // non-numeric
+		"x < 0",        // empty range
+		"x > 255",      // empty range
+		"x == 1 && ",   // trailing clause
+	}
+	for _, expr := range bad {
+		if _, err := Parse(schema, expr); err == nil {
+			t.Errorf("Parse(%q) should fail", expr)
+		}
+	}
+}
+
+func TestParseEvent(t *testing.T) {
+	schema := MustSchema(10, "stock", "volume", "current")
+	e, err := ParseEvent(schema, "stock = 3, volume = 1000, current = 88")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e[0] != 3 || e[1] != 1000 || e[2] != 88 {
+		t.Errorf("event = %v", e)
+	}
+	bad := []string{
+		"stock = 3", // missing attributes
+		"stock = 3, volume = 1, current = 1, x = 2", // unknown attribute
+		"stock = 3, stock = 4, current = 1",         // duplicate
+		"stock: 3, volume = 1, current = 1",         // malformed pair
+		"stock = abc, volume = 1, current = 1",      // non-numeric
+	}
+	for _, expr := range bad {
+		if _, err := ParseEvent(schema, expr); err == nil {
+			t.Errorf("ParseEvent(%q) should fail", expr)
+		}
+	}
+}
+
+func TestQuantizer(t *testing.T) {
+	if _, err := NewQuantizer(10, 10, 8); err == nil {
+		t.Error("empty domain must fail")
+	}
+	if _, err := NewQuantizer(0, 1, 0); err == nil {
+		t.Error("bits=0 must fail")
+	}
+	q := MustQuantizer(0, 100, 8)
+	if q.Quantize(-5) != 0 {
+		t.Error("below-domain should clamp to 0")
+	}
+	if q.Quantize(200) != 255 {
+		t.Error("above-domain should clamp to max")
+	}
+	if q.Quantize(0) != 0 || q.Quantize(100) != 255 {
+		t.Error("domain endpoints wrong")
+	}
+	mid := q.Quantize(50)
+	if mid != 128 {
+		t.Errorf("Quantize(50) = %d, want 128", mid)
+	}
+	if v := q.Value(128); v != 50 {
+		t.Errorf("Value(128) = %v, want 50", v)
+	}
+}
+
+func TestQuantizerMonotone(t *testing.T) {
+	q := MustQuantizer(-1000, 1000, 12)
+	prev := q.Quantize(-1000)
+	for v := -999.0; v <= 1000; v += 0.37 {
+		cur := q.Quantize(v)
+		if cur < prev {
+			t.Fatalf("quantizer not monotone at %v: %d < %d", v, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestQuantizeRangePreservesContainment(t *testing.T) {
+	q := MustQuantizer(0, 1, 10)
+	outer, err := q.QuantizeRange(0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := q.QuantizeRange(0.3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outer.ContainsRange(inner) {
+		t.Error("containment lost under quantization")
+	}
+	if _, err := q.QuantizeRange(0.8, 0.2); err == nil {
+		t.Error("inverted interval must fail")
+	}
+}

@@ -1,0 +1,277 @@
+// Package subscription models the content-based publish/subscribe data
+// model of Section 1.1: messages (events) carry β numeric attributes;
+// subscriptions are conjunctions of range constraints, one per attribute;
+// and a subscription is a β-dimensional rectangle that matches all events
+// whose points lie inside it.
+//
+// The package also provides the Edelsbrunner–Overmars transform [EO82] that
+// turns covering between β-dimensional rectangles into dominance between
+// 2β-dimensional points: subscription s = ([ℓ1,r1], ..., [ℓβ,rβ]) becomes
+// the point p(s) = (2^k−1−ℓ1, r1, ..., 2^k−1−ℓβ, rβ), and s1 covers s2 iff
+// p(s1) dominates p(s2) coordinate-wise.
+package subscription
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema declares the attributes of a pub/sub domain. All attributes share
+// the same k-bit discrete domain [0, 2^k−1], matching the paper's
+// 2^k × ... × 2^k universe.
+type Schema struct {
+	names []string
+	index map[string]int
+	bits  int
+}
+
+// NewSchema builds a schema with the given per-attribute resolution
+// (1..16 bits, so the 2β-dimensional transform fits a 32-dim key) and
+// attribute names.
+func NewSchema(bits int, attrs ...string) (*Schema, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("subscription: bits %d out of range [1,16]", bits)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("subscription: schema needs at least one attribute")
+	}
+	if len(attrs) > 8 {
+		return nil, fmt.Errorf("subscription: %d attributes exceed the supported maximum of 8", len(attrs))
+	}
+	s := &Schema{
+		names: append([]string(nil), attrs...),
+		index: make(map[string]int, len(attrs)),
+		bits:  bits,
+	}
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("subscription: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("subscription: duplicate attribute %q", a)
+		}
+		s.index[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for known-good literals.
+func MustSchema(bits int, attrs ...string) *Schema {
+	s, err := NewSchema(bits, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Bits returns the per-attribute resolution k.
+func (s *Schema) Bits() int { return s.bits }
+
+// NumAttrs returns β, the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.names) }
+
+// Attrs returns the attribute names in declaration order.
+func (s *Schema) Attrs() []string { return append([]string(nil), s.names...) }
+
+// AttrIndex returns the position of the named attribute.
+func (s *Schema) AttrIndex(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MaxValue returns the largest attribute value, 2^k − 1.
+func (s *Schema) MaxValue() uint32 { return 1<<uint(s.bits) - 1 }
+
+// Dims returns the dominance dimensionality of the transform, 2β.
+func (s *Schema) Dims() int { return 2 * len(s.names) }
+
+// Range is an inclusive interval of attribute values.
+type Range struct {
+	Lo, Hi uint32
+}
+
+// Contains reports whether v lies in the range.
+func (r Range) Contains(v uint32) bool { return r.Lo <= v && v <= r.Hi }
+
+// ContainsRange reports whether o is a subinterval of r.
+func (r Range) ContainsRange(o Range) bool { return r.Lo <= o.Lo && o.Hi <= r.Hi }
+
+// Width returns the number of values in the range.
+func (r Range) Width() uint64 { return uint64(r.Hi) - uint64(r.Lo) + 1 }
+
+// Subscription is a conjunction of range constraints over a schema's
+// attributes; attributes not explicitly constrained span the full domain.
+type Subscription struct {
+	schema *Schema
+	ranges []Range
+}
+
+// New returns a subscription with every attribute unconstrained.
+func New(schema *Schema) *Subscription {
+	ranges := make([]Range, schema.NumAttrs())
+	for i := range ranges {
+		ranges[i] = Range{Lo: 0, Hi: schema.MaxValue()}
+	}
+	return &Subscription{schema: schema, ranges: ranges}
+}
+
+// Schema returns the subscription's schema.
+func (s *Subscription) Schema() *Schema { return s.schema }
+
+// Range returns the constraint on attribute i.
+func (s *Subscription) Range(i int) Range { return s.ranges[i] }
+
+// SetRange constrains the named attribute to [lo, hi].
+func (s *Subscription) SetRange(attr string, lo, hi uint32) error {
+	i, ok := s.schema.AttrIndex(attr)
+	if !ok {
+		return fmt.Errorf("subscription: unknown attribute %q", attr)
+	}
+	if lo > hi {
+		return fmt.Errorf("subscription: inverted range [%d,%d] on %q", lo, hi, attr)
+	}
+	if hi > s.schema.MaxValue() {
+		return fmt.Errorf("subscription: value %d exceeds domain max %d on %q", hi, s.schema.MaxValue(), attr)
+	}
+	s.ranges[i] = Range{Lo: lo, Hi: hi}
+	return nil
+}
+
+// SetEq constrains attr to exactly v.
+func (s *Subscription) SetEq(attr string, v uint32) error { return s.SetRange(attr, v, v) }
+
+// SetMin constrains attr to values >= v.
+func (s *Subscription) SetMin(attr string, v uint32) error {
+	return s.SetRange(attr, v, s.schema.MaxValue())
+}
+
+// SetMax constrains attr to values <= v.
+func (s *Subscription) SetMax(attr string, v uint32) error { return s.SetRange(attr, 0, v) }
+
+// Clone returns an independent copy.
+func (s *Subscription) Clone() *Subscription {
+	return &Subscription{schema: s.schema, ranges: append([]Range(nil), s.ranges...)}
+}
+
+// Matches reports whether the event satisfies every constraint.
+func (s *Subscription) Matches(e Event) bool {
+	if len(e) != len(s.ranges) {
+		return false
+	}
+	for i, r := range s.ranges {
+		if !r.Contains(e[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether s covers o: N(s) ⊇ N(o), i.e. every event
+// matching o also matches s. For rectangle subscriptions this is
+// per-attribute range containment.
+func (s *Subscription) Covers(o *Subscription) bool {
+	if s.schema != o.schema {
+		return false
+	}
+	for i, r := range s.ranges {
+		if !r.ContainsRange(o.ranges[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two subscriptions constrain identically.
+func (s *Subscription) Equal(o *Subscription) bool {
+	if s.schema != o.schema {
+		return false
+	}
+	for i := range s.ranges {
+		if s.ranges[i] != o.ranges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Point applies the Edelsbrunner–Overmars transform, producing the
+// 2β-dimensional point whose dominance order mirrors covering: coordinate
+// 2i is 2^k−1−ℓ_i (wider-to-the-left sorts higher) and coordinate 2i+1 is
+// r_i.
+func (s *Subscription) Point() []uint32 {
+	max := s.schema.MaxValue()
+	p := make([]uint32, 0, 2*len(s.ranges))
+	for _, r := range s.ranges {
+		p = append(p, max-r.Lo, r.Hi)
+	}
+	return p
+}
+
+// FromPoint inverts Point, reconstructing the subscription rectangle.
+func FromPoint(schema *Schema, p []uint32) (*Subscription, error) {
+	if len(p) != schema.Dims() {
+		return nil, fmt.Errorf("subscription: point has %d dims, schema needs %d", len(p), schema.Dims())
+	}
+	s := New(schema)
+	max := schema.MaxValue()
+	for i := 0; i < schema.NumAttrs(); i++ {
+		lo, hi := max-p[2*i], p[2*i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("subscription: point decodes to inverted range on attribute %d", i)
+		}
+		s.ranges[i] = Range{Lo: lo, Hi: hi}
+	}
+	return s, nil
+}
+
+// String renders the subscription in the parseable constraint syntax.
+func (s *Subscription) String() string {
+	var b strings.Builder
+	first := true
+	for i, r := range s.ranges {
+		if r.Lo == 0 && r.Hi == s.schema.MaxValue() {
+			continue
+		}
+		if !first {
+			b.WriteString(" && ")
+		}
+		first = false
+		switch {
+		case r.Lo == r.Hi:
+			fmt.Fprintf(&b, "%s == %d", s.schema.names[i], r.Lo)
+		case r.Lo == 0:
+			fmt.Fprintf(&b, "%s <= %d", s.schema.names[i], r.Hi)
+		case r.Hi == s.schema.MaxValue():
+			fmt.Fprintf(&b, "%s >= %d", s.schema.names[i], r.Lo)
+		default:
+			fmt.Fprintf(&b, "%s in [%d,%d]", s.schema.names[i], r.Lo, r.Hi)
+		}
+	}
+	if first {
+		return "true"
+	}
+	return b.String()
+}
+
+// Event is a message: one value per schema attribute, in declaration order.
+type Event []uint32
+
+// NewEvent builds an event from attribute name/value pairs; every attribute
+// must be assigned exactly once.
+func NewEvent(schema *Schema, values map[string]uint32) (Event, error) {
+	if len(values) != schema.NumAttrs() {
+		return nil, fmt.Errorf("subscription: event assigns %d attributes, schema has %d", len(values), schema.NumAttrs())
+	}
+	e := make(Event, schema.NumAttrs())
+	for name, v := range values {
+		i, ok := schema.AttrIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("subscription: unknown attribute %q", name)
+		}
+		if v > schema.MaxValue() {
+			return nil, fmt.Errorf("subscription: value %d exceeds domain max on %q", v, name)
+		}
+		e[i] = v
+	}
+	return e, nil
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfccover/internal/subscription"
+)
+
+func testSchema() *subscription.Schema {
+	return subscription.MustSchema(10, "a", "b")
+}
+
+func TestSubscriptionsValidation(t *testing.T) {
+	if _, err := Subscriptions(SubSpec{}); err == nil {
+		t.Error("missing schema must fail")
+	}
+	if _, err := Subscriptions(SubSpec{Schema: testSchema(), N: -1}); err == nil {
+		t.Error("negative N must fail")
+	}
+	if _, err := Subscriptions(SubSpec{Schema: testSchema(), N: 1, WidthFrac: 2}); err == nil {
+		t.Error("width > 1 must fail")
+	}
+	if _, err := Subscriptions(SubSpec{Schema: testSchema(), N: 1, Dist: "bimodal"}); err == nil {
+		t.Error("unknown distribution must fail")
+	}
+	if _, err := Events(EventSpec{Schema: testSchema(), N: 1, Dist: "bimodal"}); err == nil {
+		t.Error("unknown event distribution must fail")
+	}
+}
+
+func TestSubscriptionsDeterministicAndInDomain(t *testing.T) {
+	schema := testSchema()
+	for _, dist := range []SubDist{DistUniform, DistZipf, DistClustered} {
+		spec := SubSpec{Schema: schema, N: 200, Dist: dist, Seed: 42, UnconstrainedProb: 0.2}
+		a, err := Subscriptions(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		b, err := Subscriptions(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != 200 {
+			t.Fatalf("%s: got %d subs", dist, len(a))
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("%s: generation not deterministic at %d", dist, i)
+			}
+			for j := 0; j < schema.NumAttrs(); j++ {
+				r := a[i].Range(j)
+				if r.Hi > schema.MaxValue() || r.Lo > r.Hi {
+					t.Fatalf("%s: invalid range %+v", dist, r)
+				}
+			}
+		}
+	}
+}
+
+func TestSubscriptionsDistinctSeedsDiffer(t *testing.T) {
+	schema := testSchema()
+	a, _ := Subscriptions(SubSpec{Schema: schema, N: 50, Seed: 1})
+	b, _ := Subscriptions(SubSpec{Schema: schema, N: 50, Seed: 2})
+	same := 0
+	for i := range a {
+		if a[i].Equal(b[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+func TestZipfSkewsLow(t *testing.T) {
+	schema := testSchema()
+	subs, err := Subscriptions(SubSpec{Schema: schema, N: 500, Dist: DistZipf, Seed: 3, WidthFrac: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowCenters := 0
+	for _, s := range subs {
+		r := s.Range(0)
+		center := (uint64(r.Lo) + uint64(r.Hi)) / 2
+		if center < uint64(schema.MaxValue())/4 {
+			lowCenters++
+		}
+	}
+	if frac := float64(lowCenters) / float64(len(subs)); frac < 0.6 {
+		t.Fatalf("zipf should concentrate low: only %.2f below first quartile", frac)
+	}
+}
+
+func TestCoversPlantRealCovers(t *testing.T) {
+	schema := testSchema()
+	if _, err := Covers(CoverSpec{Schema: schema, N: 1, SlackFrac: 0}); err == nil {
+		t.Error("zero slack must fail")
+	}
+	pairs, err := Covers(CoverSpec{Schema: schema, N: 300, SlackFrac: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 300 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for i, p := range pairs {
+		if !p.Parent.Covers(p.Child) {
+			t.Fatalf("pair %d: parent %v does not cover child %v", i, p.Parent, p.Child)
+		}
+	}
+}
+
+func TestEventsGeneration(t *testing.T) {
+	schema := testSchema()
+	if _, err := Events(EventSpec{}); err == nil {
+		t.Error("missing schema must fail")
+	}
+	evs, err := Events(EventSpec{Schema: schema, N: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 100 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for _, e := range evs {
+		if len(e) != schema.NumAttrs() {
+			t.Fatalf("event arity %d", len(e))
+		}
+		for _, v := range e {
+			if v > schema.MaxValue() {
+				t.Fatalf("event value %d out of domain", v)
+			}
+		}
+	}
+	evs2, _ := Events(EventSpec{Schema: schema, N: 100, Seed: 5})
+	for i := range evs {
+		for a := range evs[i] {
+			if evs[i][a] != evs2[i][a] {
+				t.Fatal("event generation not deterministic")
+			}
+		}
+	}
+	if _, err := Events(EventSpec{Schema: schema, N: 10, Dist: DistZipf, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarialExtremal(t *testing.T) {
+	if _, err := AdversarialExtremal(2, 8, 7, 2); err == nil {
+		t.Error("gamma+alpha > k must fail")
+	}
+	e, err := AdversarialExtremal(3, 12, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.AspectRatio(); got != 2 {
+		t.Fatalf("aspect ratio %d, want 2", got)
+	}
+	if e.Len[2] != 15 {
+		t.Fatalf("shortest side %d, want 15", e.Len[2])
+	}
+	if e.Len[0] != 63 || e.Len[1] != 63 {
+		t.Fatalf("long sides %v, want 63", e.Len[:2])
+	}
+}
+
+func TestRandomExtremalAspectRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for alpha := 0; alpha < 6; alpha++ {
+		for trial := 0; trial < 50; trial++ {
+			e, err := RandomExtremal(rng, 4, 16, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := e.AspectRatio(); got != alpha {
+				t.Fatalf("aspect ratio %d, want %d (lens %v)", got, alpha, e.Len)
+			}
+		}
+	}
+	if _, err := RandomExtremal(rng, 2, 8, 8); err == nil {
+		t.Error("alpha >= k must fail")
+	}
+}

@@ -1,0 +1,201 @@
+// Package sfccover is a Go implementation of approximate covering detection
+// among content-based subscriptions using space filling curves, after
+// Shen & Tirthapura (ICDCS 2007 / JPDC 2012).
+//
+// In a content-based publish/subscribe system, a subscription s1 covers s2
+// when every event matching s2 also matches s1; routers that detect covers
+// can suppress the propagation of covered subscriptions and shrink their
+// routing tables. Exact covering detection is a high-dimensional point
+// dominance problem with no worst-case-efficient solution, so this library
+// implements the paper's ε-approximate detection: a space-filling-curve
+// index searches at least a (1−ε) fraction of the covering region's volume
+// at a cost that is independent of the region's size (Theorem 3.1) instead
+// of growing with its (d−1)-th power (Theorem 4.1). Missed covers cost a
+// little redundant traffic; claimed covers are always genuine, so routing
+// stays correct.
+//
+// The three entry points:
+//
+//   - Detector: covering detection over a dynamic subscription set
+//     (off / exact / ε-approximate; SFC, linear-scan or k-d tree backends).
+//   - Network: a deterministic simulation of a broker overlay that uses
+//     covering detection during subscription propagation.
+//   - Schema / Subscription / Event: the multi-attribute data model, with
+//     a constraint parser and a float quantizer.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's analytical results.
+package sfccover
+
+import (
+	"sfccover/internal/broker"
+	"sfccover/internal/core"
+	"sfccover/internal/dominance"
+	"sfccover/internal/subscription"
+)
+
+// Schema declares the numeric attributes of a pub/sub domain; every
+// attribute shares a k-bit discrete value domain.
+type Schema = subscription.Schema
+
+// Subscription is a conjunction of per-attribute range constraints.
+type Subscription = subscription.Subscription
+
+// Event is a message: one value per schema attribute.
+type Event = subscription.Event
+
+// Range is an inclusive interval of attribute values.
+type Range = subscription.Range
+
+// Quantizer maps a continuous attribute domain onto the discrete grid.
+type Quantizer = subscription.Quantizer
+
+// Detector detects covering relationships among subscriptions.
+type Detector = core.Detector
+
+// DetectorConfig parameterizes a Detector.
+type DetectorConfig = core.Config
+
+// Mode selects the covering-detection mode.
+type Mode = core.Mode
+
+// Detection modes.
+const (
+	// ModeOff disables detection (flooding baseline).
+	ModeOff = core.ModeOff
+	// ModeExact searches exhaustively.
+	ModeExact = core.ModeExact
+	// ModeApprox runs the paper's ε-approximate search.
+	ModeApprox = core.ModeApprox
+)
+
+// Strategy selects the search backend.
+type Strategy = core.Strategy
+
+// Search strategies.
+const (
+	// StrategySFC is the paper's space-filling-curve index.
+	StrategySFC = core.StrategySFC
+	// StrategyLinear scans all subscriptions.
+	StrategyLinear = core.StrategyLinear
+	// StrategyKDTree prunes with a k-d tree.
+	StrategyKDTree = core.StrategyKDTree
+)
+
+// QueryStats describes the work one covering query performed, in the cost
+// units of the paper's analysis (runs probed, cubes generated, volume
+// fraction searched).
+type QueryStats = dominance.Stats
+
+// DetectorTotals aggregates query counters over a detector's lifetime.
+type DetectorTotals = core.Totals
+
+// Network simulates a broker overlay with covering-based subscription
+// propagation.
+type Network = broker.Network
+
+// ConcurrentNetwork runs the same broker state machines as Network with
+// one goroutine per broker, channel links and quiescence detection; safe
+// for concurrent Subscribe/Publish after Start.
+type ConcurrentNetwork = broker.Concurrent
+
+// NetworkConfig parameterizes a Network's brokers.
+type NetworkConfig = broker.Config
+
+// NetworkMetrics aggregates network-wide counters.
+type NetworkMetrics = broker.Metrics
+
+// Topology describes the broker overlay tree.
+type Topology = broker.Topology
+
+// Client is an endpoint attached to one broker.
+type Client = broker.Client
+
+// NewSchema builds a schema with the given per-attribute resolution in
+// bits and attribute names.
+func NewSchema(bits int, attrs ...string) (*Schema, error) {
+	return subscription.NewSchema(bits, attrs...)
+}
+
+// MustSchema is NewSchema for known-good literals.
+func MustSchema(bits int, attrs ...string) *Schema {
+	return subscription.MustSchema(bits, attrs...)
+}
+
+// NewSubscription returns a subscription with every attribute
+// unconstrained; narrow it with SetRange/SetEq/SetMin/SetMax.
+func NewSubscription(schema *Schema) *Subscription { return subscription.New(schema) }
+
+// ParseSubscription builds a subscription from constraint syntax, e.g.
+// "stock == 3 && volume > 500 && price in [10,95]".
+func ParseSubscription(schema *Schema, expr string) (*Subscription, error) {
+	return subscription.Parse(schema, expr)
+}
+
+// MustParseSubscription is ParseSubscription for known-good literals.
+func MustParseSubscription(schema *Schema, expr string) *Subscription {
+	return subscription.MustParse(schema, expr)
+}
+
+// NewEvent builds an event from attribute name/value pairs.
+func NewEvent(schema *Schema, values map[string]uint32) (Event, error) {
+	return subscription.NewEvent(schema, values)
+}
+
+// ParseEvent builds an event from "attr = value, attr = value" syntax.
+func ParseEvent(schema *Schema, expr string) (Event, error) {
+	return subscription.ParseEvent(schema, expr)
+}
+
+// NewQuantizer maps the continuous domain [min, max] onto a bits-wide grid.
+func NewQuantizer(min, max float64, bits int) (*Quantizer, error) {
+	return subscription.NewQuantizer(min, max, bits)
+}
+
+// MergeSubscriptions returns a subscription matching exactly N(a) ∪ N(b)
+// when that union is a rectangle ("perfect merging"); ok is false
+// otherwise. Merging complements covering: two mergeable subscriptions can
+// be replaced by their exact union in a routing table with no
+// approximation error.
+func MergeSubscriptions(a, b *Subscription) (merged *Subscription, ok bool) {
+	return subscription.Merge(a, b)
+}
+
+// UnmarshalSubscription decodes the wire format produced by
+// (*Subscription).MarshalBinary, validating it against the schema.
+func UnmarshalSubscription(schema *Schema, data []byte) (*Subscription, error) {
+	return subscription.UnmarshalSubscription(schema, data)
+}
+
+// UnmarshalEvent decodes the wire format produced by Event.MarshalBinary,
+// validating it against the schema.
+func UnmarshalEvent(schema *Schema, data []byte) (Event, error) {
+	return subscription.UnmarshalEvent(schema, data)
+}
+
+// NewDetector builds a covering detector.
+func NewDetector(cfg DetectorConfig) (*Detector, error) { return core.New(cfg) }
+
+// NewNetwork builds a broker overlay simulation.
+func NewNetwork(topo Topology, cfg NetworkConfig) (*Network, error) {
+	return broker.NewNetwork(topo, cfg)
+}
+
+// NewConcurrentNetwork builds a concurrent broker overlay: attach clients,
+// Start, then drive it from any number of goroutines; Flush waits for
+// quiescence and Close shuts it down.
+func NewConcurrentNetwork(topo Topology, cfg NetworkConfig) (*ConcurrentNetwork, error) {
+	return broker.NewConcurrent(topo, cfg)
+}
+
+// LineTopology returns a path of n brokers.
+func LineTopology(n int) Topology { return broker.Line(n) }
+
+// StarTopology returns a hub-and-spoke overlay of n brokers.
+func StarTopology(n int) Topology { return broker.Star(n) }
+
+// BalancedTreeTopology returns a complete binary tree of n brokers.
+func BalancedTreeTopology(n int) Topology { return broker.BalancedTree(n) }
+
+// RandomTreeTopology returns a seeded uniformly random recursive tree.
+func RandomTreeTopology(n int, seed int64) Topology { return broker.RandomTree(n, seed) }

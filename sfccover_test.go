@@ -1,0 +1,130 @@
+package sfccover_test
+
+import (
+	"testing"
+
+	"sfccover"
+)
+
+// TestQuickstartFlow exercises the README quickstart end to end through the
+// public API only.
+func TestQuickstartFlow(t *testing.T) {
+	schema, err := sfccover.NewSchema(10, "volume", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sfccover.NewDetector(sfccover.DetectorConfig{
+		Schema:  schema,
+		Mode:    sfccover.ModeApprox,
+		Epsilon: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wide, err := sfccover.ParseSubscription(schema, "volume in [100,900] && price in [10,400]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Insert(wide); err != nil {
+		t.Fatal(err)
+	}
+
+	narrow := sfccover.MustParseSubscription(schema, "volume in [300,700] && price in [88,95]")
+	_, covered, coveredBy, err := det.Add(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wide subscription's point dominates at a generous distance, so
+	// even the approximate search finds it.
+	if !covered {
+		t.Fatal("expected the wide subscription to cover the narrow one")
+	}
+	cover, ok := det.Subscription(coveredBy)
+	if !ok || !cover.Covers(narrow) {
+		t.Fatal("reported cover is not genuine")
+	}
+
+	ev, err := sfccover.ParseEvent(schema, "volume = 500, price = 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !narrow.Matches(ev) || !wide.Matches(ev) {
+		t.Fatal("event must match both subscriptions")
+	}
+
+	// The paper's introduction example on a three-attribute schema:
+	// matching works on any schema; covering detection on schemas with
+	// equality constraints is where the aspect-ratio caveat bites (see
+	// README), so this one only demonstrates matching.
+	stocks := sfccover.MustSchema(10, "stock", "volume", "current")
+	sub := sfccover.MustParseSubscription(stocks, "stock == 3 && volume > 500 && current < 95")
+	evPaper, err := sfccover.ParseEvent(stocks, "stock = 3, volume = 1000, current = 88")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Matches(evPaper) {
+		t.Fatal("the paper's introduction example must match")
+	}
+}
+
+func TestNetworkFacade(t *testing.T) {
+	schema := sfccover.MustSchema(8, "topic", "severity")
+	net, err := sfccover.NewNetwork(sfccover.BalancedTreeTopology(7), sfccover.NetworkConfig{
+		Schema:  schema,
+		Mode:    sfccover.ModeApprox,
+		Epsilon: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subscriber, err := net.AttachClient(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publisher, err := net.AttachClient(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Subscribe(subscriber.ID, sfccover.MustParseSubscription(schema, "severity >= 200")); err != nil {
+		t.Fatal(err)
+	}
+	net.Drain()
+	ev, err := sfccover.NewEvent(schema, map[string]uint32{"topic": 9, "severity": 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Publish(publisher.ID, ev); err != nil {
+		t.Fatal(err)
+	}
+	net.Drain()
+	if len(subscriber.Received) != 1 {
+		t.Fatalf("subscriber received %d events, want 1", len(subscriber.Received))
+	}
+	if m := net.Metrics(); m.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors: %d", m.ProtocolErrors)
+	}
+}
+
+func TestQuantizerFacade(t *testing.T) {
+	q, err := sfccover.NewQuantizer(0, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := q.QuantizeRange(88.5, 95.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lo > r.Hi {
+		t.Fatal("quantized range inverted")
+	}
+	for _, topo := range []sfccover.Topology{
+		sfccover.LineTopology(3),
+		sfccover.StarTopology(4),
+		sfccover.RandomTreeTopology(5, 1),
+	} {
+		if topo.N < 3 {
+			t.Fatalf("unexpected topology size %d", topo.N)
+		}
+	}
+}
