@@ -7,12 +7,15 @@ package sfccover_test
 import (
 	"io"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"sfccover/internal/bits"
 	"sfccover/internal/core"
 	"sfccover/internal/cubes"
 	"sfccover/internal/dominance"
+	"sfccover/internal/engine"
 	"sfccover/internal/experiments"
 	"sfccover/internal/geom"
 	"sfccover/internal/sfc"
@@ -202,6 +205,152 @@ func BenchmarkDetectorAdd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Engine scaling benchmarks ----------------------------------------
+//
+// BenchmarkCoverQuery* measure covering-query throughput on a hit-heavy
+// population (planted parent/child covers): the single-threaded Detector
+// baseline versus the sharded engine's CoverQueryBatch at 1/4/16 shards,
+// driven by at least 8 goroutines. ns/op is per covering query in every
+// variant, so the numbers compare directly.
+
+const (
+	engineBenchPairs = 16384
+	engineBenchBatch = 64
+)
+
+var engineBenchCfg = core.Config{
+	Mode: core.ModeApprox, Epsilon: 0.3, MaxCubes: 10000,
+}
+
+// engineBenchWorkload plants parent/child covers: parents are stored, the
+// children are the queries (mostly hits, the router's steady state).
+func engineBenchWorkload(b *testing.B) (parents, queries []*subscription.Subscription) {
+	b.Helper()
+	schema := subscription.MustSchema(10, "volume", "price")
+	pairs, err := workload.Covers(workload.CoverSpec{
+		Schema: schema, N: engineBenchPairs, SlackFrac: 0.2, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parents = make([]*subscription.Subscription, len(pairs))
+	queries = make([]*subscription.Subscription, len(pairs))
+	for i, p := range pairs {
+		parents[i] = p.Parent
+		queries[i] = p.Child
+	}
+	return parents, queries
+}
+
+func BenchmarkCoverQueryDetectorSingleThread(b *testing.B) {
+	parents, queries := engineBenchWorkload(b)
+	cfg := engineBenchCfg
+	cfg.Schema = parents[0].Schema()
+	det := core.MustNew(cfg)
+	for _, p := range parents {
+		if _, err := det.Insert(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := det.FindCover(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngineCoverQueryBatch(b *testing.B, shards int) {
+	parents, queries := engineBenchWorkload(b)
+	cfg := engineBenchCfg
+	cfg.Schema = parents[0].Schema()
+	e := engine.MustNew(engine.Config{
+		Detector:  cfg,
+		Shards:    shards,
+		Partition: engine.PartitionPrefix,
+		Workers:   max(8, runtime.GOMAXPROCS(0)),
+	})
+	defer e.Close()
+	for _, p := range parents {
+		if _, err := e.Insert(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Guarantee >= 8 driving goroutines regardless of GOMAXPROCS.
+	par := (8 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(par)
+	var cursor atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		batch := make([]*subscription.Subscription, 0, engineBenchBatch)
+		flush := func() error {
+			for _, r := range e.CoverQueryBatch(batch) {
+				if r.Err != nil {
+					return r.Err
+				}
+			}
+			batch = batch[:0]
+			return nil
+		}
+		for pb.Next() {
+			i := int(cursor.Add(1)-1) % len(queries)
+			batch = append(batch, queries[i])
+			if len(batch) == engineBenchBatch {
+				// b.Fatal must not run off the benchmark goroutine; report
+				// and bail out of this worker instead.
+				if err := flush(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+		if len(batch) > 0 {
+			if err := flush(); err != nil {
+				b.Error(err)
+			}
+		}
+	})
+}
+
+func BenchmarkCoverQueryEngine1Shard(b *testing.B)   { benchEngineCoverQueryBatch(b, 1) }
+func BenchmarkCoverQueryEngine4Shards(b *testing.B)  { benchEngineCoverQueryBatch(b, 4) }
+func BenchmarkCoverQueryEngine16Shards(b *testing.B) { benchEngineCoverQueryBatch(b, 16) }
+
+// BenchmarkEngineAddBatch measures the router arrival path (query +
+// insert) through the batch API at the default shard count. The engine is
+// swapped for a fresh one (off the clock) whenever it reaches the
+// workload size, so ns/op reflects a bounded steady state instead of an
+// index that grows with b.N.
+func BenchmarkEngineAddBatch(b *testing.B) {
+	parents, _ := engineBenchWorkload(b)
+	cfg := engineBenchCfg
+	cfg.Schema = parents[0].Schema()
+	newEngine := func() *engine.Engine {
+		return engine.MustNew(engine.Config{Detector: cfg, Partition: engine.PartitionPrefix})
+	}
+	e := newEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += engineBenchBatch {
+		n := min(engineBenchBatch, b.N-i)
+		batch := make([]*subscription.Subscription, n)
+		for j := range batch {
+			batch[j] = parents[(i+j)%len(parents)]
+		}
+		for _, r := range e.AddBatch(batch) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		if e.Len() >= len(parents) {
+			b.StopTimer()
+			e.Close()
+			e = newEngine()
+			b.StartTimer()
+		}
+	}
+	e.Close()
 }
 
 func BenchmarkSubscriptionMatch(b *testing.B) {

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -35,27 +36,43 @@ func main() {
 		return
 	}
 
-	var selected []experiments.Experiment
-	if *run == "all" {
-		selected = experiments.All()
-	} else {
-		for _, id := range strings.Split(*run, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := experiments.ByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "coverbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
-			}
-			selected = append(selected, e)
-		}
+	selected, err := selectExperiments(*run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coverbench: %v (use -list)\n", err)
+		os.Exit(2)
 	}
 
+	if err := runExperiments(os.Stdout, selected, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "coverbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// selectExperiments resolves "all" or a comma-separated ID list.
+func selectExperiments(spec string) ([]experiments.Experiment, error) {
+	if spec == "all" {
+		return experiments.All(), nil
+	}
+	var selected []experiments.Experiment
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		selected = append(selected, e)
+	}
+	return selected, nil
+}
+
+// runExperiments executes the selection in order, writing each table to w.
+func runExperiments(w io.Writer, selected []experiments.Experiment, quick bool) error {
 	for _, e := range selected {
 		start := time.Now()
-		if err := e.Run(os.Stdout, *quick); err != nil {
-			fmt.Fprintf(os.Stderr, "coverbench: %s failed: %v\n", e.ID, err)
-			os.Exit(1)
+		if err := e.Run(w, quick); err != nil {
+			return fmt.Errorf("%s failed: %w", e.ID, err)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }

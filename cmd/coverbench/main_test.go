@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sfccover/internal/experiments"
+)
+
+func TestSelectExperimentsAll(t *testing.T) {
+	selected, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != len(experiments.All()) {
+		t.Errorf("selected %d experiments, want %d", len(selected), len(experiments.All()))
+	}
+}
+
+func TestSelectExperimentsByID(t *testing.T) {
+	selected, err := selectExperiments("E4, E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 2 || selected[0].ID != "E4" || selected[1].ID != "E1" {
+		t.Errorf("selection order not respected: %+v", selected)
+	}
+}
+
+func TestSelectExperimentsUnknownID(t *testing.T) {
+	if _, err := selectExperiments("E1,E99"); err == nil {
+		t.Error("unknown experiment id should fail")
+	}
+}
+
+func TestRunExperimentsWritesTables(t *testing.T) {
+	selected, err := selectExperiments("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runExperiments(&out, selected, true); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "E1") {
+		t.Errorf("output does not mention the experiment:\n%s", text)
+	}
+	if !strings.Contains(text, "completed in") {
+		t.Errorf("output lacks the completion line:\n%s", text)
+	}
+}

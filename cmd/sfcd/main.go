@@ -1,0 +1,142 @@
+// Command sfcd serves covering detection over the network: a sharded,
+// concurrent detection engine behind the sfcd line protocol
+// (newline-delimited JSON over TCP, subscriptions and events in the binary
+// wire format).
+//
+// Usage:
+//
+//	sfcd -addr :7421 -attrs volume,price -bits 10 \
+//	     -mode approx -epsilon 0.3 -shards 8 -partition prefix
+//
+// A quick session with netcat:
+//
+//	$ echo '{"id":1,"op":"hello"}' | nc localhost 7421
+//	{"id":1,"ok":true,"bits":10,"attrs":["volume","price"],...}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"sfccover/internal/core"
+	"sfccover/internal/engine"
+	"sfccover/internal/sfcd"
+	"sfccover/internal/subscription"
+)
+
+// daemonMaxCubes is the default per-query probe budget. The library
+// default (core.DefaultMaxCubes, ~1M probes) tolerates hundreds of
+// milliseconds per worst-case miss; a network daemon serving many clients
+// wants misses bounded much tighter. Operators can raise it with
+// -maxcubes.
+const daemonMaxCubes = 50000
+
+// options mirrors the flag set; kept separate so tests can build engine
+// configurations without touching the global flag state.
+type options struct {
+	attrs     string
+	bits      int
+	mode      string
+	epsilon   float64
+	strategy  string
+	curve     string
+	array     string
+	maxCubes  int
+	shards    int
+	partition string
+	workers   int
+	seed      int64
+}
+
+// buildConfig translates the flag values into an engine configuration.
+func buildConfig(o options) (engine.Config, error) {
+	var attrs []string
+	for _, a := range strings.Split(o.attrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			attrs = append(attrs, a)
+		}
+	}
+	schema, err := subscription.NewSchema(o.bits, attrs...)
+	if err != nil {
+		return engine.Config{}, err
+	}
+	var mode core.Mode
+	switch o.mode {
+	case "off":
+		mode = core.ModeOff
+	case "exact":
+		mode = core.ModeExact
+	case "approx":
+		mode = core.ModeApprox
+	default:
+		return engine.Config{}, fmt.Errorf("unknown mode %q (off, exact, approx)", o.mode)
+	}
+	return engine.Config{
+		Detector: core.Config{
+			Schema:   schema,
+			Mode:     mode,
+			Epsilon:  o.epsilon,
+			Strategy: core.Strategy(o.strategy),
+			Curve:    o.curve,
+			Array:    o.array,
+			Seed:     o.seed,
+			MaxCubes: o.maxCubes,
+		},
+		Shards:    o.shards,
+		Partition: engine.Partition(o.partition),
+		Workers:   o.workers,
+	}, nil
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", ":7421", "TCP listen address")
+		o    options
+	)
+	flag.StringVar(&o.attrs, "attrs", "volume,price", "comma-separated attribute names")
+	flag.IntVar(&o.bits, "bits", 10, "per-attribute resolution in bits (1..16)")
+	flag.StringVar(&o.mode, "mode", "approx", "detection mode: off, exact or approx")
+	flag.Float64Var(&o.epsilon, "epsilon", 0.3, "approximation parameter (0 < eps < 1, approx mode)")
+	flag.StringVar(&o.strategy, "strategy", "sfc", "search backend: sfc, linear or kdtree")
+	flag.StringVar(&o.curve, "curve", "", "space filling curve: z (default), hilbert or gray")
+	flag.StringVar(&o.array, "array", "", "ordered structure: treap (default) or skiplist")
+	flag.IntVar(&o.maxCubes, "maxcubes", daemonMaxCubes, "per-query probe budget (-1 = unlimited)")
+	flag.IntVar(&o.shards, "shards", 0, "shard count (0 = default)")
+	flag.StringVar(&o.partition, "partition", "prefix", "partition strategy: prefix (shared-decomposition plan) or hash")
+	flag.IntVar(&o.workers, "workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	flag.Int64Var(&o.seed, "seed", 1, "index randomization seed")
+	flag.Parse()
+
+	cfg, err := buildConfig(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcd: %v\n", err)
+		os.Exit(2)
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcd: %v\n", err)
+		os.Exit(2)
+	}
+	defer eng.Close()
+
+	srv := sfcd.NewServer(eng)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		// The server's errors already carry the "sfcd:" prefix.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("sfcd: serving %d-bit schema %s on %s (%d shards, %s partition, %s mode)",
+		o.bits, o.attrs, bound, eng.NumShards(), eng.PartitionStrategy(), eng.Mode())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("sfcd: shutting down")
+	srv.Close()
+}

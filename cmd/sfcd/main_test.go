@@ -1,0 +1,106 @@
+package main
+
+import (
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/engine"
+	"sfccover/internal/sfcd"
+	"sfccover/internal/subscription"
+)
+
+func defaultOptions() options {
+	return options{
+		attrs: "volume,price", bits: 10, mode: "approx", epsilon: 0.3,
+		strategy: "sfc", partition: "hash", seed: 1,
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig(defaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Detector.Schema.NumAttrs() != 2 || cfg.Detector.Schema.Bits() != 10 {
+		t.Errorf("schema = %d attrs, %d bits", cfg.Detector.Schema.NumAttrs(), cfg.Detector.Schema.Bits())
+	}
+	if cfg.Detector.Mode != core.ModeApprox {
+		t.Errorf("mode = %v", cfg.Detector.Mode)
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+}
+
+func TestBuildConfigSpacesAndModes(t *testing.T) {
+	o := defaultOptions()
+	o.attrs = " stock , volume ,price"
+	o.mode = "exact"
+	o.strategy = "linear"
+	cfg, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := cfg.Detector.Schema.Attrs()
+	if len(attrs) != 3 || attrs[0] != "stock" || attrs[2] != "price" {
+		t.Errorf("attrs = %v", attrs)
+	}
+	if cfg.Detector.Mode != core.ModeExact {
+		t.Errorf("mode = %v", cfg.Detector.Mode)
+	}
+	o.mode = "off"
+	if cfg, err = buildConfig(o); err != nil || cfg.Detector.Mode != core.ModeOff {
+		t.Errorf("mode off: cfg=%v err=%v", cfg.Detector.Mode, err)
+	}
+}
+
+func TestBuildConfigRejectsBadInput(t *testing.T) {
+	cases := []func(*options){
+		func(o *options) { o.attrs = "" },
+		func(o *options) { o.bits = 99 },
+		func(o *options) { o.mode = "psychic" },
+	}
+	for i, mutate := range cases {
+		o := defaultOptions()
+		mutate(&o)
+		if _, err := buildConfig(o); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestDaemonRoundTrip builds the engine+server exactly as main does and
+// drives it through the client.
+func TestDaemonRoundTrip(t *testing.T) {
+	cfg, err := buildConfig(defaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := sfcd.NewServer(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	schema := subscription.MustSchema(10, "volume", "price")
+	c, err := sfcd.Dial(addr.String(), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sid, _, _, err := c.Subscribe(subscription.MustParse(schema, "volume in [0,1000] && price in [0,1000]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe(sid); err != nil {
+		t.Fatal(err)
+	}
+}

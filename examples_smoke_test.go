@@ -1,0 +1,61 @@
+// Smoke test: every program under examples/ must build and run to
+// completion. The examples double as end-to-end tests of the public facade
+// (including the sfcd daemon example, which round-trips a real TCP
+// connection).
+package sfccover_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test invokes the go tool; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goTool := filepath.Join(os.Getenv("GOROOT"), "bin", "go")
+	if _, err := exec.LookPath("go"); err == nil {
+		goTool = "go"
+	}
+	bin := t.TempDir()
+	for _, entry := range entries {
+		if !entry.IsDir() {
+			continue
+		}
+		name := entry.Name()
+		t.Run(name, func(t *testing.T) {
+			exe := filepath.Join(bin, name)
+			build := exec.Command(goTool, "build", "-o", exe, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			run := exec.Command(exe)
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var err error
+				out, err = run.CombinedOutput()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run failed: %v\n%s", err, out)
+				}
+				if len(out) == 0 {
+					t.Error("example produced no output")
+				}
+			case <-time.After(2 * time.Minute):
+				run.Process.Kill()
+				t.Fatalf("example did not finish within 2 minutes")
+			}
+		})
+	}
+}

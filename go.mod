@@ -1,0 +1,3 @@
+module sfccover
+
+go 1.24

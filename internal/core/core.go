@@ -222,6 +222,14 @@ func MustNew(cfg Config) *Detector {
 // Mode returns the configured detection mode.
 func (d *Detector) Mode() Mode { return d.cfg.Mode }
 
+// Schema returns the detector's attribute schema.
+func (d *Detector) Schema() *subscription.Schema { return d.cfg.Schema }
+
+// Config returns the detector's configuration with defaults resolved
+// (Strategy and MaxCubes are normalized by New). Sharding layers use it to
+// clone per-shard detectors from a validated template.
+func (d *Detector) Config() Config { return d.cfg }
+
 // Len returns the number of held subscriptions.
 func (d *Detector) Len() int {
 	d.mu.Lock()

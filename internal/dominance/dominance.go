@@ -20,8 +20,6 @@ package dominance
 import (
 	"fmt"
 
-	"sfccover/internal/bits"
-	"sfccover/internal/cubes"
 	"sfccover/internal/geom"
 	"sfccover/internal/sfc"
 	"sfccover/internal/sfcarray"
@@ -174,89 +172,16 @@ func (x *Index) Query(q []uint32, eps float64) (uint64, bool, Stats, error) {
 	return x.queryApprox(region, eps, &stats)
 }
 
-// queryExhaustive decomposes the whole query region, merges the partition
-// into maximal runs — the probe count is runs(R(ℓ)), the paper's exhaustive
-// cost — and probes every run until a point turns up.
+// queryExhaustive runs the exhaustive search (see searchExhaustive)
+// against the index's single array.
 func (x *Index) queryExhaustive(region geom.Extremal, stats *Stats) (uint64, bool, Stats, error) {
-	partition, err := cubes.Decompose(region.Rect(), x.cfg.Bits)
-	if err != nil {
-		return 0, false, *stats, err
-	}
-	stats.CubesGenerated = len(partition)
-	stats.VolumeFraction = 1
-	stats.SearchedLen = append([]uint64(nil), region.Len...)
-	for _, r := range cubes.Runs(x.curve, partition) {
-		stats.RunsProbed++
-		if id, ok := x.arr.FirstInRange(r.Lo, r.Hi); ok {
-			stats.Found = true
-			return id, true, *stats, nil
-		}
-	}
-	return 0, false, *stats, nil
+	id, ok, err := searchExhaustive(x.curve, x.cfg.Bits, x.arr.FirstInRange, region, stats)
+	return id, ok, *stats, err
 }
 
-// queryApprox is the Section 5 algorithm: truncate the region per
-// Lemma 3.2, then enumerate the greedy partition level by level (largest
-// cubes first) with the Appendix-A algorithm, probing each cube's key range
-// as it is produced. The search ends at the first hit, at the level
-// boundary where the searched volume reaches (1−ε) of the query region, or
-// at the MaxCubes cap.
+// queryApprox runs the Section 5 ε-approximate search (see searchApprox)
+// against the index's single array.
 func (x *Index) queryApprox(region geom.Extremal, eps float64, stats *Stats) (uint64, bool, Stats, error) {
-	fullVol := region.Volume()
-	target, m, err := cubes.TruncateExtremal(region, eps)
-	if err != nil {
-		return 0, false, *stats, err
-	}
-	stats.M = m
-	targetVol := (1 - eps) * fullVol
-
-	var (
-		foundID  uint64
-		searched float64 // volume probed so far
-		capped   bool
-	)
-	for level := x.cfg.Bits; level >= 0; level-- {
-		err := cubes.EnumLevelVisit(target, level, func(corner []uint32, side uint64) bool {
-			stats.CubesGenerated++
-			stats.RunsProbed++
-			cubeVol := 1.0
-			for range corner {
-				cubeVol *= float64(side)
-			}
-			searched += cubeVol
-			r := sfc.CubeRange(x.curve, corner, side)
-			if id, ok := x.arr.FirstInRange(r.Lo, r.Hi); ok {
-				foundID = id
-				stats.Found = true
-				return false
-			}
-			if x.cfg.MaxCubes > 0 && stats.CubesGenerated >= x.cfg.MaxCubes {
-				capped = true
-				return false
-			}
-			return true
-		})
-		if err != nil {
-			return 0, false, *stats, err
-		}
-		stats.VolumeFraction = searched / fullVol
-		if stats.Found {
-			return foundID, true, *stats, nil
-		}
-		if capped {
-			if level < x.cfg.Bits {
-				stats.SearchedLen = bits.SVec(target.Len, level+1)
-			}
-			return 0, false, *stats, nil
-		}
-		// Level complete: the searched prefix tiles R(S_level(ℓ'))
-		// (Lemma 3.4). Stop at the boundary once the volume target is met.
-		stats.SearchedLen = bits.SVec(target.Len, level)
-		if searched >= targetVol {
-			return 0, false, *stats, nil
-		}
-	}
-	// Ran through every level: the whole truncated region was searched.
-	stats.SearchedLen = append([]uint64(nil), target.Len...)
-	return 0, false, *stats, nil
+	id, ok, err := searchApprox(x.curve, x.cfg.Bits, x.cfg.MaxCubes, x.arr.FirstInRange, region, eps, stats)
+	return id, ok, *stats, err
 }

@@ -1,0 +1,186 @@
+package dominance
+
+import (
+	"fmt"
+	"sync"
+
+	"sfccover/internal/bits"
+	"sfccover/internal/geom"
+	"sfccover/internal/sfc"
+	"sfccover/internal/sfcarray"
+)
+
+// ShardedIndex is the SFC dominance index partitioned by key range: shard
+// i owns the i-th contiguous slice of the curve's key space, each slice
+// backed by its own SFC array behind its own read-write lock.
+//
+// The layout exploits the same structural fact as the search itself: a
+// standard cube occupies one contiguous key range (Fact 2.1), so a query
+// decomposes its region ONCE — outside any lock — and routes each cube's
+// range only to the shard slices it intersects (usually exactly one; a
+// range can straddle a slice boundary). Compared to running one full
+// search per shard, the expensive part of a query — cube enumeration — is
+// never duplicated, and concurrent queries serialize only on the brief
+// per-probe read locks of the shards they actually touch. Updates lock a
+// single shard for one ordered-structure operation.
+//
+// Because a sharded query probes the same cube sequence as a single-array
+// query over the same point set, its hit/miss outcome (and approximation
+// guarantee) is identical to an unsharded Index — only the lock footprint
+// and per-probe tree sizes change.
+type ShardedIndex struct {
+	cfg        Config
+	curve      sfc.Curve
+	keyLen     int // curve key width, Dims*Bits
+	prefixBits int // bits of key prefix used for routing
+	shards     []shardSlot
+}
+
+type shardSlot struct {
+	mu  sync.RWMutex
+	arr sfcarray.Index
+}
+
+// maxPrefixBits bounds the routing prefix; 16 bits ≫ any sane shard count
+// while keeping the prefix arithmetic in a uint64.
+const maxPrefixBits = 16
+
+// NewSharded builds a key-range sharded dominance index with n shards.
+func NewSharded(cfg Config, n int) (*ShardedIndex, error) {
+	cfg = cfg.withDefaults()
+	if n < 1 {
+		return nil, fmt.Errorf("dominance: invalid shard count %d", n)
+	}
+	curve, err := sfc.New(cfg.Curve, sfc.Config{Dims: cfg.Dims, Bits: cfg.Bits})
+	if err != nil {
+		return nil, fmt.Errorf("dominance: %w", err)
+	}
+	keyLen := cfg.Dims * cfg.Bits
+	prefixBits := maxPrefixBits
+	if keyLen < prefixBits {
+		prefixBits = keyLen
+	}
+	if n > 1<<uint(prefixBits) {
+		return nil, fmt.Errorf("dominance: %d shards exceed the %d key-prefix slices", n, 1<<uint(prefixBits))
+	}
+	x := &ShardedIndex{
+		cfg:        cfg,
+		curve:      curve,
+		keyLen:     keyLen,
+		prefixBits: prefixBits,
+		shards:     make([]shardSlot, n),
+	}
+	for i := range x.shards {
+		arr, err := sfcarray.New(cfg.Array, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("dominance: %w", err)
+		}
+		x.shards[i].arr = arr
+	}
+	return x, nil
+}
+
+// NumShards returns the shard count.
+func (x *ShardedIndex) NumShards() int { return len(x.shards) }
+
+// shardForKey maps a curve key to the shard owning its key slice.
+func (x *ShardedIndex) shardForKey(k bits.Key) int {
+	top, _ := k.ShrN(x.keyLen - x.prefixBits).Uint64()
+	return int(top * uint64(len(x.shards)) >> uint(x.prefixBits))
+}
+
+// ShardFor maps a point to its home shard. Callers that co-partition
+// their own per-point state (e.g. a subscription store) use this to keep
+// their partition aligned with the index's.
+func (x *ShardedIndex) ShardFor(p []uint32) int {
+	return x.shardForKey(x.curve.Key(p))
+}
+
+// Len returns the number of indexed points.
+func (x *ShardedIndex) Len() int {
+	n := 0
+	for i := range x.shards {
+		s := &x.shards[i]
+		s.mu.RLock()
+		n += s.arr.Len()
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardSizes returns the per-shard point counts.
+func (x *ShardedIndex) ShardSizes() []int {
+	sizes := make([]int, len(x.shards))
+	for i := range x.shards {
+		s := &x.shards[i]
+		s.mu.RLock()
+		sizes[i] = s.arr.Len()
+		s.mu.RUnlock()
+	}
+	return sizes
+}
+
+// Insert indexes point p under the given id, locking only its home shard.
+func (x *ShardedIndex) Insert(p []uint32, id uint64) {
+	k := x.curve.Key(p)
+	s := &x.shards[x.shardForKey(k)]
+	s.mu.Lock()
+	s.arr.Insert(k, id)
+	s.mu.Unlock()
+}
+
+// Delete removes one (p, id) entry, reporting whether it existed.
+func (x *ShardedIndex) Delete(p []uint32, id uint64) bool {
+	k := x.curve.Key(p)
+	s := &x.shards[x.shardForKey(k)]
+	s.mu.Lock()
+	ok := s.arr.Delete(k, id)
+	s.mu.Unlock()
+	return ok
+}
+
+// probe answers one run probe by visiting only the shards whose key
+// slices intersect [lo, hi] — contiguous in shard order because the
+// partition follows key order.
+func (x *ShardedIndex) probe(lo, hi bits.Key) (uint64, bool) {
+	first, last := x.shardForKey(lo), x.shardForKey(hi)
+	for i := first; i <= last; i++ {
+		s := &x.shards[i]
+		s.mu.RLock()
+		id, ok := s.arr.FirstInRange(lo, hi)
+		s.mu.RUnlock()
+		if ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Query answers a point dominance query at q with the same semantics and
+// Stats as (*Index).Query: eps == 0 is the exhaustive search, 0 < eps < 1
+// the ε-approximate search. The decomposition runs unlocked and is shared
+// across all shards; RunsProbed counts logical run probes (a run
+// straddling a slice boundary costs one probe per shard touched but is
+// counted once).
+func (x *ShardedIndex) Query(q []uint32, eps float64) (uint64, bool, Stats, error) {
+	var stats Stats
+	if len(q) != x.cfg.Dims {
+		return 0, false, stats, errDims(len(q), x.cfg.Dims)
+	}
+	if eps < 0 || eps >= 1 {
+		return 0, false, stats, errEps(eps)
+	}
+	region := geom.QueryRegion(q, x.cfg.Bits)
+	stats.AspectRatio = region.AspectRatio()
+	var (
+		id  uint64
+		ok  bool
+		err error
+	)
+	if eps == 0 {
+		id, ok, err = searchExhaustive(x.curve, x.cfg.Bits, x.probe, region, &stats)
+	} else {
+		id, ok, err = searchApprox(x.curve, x.cfg.Bits, x.cfg.MaxCubes, x.probe, region, eps, &stats)
+	}
+	return id, ok, stats, err
+}

@@ -1,0 +1,160 @@
+package dominance
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestNewShardedValidation(t *testing.T) {
+	if _, err := NewSharded(Config{Dims: 2, Bits: 6}, 0); err == nil {
+		t.Error("0 shards must fail")
+	}
+	if _, err := NewSharded(Config{Dims: 0, Bits: 6}, 4); err == nil {
+		t.Error("dims=0 must fail")
+	}
+	if _, err := NewSharded(Config{Dims: 1, Bits: 2}, 8); err == nil {
+		t.Error("more shards than key-prefix slices must fail")
+	}
+	if _, err := NewSharded(Config{Dims: 2, Bits: 6}, 4); err != nil {
+		t.Errorf("defaults should work: %v", err)
+	}
+}
+
+// TestShardedParity: over the same point set, the sharded index probes the
+// same cube sequence as the single-array index, so found/not-found, cube
+// and run counts must agree exactly — exhaustive and approximate, at every
+// shard count, on every curve.
+func TestShardedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, curve := range []string{"z", "hilbert", "gray"} {
+		cfg := Config{Dims: 3, Bits: 6, Curve: curve, MaxCubes: 5000}
+		single := MustIndex(cfg)
+		sharded := make([]*ShardedIndex, 0, 3)
+		for _, n := range []int{1, 4, 16} {
+			x, err := NewSharded(cfg, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded = append(sharded, x)
+		}
+		pts := randomPoints(rng, 2000, 3, 6)
+		for i, p := range pts {
+			single.Insert(p, uint64(i))
+			for _, x := range sharded {
+				x.Insert(p, uint64(i))
+			}
+		}
+		for _, eps := range []float64{0, 0.3} {
+			for qi := 0; qi < 200; qi++ {
+				q := randomPoints(rng, 1, 3, 6)[0]
+				_, wantOK, wantStats, err := single.Query(q, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, x := range sharded {
+					_, gotOK, gotStats, err := x.Query(q, eps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotOK != wantOK {
+						t.Fatalf("curve %s eps %v shards %d query %d: found=%v, single index found=%v",
+							curve, eps, x.NumShards(), qi, gotOK, wantOK)
+					}
+					if gotStats.CubesGenerated != wantStats.CubesGenerated ||
+						gotStats.RunsProbed != wantStats.RunsProbed {
+						t.Fatalf("curve %s eps %v shards %d query %d: stats (%d cubes, %d runs) != single (%d cubes, %d runs)",
+							curve, eps, x.NumShards(), qi,
+							gotStats.CubesGenerated, gotStats.RunsProbed,
+							wantStats.CubesGenerated, wantStats.RunsProbed)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShardedInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	x, err := NewSharded(Config{Dims: 4, Bits: 8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := randomPoints(rng, 500, 4, 8)
+	for i, p := range pts {
+		x.Insert(p, uint64(i))
+	}
+	if x.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", x.Len(), len(pts))
+	}
+	total := 0
+	for _, n := range x.ShardSizes() {
+		total += n
+	}
+	if total != len(pts) {
+		t.Fatalf("ShardSizes sum = %d, want %d", total, len(pts))
+	}
+	for i, p := range pts {
+		if !x.Delete(p, uint64(i)) {
+			t.Fatalf("Delete(%d) found nothing", i)
+		}
+		if x.Delete(p, uint64(i)) {
+			t.Fatalf("double Delete(%d) succeeded", i)
+		}
+	}
+	if x.Len() != 0 {
+		t.Fatalf("Len after deletion = %d", x.Len())
+	}
+}
+
+func TestShardedQueryValidation(t *testing.T) {
+	x, err := NewSharded(Config{Dims: 2, Bits: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := x.Query([]uint32{1}, 0); err == nil {
+		t.Error("wrong query dims must fail")
+	}
+	if _, _, _, err := x.Query([]uint32{1, 1}, 1.0); err == nil {
+		t.Error("eps=1 must fail")
+	}
+}
+
+// TestShardedConcurrent interleaves inserts, deletes and queries from many
+// goroutines; meaningful under -race.
+func TestShardedConcurrent(t *testing.T) {
+	x, err := NewSharded(Config{Dims: 4, Bits: 8, MaxCubes: 500}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(64 + g)))
+			pts := randomPoints(rng, 200, 4, 8)
+			for i, p := range pts {
+				x.Insert(p, uint64(g*1000+i))
+			}
+			for i := 0; i < 100; i++ {
+				q := randomPoints(rng, 1, 4, 8)[0]
+				if _, _, _, err := x.Query(q, 0.4); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for i, p := range pts {
+				if !x.Delete(p, uint64(g*1000+i)) {
+					t.Errorf("goroutine %d: delete %d failed", g, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if x.Len() != 0 {
+		t.Fatalf("Len after concurrent churn = %d", x.Len())
+	}
+}

@@ -1,0 +1,436 @@
+// Package engine scales covering detection past a single Detector by
+// partitioning the subscription set across N shards and serving batched
+// operations from a fixed worker pool. Two partitioning strategies select
+// two different execution plans:
+//
+//   - PartitionHash spreads subscriptions uniformly (FNV-1a over the
+//     transformed point) across N independent core.Detector shards. A
+//     covering query is global — a cover of s may live in any shard — so
+//     each query fans out across the shards (home shard first, stopping at
+//     the first hit). Shard sizes stay balanced under any workload, and
+//     batches parallelize across the per-shard locks.
+//
+//   - PartitionPrefix splits the space filling curve's key space into N
+//     contiguous slices (with the SFC strategy; other strategies fall back
+//     to the fan-out plan with curve-prefix placement). Because a standard
+//     cube occupies one contiguous key range, a query decomposes its
+//     region once — outside any lock — and routes each cube's range to the
+//     one or two slices it intersects: the expensive enumeration is never
+//     duplicated across shards, and the read path contends only on brief
+//     per-probe read locks. This is dominance.ShardedIndex underneath.
+//
+// Either way the per-shard approximation guarantee survives aggregation:
+// every shard reports only genuine covers, hence so does the engine, and
+// in exact mode the engine's answer matches a single detector's.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sfccover/internal/core"
+	"sfccover/internal/dominance"
+	"sfccover/internal/subscription"
+)
+
+// Partition selects how subscriptions are assigned to shards.
+type Partition string
+
+const (
+	// PartitionHash assigns each subscription by a hash of its transformed
+	// point: uniform shard sizes, whole-query fan-out.
+	PartitionHash Partition = "hash"
+	// PartitionPrefix assigns each subscription by the most significant
+	// bits of its SFC key: curve-adjacent subscriptions share a shard and
+	// (with the SFC strategy) queries share one decomposition across
+	// shards, probing only the slices each cube range intersects.
+	PartitionPrefix Partition = "prefix"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Detector is the per-shard detector template (schema, mode, epsilon,
+	// strategy, curve, ...). Seed is re-derived per shard so shards build
+	// independent index structures. TrackCovered additionally maintains
+	// mirrored indexes so FindCovered works in approximate mode.
+	Detector core.Config
+	// Shards is the number of partitions (default DefaultShards).
+	Shards int
+	// Partition selects the sharding strategy (default PartitionHash).
+	Partition Partition
+	// Workers sizes the batch worker pool (default GOMAXPROCS).
+	Workers int
+}
+
+// DefaultShards is the shard count used when Config leaves Shards zero.
+const DefaultShards = 8
+
+// Totals aggregates engine-level counters: logical engine operations, so
+// a single query that fanned out to four shards adds one to Queries and
+// four to ShardSearches.
+type Totals struct {
+	// Queries is the number of logical cover (and covered) queries served.
+	Queries int
+	// Hits is how many found a cover.
+	Hits int
+	// RunsProbed and CubesGenerated sum the search costs, in the paper's
+	// cost units.
+	RunsProbed     int
+	CubesGenerated int
+	// ShardSearches is the number of per-shard searches issued; the ratio
+	// ShardSearches/Queries measures fan-out (1.0 = every query resolved
+	// in its home shard; always 1.0 on the prefix+SFC plan, which shares
+	// one search across shards).
+	ShardSearches int
+}
+
+// QueryResult is one CoverQueryBatch outcome.
+type QueryResult struct {
+	// Covered reports whether a stored subscription covers the query.
+	Covered bool
+	// CoveredBy is the engine id of the covering subscription.
+	CoveredBy uint64
+	// Stats aggregates search cost over every shard the query probed:
+	// RunsProbed and CubesGenerated are summed, Found is the overall
+	// outcome, and VolumeFraction is the minimum over probed shards (the
+	// conservative per-shard guarantee).
+	Stats dominance.Stats
+	// Err is the per-item failure, nil on success.
+	Err error
+}
+
+// AddResult is one AddBatch outcome: the id assigned to the inserted
+// subscription plus the result of the pre-insert covering query.
+type AddResult struct {
+	// ID is the engine-assigned id of the inserted subscription (0 if the
+	// insert failed).
+	ID uint64
+	QueryResult
+}
+
+// backend is one of the two execution plans behind the Engine API.
+// findCover/findCovered return the result plus the number of per-shard
+// searches issued.
+type backend interface {
+	insert(s *subscription.Subscription) (uint64, error)
+	remove(id uint64) error
+	subscription(id uint64) (*subscription.Subscription, bool)
+	findCover(s *subscription.Subscription) (QueryResult, int)
+	findCovered(s *subscription.Subscription) (QueryResult, int)
+	shardFor(p []uint32) int
+	length() int
+	shardSizes() []int
+}
+
+// Engine is a sharded, concurrent covering-detection engine. All methods
+// are safe for concurrent use; batch items are processed in parallel with
+// no ordering guarantee between items of the same batch.
+type Engine struct {
+	cfg    Config
+	schema *subscription.Schema
+	be     backend
+
+	tasks     chan func()
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	queries       atomic.Int64
+	hits          atomic.Int64
+	runsProbed    atomic.Int64
+	cubes         atomic.Int64
+	shardSearches atomic.Int64
+}
+
+// New builds an Engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Detector.Schema == nil {
+		return nil, fmt.Errorf("engine: config needs a schema")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("engine: invalid shard count %d", cfg.Shards)
+	}
+	if cfg.Partition == "" {
+		cfg.Partition = PartitionHash
+	}
+	if cfg.Partition != PartitionHash && cfg.Partition != PartitionPrefix {
+		return nil, fmt.Errorf("engine: unknown partition strategy %q", cfg.Partition)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("engine: invalid worker count %d", cfg.Workers)
+	}
+	// One template detector validates the config and resolves its defaults
+	// (strategy, MaxCubes) for both plans.
+	template, err := core.New(cfg.Detector)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	norm := template.Config()
+
+	e := &Engine{
+		cfg:    cfg,
+		schema: cfg.Detector.Schema,
+		tasks:  make(chan func(), cfg.Workers),
+	}
+	if cfg.Partition == PartitionPrefix && norm.Strategy == core.StrategySFC {
+		// norm's MaxCubes uses the dominance convention (0 = unlimited).
+		e.be, err = newRouted(norm, cfg.Shards)
+	} else {
+		// The shard detectors re-normalize the raw config themselves;
+		// passing norm would re-interpret "unlimited" (0) as the default.
+		e.be, err = newFanout(cfg.Detector, cfg.Shards, cfg.Partition)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go func() {
+			defer e.wg.Done()
+			for task := range e.tasks {
+				task()
+			}
+		}()
+	}
+	return e, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Close stops the worker pool. The engine must not be used afterwards.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		close(e.tasks)
+		e.wg.Wait()
+	})
+}
+
+// NumShards returns the configured shard count.
+func (e *Engine) NumShards() int { return e.cfg.Shards }
+
+// PartitionStrategy returns the configured partition strategy.
+func (e *Engine) PartitionStrategy() Partition { return e.cfg.Partition }
+
+// Mode returns the per-shard detection mode.
+func (e *Engine) Mode() core.Mode { return e.cfg.Detector.Mode }
+
+// Schema returns the engine's attribute schema.
+func (e *Engine) Schema() *subscription.Schema { return e.schema }
+
+// Len returns the total number of held subscriptions.
+func (e *Engine) Len() int { return e.be.length() }
+
+// ShardSizes returns the per-shard subscription counts, for balance
+// diagnostics.
+func (e *Engine) ShardSizes() []int { return e.be.shardSizes() }
+
+// shardFor maps a subscription's transformed point to its home shard.
+func (e *Engine) shardFor(p []uint32) int { return e.be.shardFor(p) }
+
+// record folds one logical query's outcome into the engine counters.
+func (e *Engine) record(res QueryResult, searches int) {
+	e.queries.Add(1)
+	if res.Covered {
+		e.hits.Add(1)
+	}
+	e.runsProbed.Add(int64(res.Stats.RunsProbed))
+	e.cubes.Add(int64(res.Stats.CubesGenerated))
+	e.shardSearches.Add(int64(searches))
+}
+
+func (e *Engine) checkSchema(s *subscription.Subscription) error {
+	if s.Schema() != e.schema {
+		return fmt.Errorf("engine: subscription schema differs from engine schema")
+	}
+	return nil
+}
+
+// findCover runs one logical covering query and records it.
+func (e *Engine) findCover(s *subscription.Subscription) QueryResult {
+	if err := e.checkSchema(s); err != nil {
+		return QueryResult{Err: err}
+	}
+	res, searches := e.be.findCover(s)
+	if res.Err != nil {
+		return res
+	}
+	e.record(res, searches)
+	return res
+}
+
+// FindCover searches the shards for a subscription covering s. The
+// approximate-mode guarantee is preserved: a reported cover is always
+// genuine.
+func (e *Engine) FindCover(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error) {
+	res := e.findCover(s)
+	return res.CoveredBy, res.Covered, res.Stats, res.Err
+}
+
+// FindCovered searches for a subscription that s covers — the reverse
+// question, used at unsubscription time. Exact mode scans directly;
+// approximate mode requires Config.Detector.TrackCovered (mirrored
+// indexes) and may miss, but never misreports.
+func (e *Engine) FindCovered(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error) {
+	if err := e.checkSchema(s); err != nil {
+		return 0, false, stats, err
+	}
+	res, searches := e.be.findCovered(s)
+	if res.Err != nil {
+		return 0, false, res.Stats, res.Err
+	}
+	e.record(res, searches)
+	return res.CoveredBy, res.Covered, res.Stats, nil
+}
+
+// Add runs the router arrival path: query for a cover, then insert s into
+// its home shard either way.
+func (e *Engine) Add(s *subscription.Subscription) AddResult {
+	res := AddResult{QueryResult: e.findCover(s)}
+	if res.Err != nil {
+		return res
+	}
+	id, err := e.be.insert(s)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.ID = id
+	return res
+}
+
+// Insert stores s unconditionally (no covering query) and returns its id.
+func (e *Engine) Insert(s *subscription.Subscription) (uint64, error) {
+	if err := e.checkSchema(s); err != nil {
+		return 0, err
+	}
+	return e.be.insert(s)
+}
+
+// Remove deletes a previously inserted subscription by engine id.
+func (e *Engine) Remove(id uint64) error { return e.be.remove(id) }
+
+// Subscription returns the held subscription with the given engine id.
+func (e *Engine) Subscription(id uint64) (*subscription.Subscription, bool) {
+	return e.be.subscription(id)
+}
+
+// Totals returns a snapshot of the engine-level counters.
+func (e *Engine) Totals() Totals {
+	return Totals{
+		Queries:        int(e.queries.Load()),
+		Hits:           int(e.hits.Load()),
+		RunsProbed:     int(e.runsProbed.Load()),
+		CubesGenerated: int(e.cubes.Load()),
+		ShardSearches:  int(e.shardSearches.Load()),
+	}
+}
+
+// run executes fn(0..n-1) on the worker pool, in contiguous chunks to
+// amortize dispatch, and waits for completion.
+func (e *Engine) run(n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	chunks := 2 * e.cfg.Workers
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		e.tasks <- func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// AddBatch runs Add for every subscription concurrently. Results align
+// with the input slice; failures are reported per item. Items of one batch
+// are mutually unordered: whether one item's query observes another item's
+// insert is unspecified (covering misses are safe, so either outcome is
+// correct).
+func (e *Engine) AddBatch(subs []*subscription.Subscription) []AddResult {
+	out := make([]AddResult, len(subs))
+	e.run(len(subs), func(i int) { out[i] = e.Add(subs[i]) })
+	return out
+}
+
+// CoverQueryBatch runs FindCover for every subscription concurrently,
+// without inserting anything. Results align with the input slice.
+func (e *Engine) CoverQueryBatch(subs []*subscription.Subscription) []QueryResult {
+	out := make([]QueryResult, len(subs))
+	e.run(len(subs), func(i int) { out[i] = e.findCover(subs[i]) })
+	return out
+}
+
+// RemoveBatch deletes the given ids concurrently. The returned slice
+// aligns with the input; entries are nil on success.
+func (e *Engine) RemoveBatch(ids []uint64) []error {
+	out := make([]error, len(ids))
+	e.run(len(ids), func(i int) { out[i] = e.Remove(ids[i]) })
+	return out
+}
+
+// --- shared helpers -----------------------------------------------------
+
+// encodeID folds a shard index into a shard-local id; decodeID inverts
+// it. Local ids start at 1, so engine ids are always >= the shard count.
+func encodeID(shards, shard int, local uint64) uint64 {
+	return local*uint64(shards) + uint64(shard)
+}
+
+func decodeID(shards int, id uint64) (shard int, local uint64) {
+	n := uint64(shards)
+	return int(id % n), id / n
+}
+
+// hashPoint is the PartitionHash placement function.
+func hashPoint(p []uint32, n int) int {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range p {
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(buf[:])
+	}
+	return int(h.Sum64() % uint64(n))
+}
+
+// mergeStats folds one shard's search cost into an aggregate.
+func mergeStats(agg *dominance.Stats, s dominance.Stats, first bool) {
+	agg.RunsProbed += s.RunsProbed
+	agg.CubesGenerated += s.CubesGenerated
+	agg.Found = agg.Found || s.Found
+	if first {
+		agg.M = s.M
+		agg.AspectRatio = s.AspectRatio
+		agg.VolumeFraction = s.VolumeFraction
+	} else if s.VolumeFraction < agg.VolumeFraction {
+		agg.VolumeFraction = s.VolumeFraction
+	}
+}

@@ -1,0 +1,522 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/subscription"
+	"sfccover/internal/workload"
+)
+
+func testSchema(t testing.TB) *subscription.Schema {
+	t.Helper()
+	return subscription.MustSchema(10, "stock", "volume", "price")
+}
+
+func testSubs(t testing.TB, schema *subscription.Schema, n int, seed int64) []*subscription.Subscription {
+	t.Helper()
+	subs, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: n, WidthFrac: 0.3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return subs
+}
+
+func TestConfigValidation(t *testing.T) {
+	schema := testSchema(t)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no schema", Config{}},
+		{"negative shards", Config{Detector: core.Config{Schema: schema}, Shards: -1}},
+		{"negative workers", Config{Detector: core.Config{Schema: schema}, Workers: -2}},
+		{"bad partition", Config{Detector: core.Config{Schema: schema}, Partition: "modulo"}},
+		{"bad detector", Config{Detector: core.Config{Schema: schema, Mode: core.ModeApprox, Epsilon: 7}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	e := MustNew(Config{Detector: core.Config{Schema: testSchema(t)}})
+	defer e.Close()
+	if got := e.NumShards(); got != DefaultShards {
+		t.Errorf("NumShards = %d, want %d", got, DefaultShards)
+	}
+	if e.Len() != 0 {
+		t.Errorf("empty engine Len = %d", e.Len())
+	}
+}
+
+// TestExactParity: in exact mode the engine's answer must agree with a
+// single exact detector on the existence of a cover, for every partition
+// strategy and several shard counts.
+func TestExactParity(t *testing.T) {
+	schema := testSchema(t)
+	stored := testSubs(t, schema, 500, 1)
+	queries := testSubs(t, schema, 300, 2)
+
+	ref := core.MustNew(core.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear})
+	for _, s := range stored {
+		if _, err := ref.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, part := range []Partition{PartitionHash, PartitionPrefix} {
+		for _, shards := range []int{1, 3, 8} {
+			t.Run(fmt.Sprintf("%s/%d", part, shards), func(t *testing.T) {
+				e := MustNew(Config{
+					Detector:  core.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear},
+					Shards:    shards,
+					Partition: part,
+				})
+				defer e.Close()
+				for _, s := range stored {
+					if _, err := e.Insert(s); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if e.Len() != len(stored) {
+					t.Fatalf("Len = %d, want %d", e.Len(), len(stored))
+				}
+				total := 0
+				for _, n := range e.ShardSizes() {
+					total += n
+				}
+				if total != len(stored) {
+					t.Fatalf("ShardSizes sum = %d, want %d", total, len(stored))
+				}
+				for i, q := range queries {
+					_, want, _, err := ref.FindCover(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, got, _, err := e.FindCover(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Errorf("query %d: engine found=%v, reference found=%v", i, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestApproxSoundness: in approximate mode every claimed cover must be
+// genuine, and the reported id must resolve to the covering subscription.
+// Planted parent/child pairs with generous slack guarantee the search
+// finds a healthy fraction of the covers.
+func TestApproxSoundness(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	pairs, err := workload.Covers(workload.CoverSpec{
+		Schema: schema, N: 200, SlackFrac: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := MustNew(Config{
+		Detector: core.Config{Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3, MaxCubes: 20000},
+		Shards:   4, Partition: PartitionPrefix,
+	})
+	defer e.Close()
+
+	parents := make([]*subscription.Subscription, len(pairs))
+	children := make([]*subscription.Subscription, len(pairs))
+	for i, p := range pairs {
+		parents[i] = p.Parent
+		children[i] = p.Child
+	}
+	for _, p := range parents {
+		if _, err := e.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := e.CoverQueryBatch(children)
+	hits := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if !r.Covered {
+			continue // approximate misses are allowed
+		}
+		hits++
+		cover, ok := e.Subscription(r.CoveredBy)
+		if !ok {
+			t.Fatalf("query %d: cover id %d does not resolve", i, r.CoveredBy)
+		}
+		if !cover.Covers(children[i]) {
+			t.Errorf("query %d: claimed cover is not genuine", i)
+		}
+	}
+	if hits < len(pairs)/2 {
+		t.Errorf("recall too low: %d/%d planted covers found", hits, len(pairs))
+	}
+	tot := e.Totals()
+	if tot.Queries != len(results) {
+		t.Errorf("Totals.Queries = %d, want %d", tot.Queries, len(results))
+	}
+	if tot.Hits != hits {
+		t.Errorf("Totals.Hits = %d, want %d", tot.Hits, hits)
+	}
+	if tot.ShardSearches < tot.Queries {
+		t.Errorf("ShardSearches %d < Queries %d", tot.ShardSearches, tot.Queries)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	schema := testSchema(t)
+	e := MustNew(Config{
+		Detector: core.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear},
+		Shards:   4,
+	})
+	defer e.Close()
+	subs := testSubs(t, schema, 64, 4)
+	ids := make([]uint64, len(subs))
+	for i, s := range subs {
+		id, err := e.Insert(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		got, ok := e.Subscription(id)
+		if !ok || !got.Equal(subs[i]) {
+			t.Fatalf("id %d does not round-trip", id)
+		}
+	}
+	errs := e.RemoveBatch(ids)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("remove %d: %v", i, err)
+		}
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len after removal = %d", e.Len())
+	}
+	if err := e.Remove(ids[0]); err == nil {
+		t.Error("double remove should fail")
+	}
+	if err := e.Remove(2); err == nil {
+		t.Error("remove of reserved id should fail")
+	}
+	if _, ok := e.Subscription(1); ok {
+		t.Error("reserved id should not resolve")
+	}
+}
+
+func TestSchemaMismatch(t *testing.T) {
+	e := MustNew(Config{Detector: core.Config{Schema: testSchema(t)}})
+	defer e.Close()
+	other := subscription.MustSchema(10, "stock", "volume", "price")
+	s := subscription.New(other)
+	if _, err := e.Insert(s); err == nil {
+		t.Error("Insert across schemas should fail")
+	}
+	if _, _, _, err := e.FindCover(s); err == nil {
+		t.Error("FindCover across schemas should fail")
+	}
+	if r := e.Add(s); r.Err == nil {
+		t.Error("Add across schemas should fail")
+	}
+}
+
+func TestCoverQueryBatchMatchesSingle(t *testing.T) {
+	schema := testSchema(t)
+	e := MustNew(Config{
+		Detector: core.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear},
+		Shards:   4,
+	})
+	defer e.Close()
+	for _, s := range testSubs(t, schema, 400, 5) {
+		if _, err := e.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := testSubs(t, schema, 200, 6)
+	batch := e.CoverQueryBatch(queries)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch returned %d results for %d queries", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		if batch[i].Err != nil {
+			t.Fatalf("query %d: %v", i, batch[i].Err)
+		}
+		_, want, _, err := e.FindCover(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Covered != want {
+			t.Errorf("query %d: batch=%v single=%v", i, batch[i].Covered, want)
+		}
+	}
+}
+
+func TestPrefixPartitionIsStable(t *testing.T) {
+	schema := testSchema(t)
+	e := MustNew(Config{
+		Detector: core.Config{Schema: schema}, Shards: 16, Partition: PartitionPrefix,
+	})
+	defer e.Close()
+	for _, s := range testSubs(t, schema, 256, 7) {
+		p := s.Point()
+		first := e.shardFor(p)
+		if first < 0 || first >= e.NumShards() {
+			t.Fatalf("shard %d out of range", first)
+		}
+		if again := e.shardFor(p); again != first {
+			t.Fatalf("shardFor not deterministic: %d then %d", first, again)
+		}
+	}
+}
+
+// TestConcurrentMixedOps hammers the engine from many goroutines; run
+// under -race it validates the locking story.
+func TestConcurrentMixedOps(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	e := MustNew(Config{
+		Detector: core.Config{Schema: schema, Mode: core.ModeApprox, Epsilon: 0.4, MaxCubes: 2000},
+		Shards:   4, Workers: 8,
+	})
+	defer e.Close()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			subs := testSubs(t, schema, 60, int64(100+g))
+			results := e.AddBatch(subs)
+			ids := make([]uint64, 0, len(results))
+			for _, r := range results {
+				if r.Err != nil {
+					t.Error(r.Err)
+					return
+				}
+				ids = append(ids, r.ID)
+			}
+			for _, q := range e.CoverQueryBatch(subs) {
+				// Approximate queries may miss covers; only hard failures
+				// are errors here.
+				if q.Err != nil {
+					t.Error(q.Err)
+					return
+				}
+			}
+			for _, err := range e.RemoveBatch(ids) {
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Len() != 0 {
+		t.Fatalf("Len after concurrent churn = %d", e.Len())
+	}
+}
+
+// TestRoutedApproxParity: the prefix+SFC plan probes the same cube
+// sequence as a single detector over the same point set, so its
+// found/miss outcome must match a single approximate detector exactly,
+// at every shard count.
+func TestRoutedApproxParity(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	cfg := core.Config{Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3, MaxCubes: 10000}
+	stored := testSubs(t, schema, 600, 20)
+	queries := testSubs(t, schema, 300, 21)
+
+	ref := core.MustNew(cfg)
+	for _, s := range stored {
+		if _, err := ref.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, shards := range []int{1, 4, 16} {
+		e := MustNew(Config{Detector: cfg, Shards: shards, Partition: PartitionPrefix})
+		for _, s := range stored {
+			if _, err := e.Insert(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, q := range queries {
+			_, want, wantStats, err := ref.FindCover(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, got, gotStats, err := e.FindCover(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("shards %d, query %d: engine found=%v, detector found=%v", shards, i, got, want)
+			}
+			if gotStats.CubesGenerated != wantStats.CubesGenerated {
+				t.Errorf("shards %d, query %d: %d cubes vs detector's %d",
+					shards, i, gotStats.CubesGenerated, wantStats.CubesGenerated)
+			}
+		}
+		tot := e.Totals()
+		if tot.ShardSearches != tot.Queries {
+			t.Errorf("shards %d: routed plan should search once per query, got %d/%d",
+				shards, tot.ShardSearches, tot.Queries)
+		}
+		e.Close()
+	}
+}
+
+// TestRoutedRemove exercises the id lifecycle on the prefix+SFC plan.
+func TestRoutedRemove(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	e := MustNew(Config{
+		Detector:  core.Config{Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3, MaxCubes: 5000},
+		Shards:    4,
+		Partition: PartitionPrefix,
+	})
+	defer e.Close()
+	subs := testSubs(t, schema, 64, 22)
+	ids := make([]uint64, len(subs))
+	for i, s := range subs {
+		id, err := e.Insert(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		got, ok := e.Subscription(id)
+		if !ok || !got.Equal(subs[i]) {
+			t.Fatalf("id %d does not round-trip", id)
+		}
+	}
+	for _, err := range e.RemoveBatch(ids) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len after removal = %d", e.Len())
+	}
+	if err := e.Remove(ids[0]); err == nil {
+		t.Error("double remove should fail")
+	}
+	if _, ok := e.Subscription(1); ok {
+		t.Error("unassigned id should not resolve")
+	}
+}
+
+// TestFindCovered exercises the reverse query on both plans.
+func TestFindCovered(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	pairs, err := workload.Covers(workload.CoverSpec{
+		Schema: schema, N: 100, SlackFrac: 0.2, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []Partition{PartitionHash, PartitionPrefix} {
+		t.Run(string(part)+"/exact", func(t *testing.T) {
+			e := MustNew(Config{
+				Detector:  core.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear},
+				Shards:    4,
+				Partition: part,
+			})
+			defer e.Close()
+			childIDs := make(map[uint64]bool)
+			for _, p := range pairs {
+				id, err := e.Insert(p.Child)
+				if err != nil {
+					t.Fatal(err)
+				}
+				childIDs[id] = true
+			}
+			for i, p := range pairs {
+				id, found, _, err := e.FindCovered(p.Parent)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !found {
+					t.Fatalf("pair %d: exact FindCovered must find the planted child", i)
+				}
+				if !childIDs[id] {
+					t.Fatalf("pair %d: FindCovered returned unknown id %d", i, id)
+				}
+			}
+		})
+		t.Run(string(part)+"/approx", func(t *testing.T) {
+			e := MustNew(Config{
+				Detector: core.Config{
+					Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3,
+					MaxCubes: 10000, TrackCovered: true,
+				},
+				Shards:    4,
+				Partition: part,
+			})
+			defer e.Close()
+			for _, p := range pairs {
+				if _, err := e.Insert(p.Child); err != nil {
+					t.Fatal(err)
+				}
+			}
+			hits := 0
+			for i, p := range pairs {
+				id, found, _, err := e.FindCovered(p.Parent)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !found {
+					continue // approximate misses are allowed
+				}
+				hits++
+				covered, ok := e.Subscription(id)
+				if !ok {
+					t.Fatalf("pair %d: id %d does not resolve", i, id)
+				}
+				if !p.Parent.Covers(covered) {
+					t.Errorf("pair %d: claimed covered subscription is not genuine", i)
+				}
+			}
+			if hits < len(pairs)/2 {
+				t.Errorf("reverse recall too low: %d/%d", hits, len(pairs))
+			}
+		})
+	}
+	// Approximate FindCovered without TrackCovered is an error.
+	e := MustNew(Config{
+		Detector:  core.Config{Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3},
+		Partition: PartitionPrefix,
+	})
+	defer e.Close()
+	if _, _, _, err := e.FindCovered(pairs[0].Parent); err == nil {
+		t.Error("approximate FindCovered without TrackCovered should fail")
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	e := MustNew(Config{Detector: core.Config{Schema: testSchema(t)}})
+	defer e.Close()
+	if got := e.AddBatch(nil); len(got) != 0 {
+		t.Errorf("AddBatch(nil) returned %d results", len(got))
+	}
+	if got := e.CoverQueryBatch(nil); len(got) != 0 {
+		t.Errorf("CoverQueryBatch(nil) returned %d results", len(got))
+	}
+	if got := e.RemoveBatch(nil); len(got) != 0 {
+		t.Errorf("RemoveBatch(nil) returned %d results", len(got))
+	}
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"fmt"
+
+	"sfccover/internal/core"
+	"sfccover/internal/sfc"
+	"sfccover/internal/subscription"
+)
+
+// fanout is the independent-shards plan: N complete core.Detectors, each
+// owning a slice of the subscription set. Updates touch one shard; a
+// covering query fans out across the shards — home shard first, stopping
+// at the first hit — because a cover can live anywhere. Used for
+// PartitionHash, and for PartitionPrefix under the non-SFC strategies
+// (where there is no shared decomposition to exploit).
+type fanout struct {
+	dets  []*core.Detector
+	place func(p []uint32) int
+}
+
+// newFanout builds the plan from the validated detector template.
+func newFanout(det core.Config, shards int, part Partition) (*fanout, error) {
+	f := &fanout{dets: make([]*core.Detector, shards)}
+	for i := range f.dets {
+		sc := det
+		// Spread seeds so shards build independent randomized structures;
+		// stride 2 leaves room for each detector's mirror index (Seed+1).
+		sc.Seed = det.Seed + int64(i)*2
+		d, err := core.New(sc)
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		f.dets[i] = d
+	}
+	if part == PartitionPrefix {
+		name := det.Curve
+		if name == "" {
+			name = "z"
+		}
+		schema := det.Schema
+		curve, err := sfc.New(name, sfc.Config{Dims: schema.Dims(), Bits: schema.Bits()})
+		if err != nil {
+			return nil, fmt.Errorf("engine: partition curve: %w", err)
+		}
+		keyLen := schema.Dims() * schema.Bits()
+		prefixBits := 16
+		if keyLen < prefixBits {
+			prefixBits = keyLen
+		}
+		f.place = func(p []uint32) int {
+			top, _ := curve.Key(p).ShrN(keyLen - prefixBits).Uint64()
+			return int(top * uint64(shards) >> uint(prefixBits))
+		}
+	} else {
+		f.place = func(p []uint32) int { return hashPoint(p, shards) }
+	}
+	return f, nil
+}
+
+func (f *fanout) shardFor(p []uint32) int { return f.place(p) }
+
+func (f *fanout) length() int {
+	n := 0
+	for _, d := range f.dets {
+		n += d.Len()
+	}
+	return n
+}
+
+func (f *fanout) shardSizes() []int {
+	sizes := make([]int, len(f.dets))
+	for i, d := range f.dets {
+		sizes[i] = d.Len()
+	}
+	return sizes
+}
+
+func (f *fanout) insert(s *subscription.Subscription) (uint64, error) {
+	shard := f.place(s.Point())
+	local, err := f.dets[shard].Insert(s)
+	if err != nil {
+		return 0, err
+	}
+	return encodeID(len(f.dets), shard, local), nil
+}
+
+func (f *fanout) remove(id uint64) error {
+	shard, local := decodeID(len(f.dets), id)
+	return f.dets[shard].Remove(local)
+}
+
+func (f *fanout) subscription(id uint64) (*subscription.Subscription, bool) {
+	shard, local := decodeID(len(f.dets), id)
+	return f.dets[shard].Subscription(local)
+}
+
+// findCover fans the query out: home shard first, then the rest, stopping
+// at the first hit.
+func (f *fanout) findCover(s *subscription.Subscription) (QueryResult, int) {
+	home := f.place(s.Point())
+	var res QueryResult
+	probed := 0
+	for i := 0; i < len(f.dets); i++ {
+		shard := (home + i) % len(f.dets)
+		id, found, stats, err := f.dets[shard].FindCover(s)
+		if err != nil {
+			return QueryResult{Err: err}, probed
+		}
+		probed++
+		mergeStats(&res.Stats, stats, i == 0)
+		if found {
+			res.Covered = true
+			res.CoveredBy = encodeID(len(f.dets), shard, id)
+			break
+		}
+	}
+	return res, probed
+}
+
+// findCovered fans the reverse query out over every shard.
+func (f *fanout) findCovered(s *subscription.Subscription) (QueryResult, int) {
+	var res QueryResult
+	probed := 0
+	for shard, d := range f.dets {
+		id, found, stats, err := d.FindCovered(s)
+		if err != nil {
+			return QueryResult{Err: err}, probed
+		}
+		probed++
+		mergeStats(&res.Stats, stats, shard == 0)
+		if found {
+			res.Covered = true
+			res.CoveredBy = encodeID(len(f.dets), shard, id)
+			break
+		}
+	}
+	return res, probed
+}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"sfccover/internal/core"
+	"sfccover/internal/dominance"
+	"sfccover/internal/subscription"
+)
+
+// routed is the shared-decomposition plan for PartitionPrefix + the SFC
+// strategy: one logical index whose SFC arrays are partitioned by key
+// range (dominance.ShardedIndex), plus a co-partitioned subscription
+// store. A query decomposes once, outside any lock, and each cube probe
+// takes only the brief read lock of the key slice it lands in — the
+// "mostly lock-free" read path. Updates lock one store stripe and one
+// index slice.
+type routed struct {
+	mode     core.Mode
+	eps      float64
+	maxCoord uint32
+	idx      *dominance.ShardedIndex
+	mirror   *dominance.ShardedIndex // non-nil iff TrackCovered
+	stores   []routedStore
+}
+
+// routedStore is one store stripe, aligned with the index's key slices.
+type routedStore struct {
+	mu   sync.Mutex
+	subs map[uint64]*subscription.Subscription // keyed by engine id
+	next uint64                                // next local id, starting at 1
+}
+
+// newRouted builds the plan from the normalized detector template (whose
+// MaxCubes already uses the dominance convention: 0 = unlimited).
+func newRouted(det core.Config, shards int) (*routed, error) {
+	schema := det.Schema
+	dcfg := dominance.Config{
+		Dims: schema.Dims(), Bits: schema.Bits(),
+		Curve: det.Curve, Array: det.Array, Seed: det.Seed, MaxCubes: det.MaxCubes,
+	}
+	idx, err := dominance.NewSharded(dcfg, shards)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	r := &routed{
+		mode:     det.Mode,
+		eps:      det.Epsilon,
+		maxCoord: schema.MaxValue(),
+		idx:      idx,
+		stores:   make([]routedStore, shards),
+	}
+	if det.TrackCovered {
+		mcfg := dcfg
+		mcfg.Seed++
+		if r.mirror, err = dominance.NewSharded(mcfg, shards); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	for i := range r.stores {
+		r.stores[i].subs = make(map[uint64]*subscription.Subscription)
+		r.stores[i].next = 1
+	}
+	return r, nil
+}
+
+// mirrorPoint reflects a transformed point through the universe's center:
+// dominance among mirrored points is reverse covering.
+func (r *routed) mirrorPoint(p []uint32) []uint32 {
+	out := make([]uint32, len(p))
+	for i, v := range p {
+		out[i] = r.maxCoord - v
+	}
+	return out
+}
+
+func (r *routed) shardFor(p []uint32) int { return r.idx.ShardFor(p) }
+
+func (r *routed) length() int {
+	n := 0
+	for i := range r.stores {
+		st := &r.stores[i]
+		st.mu.Lock()
+		n += len(st.subs)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+func (r *routed) shardSizes() []int {
+	sizes := make([]int, len(r.stores))
+	for i := range r.stores {
+		st := &r.stores[i]
+		st.mu.Lock()
+		sizes[i] = len(st.subs)
+		st.mu.Unlock()
+	}
+	return sizes
+}
+
+func (r *routed) insert(s *subscription.Subscription) (uint64, error) {
+	p := s.Point()
+	shard := r.idx.ShardFor(p)
+	st := &r.stores[shard]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	id := encodeID(len(r.stores), shard, st.next)
+	st.next++
+	st.subs[id] = s.Clone()
+	r.idx.Insert(p, id)
+	if r.mirror != nil {
+		r.mirror.Insert(r.mirrorPoint(p), id)
+	}
+	return id, nil
+}
+
+func (r *routed) remove(id uint64) error {
+	shard, _ := decodeID(len(r.stores), id)
+	st := &r.stores[shard]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.subs[id]
+	if !ok {
+		return fmt.Errorf("engine: no subscription with id %d", id)
+	}
+	p := s.Point()
+	if !r.idx.Delete(p, id) {
+		return fmt.Errorf("engine: index out of sync for id %d", id)
+	}
+	if r.mirror != nil && !r.mirror.Delete(r.mirrorPoint(p), id) {
+		return fmt.Errorf("engine: mirror index out of sync for id %d", id)
+	}
+	delete(st.subs, id)
+	return nil
+}
+
+func (r *routed) subscription(id uint64) (*subscription.Subscription, bool) {
+	shard, _ := decodeID(len(r.stores), id)
+	st := &r.stores[shard]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.subs[id]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+// findCover runs one shared-decomposition search; the returned ids are
+// engine ids because that is what the index stores.
+func (r *routed) findCover(s *subscription.Subscription) (QueryResult, int) {
+	switch r.mode {
+	case core.ModeOff:
+		return QueryResult{}, 0
+	case core.ModeExact:
+		return r.query(r.idx, s.Point(), 0)
+	default: // ModeApprox
+		return r.query(r.idx, s.Point(), r.eps)
+	}
+}
+
+func (r *routed) findCovered(s *subscription.Subscription) (QueryResult, int) {
+	switch r.mode {
+	case core.ModeOff:
+		return QueryResult{}, 0
+	case core.ModeExact:
+		// Direct scan, like a Detector's exact FindCovered: always
+		// available, O(n).
+		probed := 0
+		for i := range r.stores {
+			st := &r.stores[i]
+			st.mu.Lock()
+			for id, cand := range st.subs {
+				if s.Covers(cand) {
+					st.mu.Unlock()
+					return QueryResult{Covered: true, CoveredBy: id}, probed + 1
+				}
+			}
+			st.mu.Unlock()
+			probed++
+		}
+		return QueryResult{}, probed
+	}
+	// ModeApprox.
+	if r.mirror == nil {
+		return QueryResult{Err: fmt.Errorf("engine: approximate FindCovered requires Config.Detector.TrackCovered")}, 0
+	}
+	return r.query(r.mirror, r.mirrorPoint(s.Point()), r.eps)
+}
+
+func (r *routed) query(idx *dominance.ShardedIndex, p []uint32, eps float64) (QueryResult, int) {
+	id, found, stats, err := idx.Query(p, eps)
+	if err != nil {
+		return QueryResult{Err: err}, 0
+	}
+	return QueryResult{Covered: found, CoveredBy: id, Stats: stats}, 1
+}

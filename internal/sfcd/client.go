@@ -1,0 +1,251 @@
+package sfcd
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+
+	"sfccover/internal/subscription"
+)
+
+// Client is a synchronous sfcd protocol client. It is safe for one
+// goroutine; routers wanting concurrency open one client per goroutine (or
+// batch, which is usually faster than concurrency on the same link).
+type Client struct {
+	conn   net.Conn
+	r      *bufio.Scanner
+	w      *bufio.Writer
+	schema *subscription.Schema
+	nextID uint64
+
+	// Hello-negotiated server facts.
+	shards    int
+	partition string
+	mode      string
+}
+
+// Dial connects to an sfcd server and verifies with a hello exchange that
+// the server's schema matches the client's (attribute names and bit width
+// both participate in the binary wire format's header check, so a mismatch
+// here fails fast instead of per request).
+func Dial(addr string, schema *subscription.Schema) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sfcd: %w", err)
+	}
+	c := &Client{
+		conn:   conn,
+		r:      bufio.NewScanner(conn),
+		w:      bufio.NewWriter(conn),
+		schema: schema,
+	}
+	c.r.Buffer(make([]byte, 64<<10), MaxLineBytes)
+	resp, err := c.roundTrip(Request{Op: "hello"})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Bits != schema.Bits() || len(resp.Attrs) != schema.NumAttrs() {
+		conn.Close()
+		return nil, fmt.Errorf("sfcd: server schema (%d bits, %d attrs) differs from client schema (%d bits, %d attrs)",
+			resp.Bits, len(resp.Attrs), schema.Bits(), schema.NumAttrs())
+	}
+	for i, attr := range schema.Attrs() {
+		if resp.Attrs[i] != attr {
+			conn.Close()
+			return nil, fmt.Errorf("sfcd: server attribute %d is %q, client expects %q", i, resp.Attrs[i], attr)
+		}
+	}
+	c.shards, c.partition, c.mode = resp.Shards, resp.Partition, resp.Mode
+	return c, nil
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Shards reports the server's shard count (from the hello exchange).
+func (c *Client) Shards() int { return c.shards }
+
+// Partition reports the server's partition strategy.
+func (c *Client) Partition() string { return c.partition }
+
+// Mode reports the server's detection mode.
+func (c *Client) Mode() string { return c.mode }
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.nextID++
+	req.ID = c.nextID
+	line, err := json.Marshal(&req)
+	if err != nil {
+		return Response{}, fmt.Errorf("sfcd: send: %w", err)
+	}
+	// The server drops the connection on lines beyond MaxLineBytes; fail
+	// the request with an actionable error instead (split the batch).
+	if len(line) >= MaxLineBytes {
+		return Response{}, fmt.Errorf("sfcd: request line is %d bytes, server cap is %d: split the batch", len(line), MaxLineBytes)
+	}
+	if _, err := c.w.Write(append(line, '\n')); err != nil {
+		return Response{}, fmt.Errorf("sfcd: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return Response{}, fmt.Errorf("sfcd: send: %w", err)
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return Response{}, fmt.Errorf("sfcd: read: %w", err)
+		}
+		return Response{}, errors.New("sfcd: connection closed by server")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.r.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("sfcd: malformed response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return Response{}, fmt.Errorf("sfcd: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return Response{}, fmt.Errorf("sfcd: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+func (c *Client) encodeSub(s *subscription.Subscription) (string, error) {
+	raw, err := s.MarshalBinary()
+	if err != nil {
+		return "", fmt.Errorf("sfcd: %w", err)
+	}
+	return base64.StdEncoding.EncodeToString(raw), nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Op: "ping"})
+	return err
+}
+
+// Subscribe stores s on the server, returning its id and the outcome of
+// the pre-insert covering query.
+func (c *Client) Subscribe(s *subscription.Subscription) (sid uint64, covered bool, coveredBy uint64, err error) {
+	payload, err := c.encodeSub(s)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	resp, err := c.roundTrip(Request{Op: "subscribe", Payload: payload})
+	if err != nil {
+		return 0, false, 0, err
+	}
+	if resp.Result == nil {
+		return 0, false, 0, errors.New("sfcd: response carries no result")
+	}
+	return resp.Result.SID, resp.Result.Covered, resp.Result.CoveredBy, nil
+}
+
+// SubscribeBatch stores a batch in one round trip. The results align with
+// subs; per-item failures are reported in Result.Error.
+func (c *Client) SubscribeBatch(subs []*subscription.Subscription) ([]Result, error) {
+	payloads := make([]string, len(subs))
+	for i, s := range subs {
+		p, err := c.encodeSub(s)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+	resp, err := c.roundTrip(Request{Op: "subscribe_batch", Payloads: payloads})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(subs) {
+		return nil, fmt.Errorf("sfcd: %d results for %d subscriptions", len(resp.Results), len(subs))
+	}
+	return resp.Results, nil
+}
+
+// Unsubscribe removes the subscription with the given id.
+func (c *Client) Unsubscribe(sid uint64) error {
+	_, err := c.roundTrip(Request{Op: "unsubscribe", SID: sid})
+	return err
+}
+
+// UnsubscribeBatch removes a batch of ids in one round trip.
+func (c *Client) UnsubscribeBatch(sids []uint64) ([]Result, error) {
+	resp, err := c.roundTrip(Request{Op: "unsubscribe_batch", SIDs: sids})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(sids) {
+		return nil, fmt.Errorf("sfcd: %d results for %d ids", len(resp.Results), len(sids))
+	}
+	return resp.Results, nil
+}
+
+// Query asks whether any stored subscription covers s, without storing
+// anything.
+func (c *Client) Query(s *subscription.Subscription) (covered bool, coveredBy uint64, err error) {
+	payload, err := c.encodeSub(s)
+	if err != nil {
+		return false, 0, err
+	}
+	resp, err := c.roundTrip(Request{Op: "query", Payload: payload})
+	if err != nil {
+		return false, 0, err
+	}
+	if resp.Result == nil {
+		return false, 0, errors.New("sfcd: response carries no result")
+	}
+	return resp.Result.Covered, resp.Result.CoveredBy, nil
+}
+
+// QueryBatch runs a batch of covering queries in one round trip.
+func (c *Client) QueryBatch(subs []*subscription.Subscription) ([]Result, error) {
+	payloads := make([]string, len(subs))
+	for i, s := range subs {
+		p, err := c.encodeSub(s)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+	resp, err := c.roundTrip(Request{Op: "query_batch", Payloads: payloads})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(subs) {
+		return nil, fmt.Errorf("sfcd: %d results for %d queries", len(resp.Results), len(subs))
+	}
+	return resp.Results, nil
+}
+
+// Match asks whether any stored subscription matches the event — covering
+// applied to the event's degenerate point-subscription, with the usual
+// guarantee (a reported match is genuine; approximate mode may miss).
+func (c *Client) Match(e subscription.Event) (matched bool, matchedBy uint64, err error) {
+	raw, err := e.MarshalBinary(c.schema)
+	if err != nil {
+		return false, 0, fmt.Errorf("sfcd: %w", err)
+	}
+	resp, err := c.roundTrip(Request{Op: "match", Payload: base64.StdEncoding.EncodeToString(raw)})
+	if err != nil {
+		return false, 0, err
+	}
+	if resp.Result == nil {
+		return false, 0, errors.New("sfcd: response carries no result")
+	}
+	return resp.Result.Covered, resp.Result.CoveredBy, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(Request{Op: "stats"})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("sfcd: response carries no stats")
+	}
+	return *resp.Stats, nil
+}

@@ -1,0 +1,99 @@
+// Package sfcd turns the sharded detection engine into a network service:
+// a newline-delimited JSON protocol over TCP, carrying subscriptions and
+// events in their binary wire format (base64-encoded), plus the matching
+// client. One daemon serves many routers; batch operations map directly
+// onto the engine's AddBatch/RemoveBatch/CoverQueryBatch so a single
+// request line can amortize the round trip over hundreds of covering
+// queries.
+//
+// Protocol: each line is one JSON request; the server answers each with
+// one JSON response line, in request order per connection. Concurrency
+// comes from concurrent connections and from the engine's worker pool
+// underneath batch requests.
+//
+//	→ {"id":1,"op":"hello"}
+//	← {"id":1,"ok":true,"bits":10,"attrs":["volume","price"],"shards":8,"partition":"hash","mode":"approx"}
+//	→ {"id":2,"op":"subscribe","payload":"<base64 subscription wire>"}
+//	← {"id":2,"ok":true,"sid":41,"covered":true,"coveredBy":17}
+//	→ {"id":3,"op":"query_batch","payloads":["...","..."]}
+//	← {"id":3,"ok":true,"results":[{"covered":true,"coveredBy":17},{"covered":false}]}
+//
+// Operations: hello, ping, subscribe, subscribe_batch, unsubscribe,
+// unsubscribe_batch, query, query_batch, match, stats.
+//
+// "match" answers event delivery: an event e is a degenerate subscription
+// constraining every attribute to exactly its value, so "does any stored
+// subscription match e" is precisely "is that point-subscription covered",
+// and the engine's covering machinery answers it with the usual guarantee
+// (a reported match is genuine; approximate mode may miss).
+package sfcd
+
+// Request is one protocol request line.
+type Request struct {
+	// ID is echoed in the response so clients can pipeline.
+	ID uint64 `json:"id"`
+	// Op selects the operation.
+	Op string `json:"op"`
+	// Payload carries one base64-encoded binary subscription (subscribe,
+	// query) or event (match).
+	Payload string `json:"payload,omitempty"`
+	// Payloads carries a batch of base64-encoded subscriptions.
+	Payloads []string `json:"payloads,omitempty"`
+	// SID identifies a subscription to unsubscribe.
+	SID uint64 `json:"sid,omitempty"`
+	// SIDs identifies a batch of subscriptions to unsubscribe.
+	SIDs []uint64 `json:"sids,omitempty"`
+}
+
+// Result is one per-item outcome inside a batch response.
+type Result struct {
+	// SID is the id assigned by subscribe operations.
+	SID uint64 `json:"sid,omitempty"`
+	// Covered reports whether a cover (or match) was found; CoveredBy is
+	// the id of the covering subscription.
+	Covered   bool   `json:"covered,omitempty"`
+	CoveredBy uint64 `json:"coveredBy,omitempty"`
+	// Error is the per-item failure, empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// Stats is the counter snapshot returned by the stats operation: the
+// engine's logical totals plus occupancy.
+type Stats struct {
+	Queries        int `json:"queries"`
+	Hits           int `json:"hits"`
+	RunsProbed     int `json:"runsProbed"`
+	CubesGenerated int `json:"cubesGenerated"`
+	ShardSearches  int `json:"shardSearches"`
+	// Subscriptions is the number of currently held subscriptions.
+	Subscriptions int `json:"subscriptions"`
+	// ShardSizes is the per-shard subscription count.
+	ShardSizes []int `json:"shardSizes"`
+}
+
+// Response is one protocol response line.
+type Response struct {
+	// ID echoes the request id.
+	ID uint64 `json:"id"`
+	// OK reports whether the request succeeded; on failure Error explains.
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// hello fields.
+	Bits      int      `json:"bits,omitempty"`
+	Attrs     []string `json:"attrs,omitempty"`
+	Shards    int      `json:"shards,omitempty"`
+	Partition string   `json:"partition,omitempty"`
+	Mode      string   `json:"mode,omitempty"`
+
+	// Single-operation outcome (subscribe, query, match, unsubscribe).
+	Result *Result `json:"result,omitempty"`
+	// Batch outcomes, aligned with the request's payloads/sids.
+	Results []Result `json:"results,omitempty"`
+	// Stats snapshot (stats op).
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// MaxLineBytes bounds one protocol line (a batch of ~64k subscriptions);
+// longer lines terminate the connection.
+const MaxLineBytes = 8 << 20

@@ -1,0 +1,327 @@
+package sfcd
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sfccover/internal/engine"
+	"sfccover/internal/subscription"
+)
+
+// Server serves the sfcd protocol on top of one Engine. Connections are
+// handled concurrently; within a connection, requests are answered in
+// order.
+type Server struct {
+	eng    *engine.Engine
+	schema *subscription.Schema
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps an engine in a protocol server. The server does not own
+// the engine: Close stops serving but leaves the engine usable.
+func NewServer(eng *engine.Engine) *Server {
+	return &Server{
+		eng:    eng,
+		schema: eng.Schema(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:7421", ":0" for an ephemeral port)
+// and starts accepting connections in the background. It returns the bound
+// address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sfcd: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("sfcd: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until the listener fails or the server
+// is closed. It is the blocking alternative to Listen for callers that
+// manage their own listener.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("sfcd: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	return s.acceptLoop(ln)
+}
+
+func (s *Server) acceptLoop(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("sfcd: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener, drops every open connection and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64<<10), MaxLineBytes)
+	out := bufio.NewWriter(conn)
+	enc := json.NewEncoder(out)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{OK: true}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{OK: false, Error: fmt.Sprintf("malformed request: %v", err)}
+		} else {
+			resp = s.serve(req)
+		}
+		resp.ID = req.ID
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serve dispatches one request.
+func (s *Server) serve(req Request) Response {
+	switch req.Op {
+	case "ping":
+		return Response{OK: true}
+	case "hello":
+		return Response{
+			OK:        true,
+			Bits:      s.schema.Bits(),
+			Attrs:     s.schema.Attrs(),
+			Shards:    s.eng.NumShards(),
+			Partition: string(s.eng.PartitionStrategy()),
+			Mode:      s.eng.Mode().String(),
+		}
+	case "subscribe":
+		sub, err := s.decodeSub(req.Payload)
+		if err != nil {
+			return errResponse(err)
+		}
+		r := s.eng.Add(sub)
+		if r.Err != nil {
+			return errResponse(r.Err)
+		}
+		return Response{OK: true, Result: &Result{SID: r.ID, Covered: r.Covered, CoveredBy: r.CoveredBy}}
+	case "subscribe_batch":
+		subs, errs := s.decodeSubs(req.Payloads)
+		results := make([]Result, len(subs))
+		added := s.eng.AddBatch(compact(subs))
+		j := 0
+		for i := range subs {
+			switch {
+			case errs[i] != nil:
+				results[i] = Result{Error: errs[i].Error()}
+			case added[j].Err != nil:
+				results[i] = Result{Error: added[j].Err.Error()}
+				j++
+			default:
+				r := added[j]
+				results[i] = Result{SID: r.ID, Covered: r.Covered, CoveredBy: r.CoveredBy}
+				j++
+			}
+		}
+		return Response{OK: true, Results: results}
+	case "unsubscribe":
+		if err := s.eng.Remove(req.SID); err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true, Result: &Result{SID: req.SID}}
+	case "unsubscribe_batch":
+		errs := s.eng.RemoveBatch(req.SIDs)
+		results := make([]Result, len(errs))
+		for i, err := range errs {
+			results[i] = Result{SID: req.SIDs[i]}
+			if err != nil {
+				results[i].Error = err.Error()
+			}
+		}
+		return Response{OK: true, Results: results}
+	case "query":
+		sub, err := s.decodeSub(req.Payload)
+		if err != nil {
+			return errResponse(err)
+		}
+		id, found, _, err := s.eng.FindCover(sub)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
+	case "query_batch":
+		subs, errs := s.decodeSubs(req.Payloads)
+		queried := s.eng.CoverQueryBatch(compact(subs))
+		results := make([]Result, len(subs))
+		j := 0
+		for i := range subs {
+			switch {
+			case errs[i] != nil:
+				results[i] = Result{Error: errs[i].Error()}
+			case queried[j].Err != nil:
+				results[i] = Result{Error: queried[j].Err.Error()}
+				j++
+			default:
+				results[i] = Result{Covered: queried[j].Covered, CoveredBy: queried[j].CoveredBy}
+				j++
+			}
+		}
+		return Response{OK: true, Results: results}
+	case "match":
+		sub, err := s.decodeEventAsSub(req.Payload)
+		if err != nil {
+			return errResponse(err)
+		}
+		id, found, _, err := s.eng.FindCover(sub)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
+	case "stats":
+		tot := s.eng.Totals()
+		return Response{OK: true, Stats: &Stats{
+			Queries:        tot.Queries,
+			Hits:           tot.Hits,
+			RunsProbed:     tot.RunsProbed,
+			CubesGenerated: tot.CubesGenerated,
+			ShardSearches:  tot.ShardSearches,
+			Subscriptions:  s.eng.Len(),
+			ShardSizes:     s.eng.ShardSizes(),
+		}}
+	default:
+		return Response{OK: false, Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func errResponse(err error) Response { return Response{OK: false, Error: err.Error()} }
+
+// decodeSub decodes one base64 binary subscription payload.
+func (s *Server) decodeSub(payload string) (*subscription.Subscription, error) {
+	raw, err := base64.StdEncoding.DecodeString(payload)
+	if err != nil {
+		return nil, fmt.Errorf("payload is not base64: %w", err)
+	}
+	return subscription.UnmarshalSubscription(s.schema, raw)
+}
+
+// decodeSubs decodes a batch; per-item failures leave a nil subscription
+// and a non-nil error at the same index.
+func (s *Server) decodeSubs(payloads []string) ([]*subscription.Subscription, []error) {
+	subs := make([]*subscription.Subscription, len(payloads))
+	errs := make([]error, len(payloads))
+	for i, p := range payloads {
+		subs[i], errs[i] = s.decodeSub(p)
+	}
+	return subs, errs
+}
+
+// decodeEventAsSub decodes a binary event and lifts it to the degenerate
+// subscription that constrains every attribute to the event's value; its
+// covers are exactly the subscriptions matching the event.
+func (s *Server) decodeEventAsSub(payload string) (*subscription.Subscription, error) {
+	raw, err := base64.StdEncoding.DecodeString(payload)
+	if err != nil {
+		return nil, fmt.Errorf("payload is not base64: %w", err)
+	}
+	ev, err := subscription.UnmarshalEvent(s.schema, raw)
+	if err != nil {
+		return nil, err
+	}
+	sub := subscription.New(s.schema)
+	for i, attr := range s.schema.Attrs() {
+		if err := sub.SetEq(attr, ev[i]); err != nil {
+			return nil, err
+		}
+	}
+	return sub, nil
+}
+
+// compact copies the non-nil entries (failed decodes leave holes) so
+// batches reach the engine dense.
+func compact(subs []*subscription.Subscription) []*subscription.Subscription {
+	out := make([]*subscription.Subscription, 0, len(subs))
+	for _, s := range subs {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+package sfcd
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/engine"
+	"sfccover/internal/subscription"
+	"sfccover/internal/workload"
+)
+
+func startServer(t *testing.T, schema *subscription.Schema, mode core.Mode) (*Server, string) {
+	t.Helper()
+	cfg := core.Config{Schema: schema, Mode: mode}
+	if mode == core.ModeExact {
+		cfg.Strategy = core.StrategyLinear
+	}
+	if mode == core.ModeApprox {
+		cfg.Epsilon = 0.3
+		cfg.MaxCubes = 10000
+	}
+	eng := engine.MustNew(engine.Config{Detector: cfg, Shards: 4, Workers: 4})
+	srv := NewServer(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, addr.String()
+}
+
+func TestEndToEnd(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeExact)
+
+	c, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if c.Shards() != 4 || c.Mode() != "exact" {
+		t.Errorf("hello negotiated shards=%d mode=%q", c.Shards(), c.Mode())
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	broad := subscription.MustParse(schema, "volume in [100,900] && price in [10,400]")
+	narrow := subscription.MustParse(schema, "volume in [200,300] && price in [50,60]")
+
+	sid, covered, _, err := c.Subscribe(broad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered {
+		t.Error("first subscription cannot be covered")
+	}
+
+	covered, coveredBy, err := c.Query(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !covered || coveredBy != sid {
+		t.Errorf("narrow should be covered by %d, got covered=%v by %d", sid, covered, coveredBy)
+	}
+
+	// An event inside the broad subscription matches; one outside does not.
+	in, err := subscription.ParseEvent(schema, "volume = 500, price = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, matchedBy, err := c.Match(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matched || matchedBy != sid {
+		t.Errorf("event should match %d, got matched=%v by %d", sid, matched, matchedBy)
+	}
+	out, err := subscription.ParseEvent(schema, "volume = 50, price = 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched, _, err := c.Match(out); err != nil || matched {
+		t.Errorf("event outside all subscriptions: matched=%v err=%v", matched, err)
+	}
+
+	// Second subscribe of the narrow subscription reports the cover.
+	nsid, covered, coveredBy, err := c.Subscribe(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !covered || coveredBy != sid {
+		t.Errorf("subscribe(narrow): covered=%v by %d, want by %d", covered, coveredBy, sid)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Subscriptions != 2 {
+		t.Errorf("stats.Subscriptions = %d, want 2", stats.Subscriptions)
+	}
+	if stats.Queries < 3 {
+		t.Errorf("stats.Queries = %d, want >= 3", stats.Queries)
+	}
+	if len(stats.ShardSizes) != 4 {
+		t.Errorf("stats.ShardSizes has %d entries, want 4", len(stats.ShardSizes))
+	}
+
+	if err := c.Unsubscribe(nsid); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe(nsid); err == nil {
+		t.Error("double unsubscribe should fail")
+	}
+	if covered, _, err := c.Query(narrow); err != nil || !covered {
+		t.Errorf("broad still stored: covered=%v err=%v", covered, err)
+	}
+}
+
+func TestBatchOps(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeExact)
+	c, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	subs, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: 128, WidthFrac: 0.3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := c.SubscribeBatch(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sids := make([]uint64, len(added))
+	for i, r := range added {
+		if r.Error != "" {
+			t.Fatalf("subscribe %d: %s", i, r.Error)
+		}
+		sids[i] = r.SID
+	}
+
+	queried, err := c.QueryBatch(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range queried {
+		if r.Error != "" {
+			t.Fatalf("query %d: %s", i, r.Error)
+		}
+		if !r.Covered {
+			t.Errorf("query %d: a stored subscription covers itself in exact mode", i)
+		}
+	}
+
+	removed, err := c.UnsubscribeBatch(sids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range removed {
+		if r.Error != "" {
+			t.Fatalf("unsubscribe %d: %s", i, r.Error)
+		}
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Subscriptions != 0 {
+		t.Errorf("stats.Subscriptions = %d after draining", stats.Subscriptions)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeExact)
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, schema)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			subs, err := workload.Subscriptions(workload.SubSpec{
+				Schema: schema, N: 40, WidthFrac: 0.2, Seed: int64(g),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			added, err := c.SubscribeBatch(subs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := c.QueryBatch(subs); err != nil {
+				errs <- err
+				return
+			}
+			sids := make([]uint64, len(added))
+			for i, r := range added {
+				sids[i] = r.SID
+			}
+			if _, err := c.UnsubscribeBatch(sids); err != nil {
+				errs <- err
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestDialSchemaMismatch(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeExact)
+	if _, err := Dial(addr, subscription.MustSchema(10, "volume", "qty")); err == nil {
+		t.Error("dial with mismatched attribute names should fail")
+	}
+	if _, err := Dial(addr, subscription.MustSchema(8, "volume", "price")); err == nil {
+		t.Error("dial with mismatched bit width should fail")
+	}
+	if _, err := Dial(addr, subscription.MustSchema(10, "volume")); err == nil {
+		t.Error("dial with mismatched attribute count should fail")
+	}
+}
+
+// TestProtocolErrors speaks the wire protocol directly to exercise the
+// server's failure paths.
+func TestProtocolErrors(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeExact)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+
+	send := func(line string) Response {
+		t.Helper()
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("no response to %q (err: %v)", line, sc.Err())
+		}
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("malformed response %q: %v", sc.Text(), err)
+		}
+		return resp
+	}
+
+	if resp := send(`{"id":1,"op":"warp"}`); resp.OK {
+		t.Error("unknown op must fail")
+	}
+	if resp := send(`not json`); resp.OK {
+		t.Error("malformed request must fail")
+	}
+	if resp := send(`{"id":2,"op":"subscribe","payload":"!!!"}`); resp.OK {
+		t.Error("non-base64 payload must fail")
+	}
+	if resp := send(`{"id":3,"op":"subscribe","payload":"AAAA"}`); resp.OK {
+		t.Error("malformed wire payload must fail")
+	}
+	if resp := send(`{"id":4,"op":"unsubscribe","sid":999}`); resp.OK {
+		t.Error("unknown sid must fail")
+	}
+	// A batch with one bad payload still succeeds per item.
+	sub := subscription.MustParse(schema, "volume in [1,5]")
+	raw, err := sub.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := json.Marshal(Request{ID: 5, Op: "subscribe_batch", Payloads: []string{
+		"!!!", base64.StdEncoding.EncodeToString(raw),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := send(string(req))
+	if !resp.OK || len(resp.Results) != 2 {
+		t.Fatalf("mixed batch: ok=%v results=%d", resp.OK, len(resp.Results))
+	}
+	if resp.Results[0].Error == "" {
+		t.Error("bad item should carry an error")
+	}
+	if resp.Results[1].Error != "" || resp.Results[1].SID == 0 {
+		t.Errorf("good item should succeed, got %+v", resp.Results[1])
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	srv, addr := startServer(t, schema, core.ModeExact)
+	c, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err == nil {
+		t.Error("ping after server close should fail")
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("listen after close should fail")
+	}
+}
+
+func TestApproxDaemonSoundness(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeApprox)
+	c, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pairs, err := workload.Covers(workload.CoverSpec{
+		Schema: schema, N: 100, SlackFrac: 0.2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents := make([]*subscription.Subscription, len(pairs))
+	children := make([]*subscription.Subscription, len(pairs))
+	for i, p := range pairs {
+		parents[i] = p.Parent
+		children[i] = p.Child
+	}
+	if _, err := c.SubscribeBatch(parents); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.QueryBatch(children)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i, r := range results {
+		if r.Error != "" {
+			t.Fatalf("query %d: %s", i, r.Error)
+		}
+		if r.Covered {
+			hits++
+		}
+	}
+	if hits < len(pairs)/2 {
+		t.Errorf("recall too low through the daemon: %d/%d", hits, len(pairs))
+	}
+}

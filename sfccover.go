@@ -14,10 +14,16 @@
 // little redundant traffic; claimed covers are always genuine, so routing
 // stays correct.
 //
-// The three entry points:
+// The entry points:
 //
 //   - Detector: covering detection over a dynamic subscription set
 //     (off / exact / ε-approximate; SFC, linear-scan or k-d tree backends).
+//   - Engine: a sharded, concurrent detection engine that partitions the
+//     subscription set across N detectors (hash or curve-prefix
+//     partitioning) and serves batched operations from a worker pool.
+//   - DaemonServer / DaemonClient: the sfcd network protocol
+//     (newline-delimited JSON over TCP, binary wire payloads) that turns
+//     an Engine into a standalone service.
 //   - Network: a deterministic simulation of a broker overlay that uses
 //     covering detection during subscription propagation.
 //   - Schema / Subscription / Event: the multi-attribute data model, with
@@ -31,6 +37,8 @@ import (
 	"sfccover/internal/broker"
 	"sfccover/internal/core"
 	"sfccover/internal/dominance"
+	"sfccover/internal/engine"
+	"sfccover/internal/sfcd"
 	"sfccover/internal/subscription"
 )
 
@@ -89,6 +97,54 @@ type QueryStats = dominance.Stats
 
 // DetectorTotals aggregates query counters over a detector's lifetime.
 type DetectorTotals = core.Totals
+
+// Engine is a sharded, concurrent covering-detection engine: N
+// independently locked Detector shards behind batched Add/Remove/Query
+// operations served by a worker pool. A reported cover is always genuine,
+// exactly as for a single Detector.
+type Engine = engine.Engine
+
+// EngineConfig parameterizes an Engine: the per-shard detector template
+// plus shard count, partition strategy and worker pool size.
+type EngineConfig = engine.Config
+
+// EnginePartition selects how subscriptions are assigned to shards.
+type EnginePartition = engine.Partition
+
+// Engine partition strategies.
+const (
+	// PartitionHash spreads subscriptions uniformly by hashing their
+	// transformed points.
+	PartitionHash = engine.PartitionHash
+	// PartitionPrefix splits the space-filling curve's key space by its
+	// most significant bits, keeping curve-adjacent subscriptions — the
+	// likely covers — in the same shard.
+	PartitionPrefix = engine.PartitionPrefix
+)
+
+// EngineTotals aggregates engine-level counters (logical queries, hits,
+// probe costs and shard fan-out).
+type EngineTotals = engine.Totals
+
+// EngineAddResult is one AddBatch outcome.
+type EngineAddResult = engine.AddResult
+
+// EngineQueryResult is one CoverQueryBatch outcome.
+type EngineQueryResult = engine.QueryResult
+
+// DaemonServer serves the sfcd line protocol (newline-delimited JSON over
+// TCP, subscriptions and events in the binary wire format) on top of an
+// Engine.
+type DaemonServer = sfcd.Server
+
+// DaemonClient is a synchronous sfcd protocol client.
+type DaemonClient = sfcd.Client
+
+// DaemonResult is one per-item outcome in a daemon batch response.
+type DaemonResult = sfcd.Result
+
+// DaemonStats is the counter snapshot served by the daemon's stats op.
+type DaemonStats = sfcd.Stats
 
 // Network simulates a broker overlay with covering-based subscription
 // propagation.
@@ -175,6 +231,21 @@ func UnmarshalEvent(schema *Schema, data []byte) (Event, error) {
 
 // NewDetector builds a covering detector.
 func NewDetector(cfg DetectorConfig) (*Detector, error) { return core.New(cfg) }
+
+// NewEngine builds a sharded concurrent detection engine. Call Close when
+// done to stop its worker pool.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// NewDaemonServer wraps an engine in an sfcd protocol server; start it
+// with Listen (background) or Serve (blocking) and stop it with Close.
+// The server does not own the engine.
+func NewDaemonServer(e *Engine) *DaemonServer { return sfcd.NewServer(e) }
+
+// DialDaemon connects to an sfcd server, verifying that the server's
+// schema matches the given one.
+func DialDaemon(addr string, schema *Schema) (*DaemonClient, error) {
+	return sfcd.Dial(addr, schema)
+}
 
 // NewNetwork builds a broker overlay simulation.
 func NewNetwork(topo Topology, cfg NetworkConfig) (*Network, error) {
