@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"sfccover/internal/bits"
+	"sfccover/internal/broker"
 	"sfccover/internal/core"
 	"sfccover/internal/cubes"
 	"sfccover/internal/dominance"
@@ -352,6 +353,100 @@ func BenchmarkEngineAddBatch(b *testing.B) {
 	}
 	e.Close()
 }
+
+// BenchmarkEngineAddBatchCold measures the cold-start bulk-load path:
+// one AddBatch carrying the whole population into a fresh engine, so the
+// shard-grouped insert (one stripe+slice lock round trip per shard
+// instead of one per item) dominates the profile. ns/op is per inserted
+// subscription.
+func benchEngineAddBatchCold(b *testing.B, part engine.Partition) {
+	parents, _ := engineBenchWorkload(b)
+	cfg := engineBenchCfg
+	cfg.Schema = parents[0].Schema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(parents) {
+		b.StopTimer()
+		e := engine.MustNew(engine.Config{Detector: cfg, Shards: 8, Partition: part})
+		n := min(len(parents), b.N-i)
+		b.StartTimer()
+		for _, r := range e.AddBatch(parents[:n]) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		b.StopTimer()
+		e.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkEngineAddBatchColdHash(b *testing.B) { benchEngineAddBatchCold(b, engine.PartitionHash) }
+func BenchmarkEngineAddBatchColdPrefix(b *testing.B) {
+	benchEngineAddBatchCold(b, engine.PartitionPrefix)
+}
+
+// --- Broker churn benchmarks ------------------------------------------
+//
+// BenchmarkBrokerChurn* measure subscription-churn throughput through the
+// overlay simulation — subscribe, propagate, then unsubscribe (exercising
+// the covered-set resubscription path) — with the per-link detection
+// backend as the variable: single detector versus the two engine
+// backends. ns/op is per churn operation (one subscribe or unsubscribe,
+// drained).
+func benchBrokerChurn(b *testing.B, backend broker.Backend) {
+	schema := subscription.MustSchema(10, "topic", "price")
+	subs, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: 512, WidthFrac: 0.4, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := broker.MustNetwork(broker.BalancedTree(7), broker.Config{
+		Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3, MaxCubes: 5000,
+		Backend: backend, Shards: 4, BatchSize: 32,
+	})
+	defer n.Close()
+	clients := make([]*broker.Client, 8)
+	for i := range clients {
+		c, err := n.AttachClient(i % n.NumBrokers())
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = c
+	}
+	// Live window: subscribe until 256 are live, then churn one out per
+	// new arrival so the working set stays bounded as b.N grows.
+	type live struct {
+		client int
+		sub    int
+	}
+	var window []live
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(window) >= 256 {
+			w := window[0]
+			window = window[1:]
+			if err := n.Unsubscribe(clients[w.client].ID, subs[w.sub]); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			c, s := i%len(clients), i%len(subs)
+			if err := n.Subscribe(clients[c].ID, subs[s]); err != nil {
+				b.Fatal(err)
+			}
+			window = append(window, live{client: c, sub: s})
+		}
+		n.Drain()
+	}
+	b.StopTimer()
+	if n.Metrics().ProtocolErrors != 0 {
+		b.Fatalf("protocol errors: %d", n.Metrics().ProtocolErrors)
+	}
+}
+
+func BenchmarkBrokerChurnDetector(b *testing.B)     { benchBrokerChurn(b, broker.BackendDetector) }
+func BenchmarkBrokerChurnEngineHash(b *testing.B)   { benchBrokerChurn(b, broker.BackendEngineHash) }
+func BenchmarkBrokerChurnEnginePrefix(b *testing.B) { benchBrokerChurn(b, broker.BackendEnginePrefix) }
 
 func BenchmarkSubscriptionMatch(b *testing.B) {
 	schema := subscription.MustSchema(10, "stock", "volume", "current")

@@ -3,9 +3,14 @@
 // optimization targets: routing-table size, subscription messages
 // propagated, suppression counts and event traffic.
 //
+// The -backend flag selects the per-link covering provider: a single
+// detector, a hash-sharded engine, or a curve-prefix engine — all running
+// the identical routing protocol.
+//
 // Example:
 //
-//	pubsubsim -brokers 31 -topology tree -subs 300 -mode approx -eps 0.2
+//	pubsubsim -brokers 31 -topology tree -subs 300 -mode approx -eps 0.2 \
+//	          -backend engine-prefix -shards 4
 package main
 
 import (
@@ -20,47 +25,76 @@ import (
 	"sfccover/internal/workload"
 )
 
+// params collects the simulation knobs (the flag set, minus parsing).
+type params struct {
+	brokers  int
+	topology string
+	nSubs    int
+	nClients int
+	nEvents  int
+	mode     string
+	eps      float64
+	maxCubes int
+	width    float64
+	dist     string
+	seed     int64
+	backend  string
+	shards   int
+	batch    int
+	churn    float64
+}
+
 func main() {
-	var (
-		brokers  = flag.Int("brokers", 31, "number of brokers")
-		topology = flag.String("topology", "tree", "overlay shape: line | star | tree | random")
-		nSubs    = flag.Int("subs", 300, "number of subscriptions")
-		nClients = flag.Int("clients", 24, "number of clients")
-		nEvents  = flag.Int("events", 100, "number of published events")
-		mode     = flag.String("mode", "approx", "covering mode: off | exact | approx")
-		eps      = flag.Float64("eps", 0.2, "approximation parameter for -mode approx")
-		maxCubes = flag.Int("cap", 10000, "per-query probe budget (0 = library default, -1 = unlimited)")
-		width    = flag.Float64("width", 0.3, "mean subscription width as a fraction of the domain")
-		dist     = flag.String("dist", "uniform", "value distribution: uniform | zipf | clustered")
-		seed     = flag.Int64("seed", 1, "workload seed")
-	)
+	var p params
+	flag.IntVar(&p.brokers, "brokers", 31, "number of brokers")
+	flag.StringVar(&p.topology, "topology", "tree", "overlay shape: line | star | tree | random")
+	flag.IntVar(&p.nSubs, "subs", 300, "number of subscriptions")
+	flag.IntVar(&p.nClients, "clients", 24, "number of clients")
+	flag.IntVar(&p.nEvents, "events", 100, "number of published events")
+	flag.StringVar(&p.mode, "mode", "approx", "covering mode: off | exact | approx")
+	flag.Float64Var(&p.eps, "eps", 0.2, "approximation parameter for -mode approx")
+	flag.IntVar(&p.maxCubes, "cap", 10000, "per-query probe budget (0 = library default, -1 = unlimited)")
+	flag.Float64Var(&p.width, "width", 0.3, "mean subscription width as a fraction of the domain")
+	flag.StringVar(&p.dist, "dist", "uniform", "value distribution: uniform | zipf | clustered")
+	flag.Int64Var(&p.seed, "seed", 1, "workload seed")
+	flag.StringVar(&p.backend, "backend", "detector", "per-link provider: detector | engine-hash | engine-prefix")
+	flag.IntVar(&p.shards, "shards", 0, "per-link engine shard count (engine backends; 0 = default)")
+	flag.IntVar(&p.batch, "batch", 0, "covered-set re-forward probe batch size (0 = whole set)")
+	flag.Float64Var(&p.churn, "churn", 0.25, "fraction of subscriptions withdrawn again before publishing")
 	flag.Parse()
-	if err := run(*brokers, *topology, *nSubs, *nClients, *nEvents, *mode, *eps, *maxCubes, *width, *dist, *seed); err != nil {
+	if err := run(p); err != nil {
 		fmt.Fprintf(os.Stderr, "pubsubsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(brokers int, topology string, nSubs, nClients, nEvents int, mode string, eps float64, maxCubes int, width float64, dist string, seed int64) error {
+func run(p params) error {
 	schema, err := subscription.NewSchema(10, "topic", "price")
 	if err != nil {
 		return err
 	}
 	var topo broker.Topology
-	switch topology {
+	switch p.topology {
 	case "line":
-		topo = broker.Line(brokers)
+		topo = broker.Line(p.brokers)
 	case "star":
-		topo = broker.Star(brokers)
+		topo = broker.Star(p.brokers)
 	case "tree":
-		topo = broker.BalancedTree(brokers)
+		topo = broker.BalancedTree(p.brokers)
 	case "random":
-		topo = broker.RandomTree(brokers, seed)
+		topo = broker.RandomTree(p.brokers, p.seed)
 	default:
-		return fmt.Errorf("unknown topology %q", topology)
+		return fmt.Errorf("unknown topology %q", p.topology)
 	}
-	cfg := broker.Config{Schema: schema, MaxCubes: maxCubes, Seed: seed}
-	switch mode {
+	cfg := broker.Config{
+		Schema:    schema,
+		MaxCubes:  p.maxCubes,
+		Seed:      p.seed,
+		Backend:   broker.Backend(p.backend),
+		Shards:    p.shards,
+		BatchSize: p.batch,
+	}
+	switch p.mode {
 	case "off":
 		cfg.Mode = core.ModeOff
 	case "exact":
@@ -68,19 +102,22 @@ func run(brokers int, topology string, nSubs, nClients, nEvents int, mode string
 		cfg.Strategy = core.StrategyLinear
 	case "approx":
 		cfg.Mode = core.ModeApprox
-		cfg.Epsilon = eps
+		cfg.Epsilon = p.eps
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", p.mode)
+	}
+	if p.churn < 0 || p.churn > 1 {
+		return fmt.Errorf("churn fraction %v out of [0,1]", p.churn)
 	}
 
 	subs, err := workload.Subscriptions(workload.SubSpec{
-		Schema: schema, N: nSubs, Dist: workload.SubDist(dist),
-		WidthFrac: width, Seed: seed,
+		Schema: schema, N: p.nSubs, Dist: workload.SubDist(p.dist),
+		WidthFrac: p.width, Seed: p.seed,
 	})
 	if err != nil {
 		return err
 	}
-	events, err := workload.Events(workload.EventSpec{Schema: schema, N: nEvents, Seed: seed + 1})
+	events, err := workload.Events(workload.EventSpec{Schema: schema, N: p.nEvents, Seed: p.seed + 1})
 	if err != nil {
 		return err
 	}
@@ -89,7 +126,8 @@ func run(brokers int, topology string, nSubs, nClients, nEvents int, mode string
 	if err != nil {
 		return err
 	}
-	clients := make([]*broker.Client, nClients)
+	defer net.Close()
+	clients := make([]*broker.Client, p.nClients)
 	for i := range clients {
 		c, err := net.AttachClient(i % net.NumBrokers())
 		if err != nil {
@@ -98,13 +136,23 @@ func run(brokers int, topology string, nSubs, nClients, nEvents int, mode string
 		clients[i] = c
 	}
 	for i, s := range subs {
-		if err := net.Subscribe(clients[i%nClients].ID, s); err != nil {
+		if err := net.Subscribe(clients[i%p.nClients].ID, s); err != nil {
+			return err
+		}
+	}
+	net.Drain()
+	// Withdraw a slice of the population again: unsubscription drives the
+	// covered-set resubscription path, the part of the protocol the
+	// covering optimization makes delicate.
+	nChurn := int(p.churn * float64(len(subs)))
+	for i := 0; i < nChurn; i++ {
+		if err := net.Unsubscribe(clients[i%p.nClients].ID, subs[i]); err != nil {
 			return err
 		}
 	}
 	net.Drain()
 	for i, ev := range events {
-		if err := net.Publish(clients[i%nClients].ID, ev); err != nil {
+		if err := net.Publish(clients[i%p.nClients].ID, ev); err != nil {
 			return err
 		}
 	}
@@ -112,15 +160,16 @@ func run(brokers int, topology string, nSubs, nClients, nEvents int, mode string
 
 	m := net.Metrics()
 	tot := net.CoverTotals()
-	fmt.Printf("pubsubsim: %d brokers (%s), %d clients, %d subscriptions, %d events, mode=%s",
-		topo.N, topology, nClients, nSubs, nEvents, mode)
+	fmt.Printf("pubsubsim: %d brokers (%s), %d clients, %d subscriptions (%d churned), %d events, mode=%s backend=%s",
+		topo.N, p.topology, p.nClients, p.nSubs, nChurn, p.nEvents, p.mode, cfg.Backend)
 	if cfg.Mode == core.ModeApprox {
-		fmt.Printf(" eps=%v cap=%d", eps, maxCubes)
+		fmt.Printf(" eps=%v cap=%d", p.eps, p.maxCubes)
 	}
 	fmt.Println()
 	tb := stats.NewTable("metric", "value")
 	tb.AddRow("routing table rows", net.TableRows())
 	tb.AddRow("forwarded-set entries", net.ForwardedEntries())
+	tb.AddRow("suppressed-set entries", net.SuppressedEntries())
 	tb.AddRow("subscribe msgs", m.SubscribeMsgs)
 	tb.AddRow("unsubscribe msgs", m.UnsubscribeMsgs)
 	tb.AddRow("suppressed forwards", m.SuppressedForwards)

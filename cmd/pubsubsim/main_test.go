@@ -2,35 +2,69 @@ package main
 
 import "testing"
 
+// base returns a small, fast parameter set; tests mutate what they need.
+func base() params {
+	return params{
+		brokers: 7, topology: "tree", nSubs: 40, nClients: 6, nEvents: 10,
+		mode: "exact", width: 0.3, dist: "uniform", seed: 1, backend: "detector",
+		churn: 0.25,
+	}
+}
+
 func TestRunAllModesAndTopologies(t *testing.T) {
 	for _, topo := range []string{"line", "star", "tree", "random"} {
-		if err := run(7, topo, 40, 6, 10, "exact", 0, 0, 0.3, "uniform", 1); err != nil {
+		p := base()
+		p.topology = topo
+		if err := run(p); err != nil {
 			t.Errorf("topology %s: %v", topo, err)
 		}
 	}
 	for _, mode := range []string{"off", "exact", "approx"} {
-		if err := run(5, "tree", 30, 4, 10, mode, 0.3, 2000, 0.3, "uniform", 2); err != nil {
+		p := base()
+		p.brokers, p.nSubs, p.nClients = 5, 30, 4
+		p.mode, p.eps, p.maxCubes, p.seed = mode, 0.3, 2000, 2
+		if err := run(p); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
 	for _, dist := range []string{"uniform", "zipf", "clustered"} {
-		if err := run(3, "line", 20, 3, 5, "off", 0, 0, 0.25, dist, 3); err != nil {
+		p := base()
+		p.brokers, p.nSubs, p.nClients, p.nEvents = 3, 20, 3, 5
+		p.topology, p.mode, p.width, p.dist, p.seed = "line", "off", 0.25, dist, 3
+		if err := run(p); err != nil {
 			t.Errorf("dist %s: %v", dist, err)
 		}
 	}
 }
 
+func TestRunEngineBackends(t *testing.T) {
+	for _, backend := range []string{"engine-hash", "engine-prefix"} {
+		p := base()
+		p.brokers, p.nSubs = 5, 30
+		p.mode, p.eps, p.maxCubes = "approx", 0.3, 2000
+		p.backend, p.shards, p.batch = backend, 2, 8
+		p.churn = 0.5
+		if err := run(p); err != nil {
+			t.Errorf("backend %s: %v", backend, err)
+		}
+	}
+}
+
 func TestRunRejectsBadArguments(t *testing.T) {
-	if err := run(5, "mesh", 10, 2, 2, "exact", 0, 0, 0.3, "uniform", 1); err == nil {
-		t.Error("unknown topology must fail")
+	mutations := map[string]func(*params){
+		"unknown topology":     func(p *params) { p.topology = "mesh" },
+		"unknown mode":         func(p *params) { p.mode = "fuzzy" },
+		"epsilon out of range": func(p *params) { p.mode = "approx"; p.eps = 7 },
+		"unknown distribution": func(p *params) { p.dist = "bimodal" },
+		"unknown backend":      func(p *params) { p.backend = "quantum" },
+		"churn out of range":   func(p *params) { p.churn = 1.5 },
 	}
-	if err := run(5, "tree", 10, 2, 2, "fuzzy", 0, 0, 0.3, "uniform", 1); err == nil {
-		t.Error("unknown mode must fail")
-	}
-	if err := run(5, "tree", 10, 2, 2, "approx", 7, 0, 0.3, "uniform", 1); err == nil {
-		t.Error("epsilon out of range must fail")
-	}
-	if err := run(5, "tree", 10, 2, 2, "off", 0, 0, 0.3, "bimodal", 1); err == nil {
-		t.Error("unknown distribution must fail")
+	for name, mutate := range mutations {
+		p := base()
+		p.brokers, p.nSubs, p.nClients, p.nEvents = 5, 10, 2, 2
+		mutate(&p)
+		if err := run(p); err == nil {
+			t.Errorf("%s must fail", name)
+		}
 	}
 }

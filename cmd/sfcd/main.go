@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,18 +40,19 @@ const daemonMaxCubes = 50000
 // options mirrors the flag set; kept separate so tests can build engine
 // configurations without touching the global flag state.
 type options struct {
-	attrs     string
-	bits      int
-	mode      string
-	epsilon   float64
-	strategy  string
-	curve     string
-	array     string
-	maxCubes  int
-	shards    int
-	partition string
-	workers   int
-	seed      int64
+	attrs        string
+	bits         int
+	mode         string
+	epsilon      float64
+	strategy     string
+	curve        string
+	array        string
+	maxCubes     int
+	shards       int
+	partition    string
+	workers      int
+	seed         int64
+	trackCovered bool
 }
 
 // buildConfig translates the flag values into an engine configuration.
@@ -78,14 +80,15 @@ func buildConfig(o options) (engine.Config, error) {
 	}
 	return engine.Config{
 		Detector: core.Config{
-			Schema:   schema,
-			Mode:     mode,
-			Epsilon:  o.epsilon,
-			Strategy: core.Strategy(o.strategy),
-			Curve:    o.curve,
-			Array:    o.array,
-			Seed:     o.seed,
-			MaxCubes: o.maxCubes,
+			Schema:       schema,
+			Mode:         mode,
+			Epsilon:      o.epsilon,
+			Strategy:     core.Strategy(o.strategy),
+			Curve:        o.curve,
+			Array:        o.array,
+			Seed:         o.seed,
+			MaxCubes:     o.maxCubes,
+			TrackCovered: o.trackCovered,
 		},
 		Shards:    o.shards,
 		Partition: engine.Partition(o.partition),
@@ -93,10 +96,21 @@ func buildConfig(o options) (engine.Config, error) {
 	}, nil
 }
 
+// metricsHandler serves the engine counters in the Prometheus text
+// exposition format — the same rendering as the protocol's "metrics" op,
+// on a scrape-friendly HTTP endpoint.
+func metricsHandler(eng *engine.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, sfcd.RenderPrometheus(eng.Stats()))
+	})
+}
+
 func main() {
 	var (
-		addr = flag.String("addr", ":7421", "TCP listen address")
-		o    options
+		addr        = flag.String("addr", ":7421", "TCP listen address")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for Prometheus /metrics (empty = disabled)")
+		o           options
 	)
 	flag.StringVar(&o.attrs, "attrs", "volume,price", "comma-separated attribute names")
 	flag.IntVar(&o.bits, "bits", 10, "per-attribute resolution in bits (1..16)")
@@ -110,6 +124,8 @@ func main() {
 	flag.StringVar(&o.partition, "partition", "prefix", "partition strategy: prefix (shared-decomposition plan) or hash")
 	flag.IntVar(&o.workers, "workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	flag.Int64Var(&o.seed, "seed", 1, "index randomization seed")
+	flag.BoolVar(&o.trackCovered, "track-covered", false,
+		"maintain the mirrored index that serves the \"covered\" op in approx mode (exact mode serves it regardless)")
 	flag.Parse()
 
 	cfg, err := buildConfig(o)
@@ -133,6 +149,17 @@ func main() {
 	}
 	log.Printf("sfcd: serving %d-bit schema %s on %s (%d shards, %s partition, %s mode)",
 		o.bits, o.attrs, bound, eng.NumShards(), eng.PartitionStrategy(), eng.Mode())
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metricsHandler(eng))
+		go func() {
+			log.Printf("sfcd: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("sfcd: metrics server: %v", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

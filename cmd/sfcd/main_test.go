@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"sfccover/internal/core"
@@ -68,6 +71,41 @@ func TestBuildConfigRejectsBadInput(t *testing.T) {
 		if _, err := buildConfig(o); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
+	}
+}
+
+// TestMetricsHandler scrapes the HTTP endpoint the -metrics-addr flag
+// mounts and checks the exposition content type and payload.
+func TestMetricsHandler(t *testing.T) {
+	cfg, err := buildConfig(defaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Insert(subscription.MustParse(cfg.Detector.Schema, "volume in [1,5]")); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(metricsHandler(eng))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "sfcd_subscriptions 1\n") {
+		t.Fatalf("exposition missing subscription gauge:\n%s", body)
 	}
 }
 

@@ -125,3 +125,88 @@ func TestConcurrentNetworkFacade(t *testing.T) {
 		t.Fatalf("received %d events, want 1", len(sub.Received))
 	}
 }
+
+// TestProviderFacade drives a Detector and an Engine through the shared
+// Provider interface: same protocol, different backing index.
+func TestProviderFacade(t *testing.T) {
+	schema := sfccover.MustSchema(10, "volume", "price")
+	det, err := sfccover.NewDetector(sfccover.DetectorConfig{
+		Schema: schema, Mode: sfccover.ModeExact, Strategy: sfccover.StrategyLinear,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sfccover.NewEngine(sfccover.EngineConfig{
+		Detector: sfccover.DetectorConfig{
+			Schema: schema, Mode: sfccover.ModeExact, Strategy: sfccover.StrategyLinear,
+		},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := sfccover.MustParseSubscription(schema, "volume in [0,900] && price in [0,900]")
+	narrow := sfccover.MustParseSubscription(schema, "volume in [100,200] && price in [100,200]")
+	for _, p := range []sfccover.Provider{det, eng} {
+		if _, covered, _, err := p.Add(wide); err != nil || covered {
+			t.Fatalf("wide: covered=%v err=%v", covered, err)
+		}
+		if _, covered, _, err := p.Add(narrow); err != nil || !covered {
+			t.Fatalf("narrow: covered=%v err=%v", covered, err)
+		}
+		res := sfccover.CoverQueries(p, []*sfccover.Subscription{narrow, wide})
+		if !res[0].Covered {
+			t.Fatal("batch query must find the cover of narrow")
+		}
+		ps := p.Stats()
+		if ps.Subscriptions != 2 || ps.Queries < 3 {
+			t.Fatalf("provider stats = %+v", ps)
+		}
+		if _, found, _, err := p.FindCovered(wide); err != nil || !found {
+			t.Fatalf("FindCovered: found=%v err=%v", found, err)
+		}
+		p.Close()
+	}
+}
+
+// TestEngineBackedNetworkFacade is the README quickstart for engine-backed
+// brokers, pinned as a test.
+func TestEngineBackedNetworkFacade(t *testing.T) {
+	schema := sfccover.MustSchema(10, "topic", "price")
+	net, err := sfccover.NewNetwork(sfccover.BalancedTreeTopology(7), sfccover.NetworkConfig{
+		Schema:  schema,
+		Mode:    sfccover.ModeApprox,
+		Epsilon: 0.2,
+		Backend: sfccover.NetworkBackendEnginePrefix,
+		Shards:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	sub, _ := net.AttachClient(3)
+	pub, _ := net.AttachClient(6)
+	wide := sfccover.MustParseSubscription(schema, "price <= 500")
+	narrow := sfccover.MustParseSubscription(schema, "price in [50,80]")
+	for _, s := range []*sfccover.Subscription{wide, narrow} {
+		if err := net.Subscribe(sub.ID, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Drain()
+	if err := net.Unsubscribe(sub.ID, wide); err != nil {
+		t.Fatal(err)
+	}
+	net.Drain()
+	ev, _ := sfccover.ParseEvent(schema, "topic = 1, price = 60")
+	if err := net.Publish(pub.ID, ev); err != nil {
+		t.Fatal(err)
+	}
+	net.Drain()
+	if len(sub.Received) != 1 {
+		t.Fatalf("received %d events, want 1 (covered-set resubscription)", len(sub.Received))
+	}
+	if m := net.Metrics(); m.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors: %d", m.ProtocolErrors)
+	}
+}

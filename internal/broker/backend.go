@@ -1,0 +1,82 @@
+package broker
+
+import (
+	"fmt"
+
+	"sfccover/internal/core"
+	"sfccover/internal/engine"
+)
+
+// Backend selects the covering-detection provider each broker link runs.
+// Every backend drives the identical routing state machine through the
+// core.Provider interface; the safety tests pin bit-identical event
+// deliveries across all of them.
+type Backend string
+
+const (
+	// BackendDetector (the default) backs each link with a single-lock
+	// core.Detector.
+	BackendDetector Backend = "detector"
+	// BackendEngineHash backs each link with a hash-sharded engine.
+	BackendEngineHash Backend = "engine-hash"
+	// BackendEnginePrefix backs each link with a curve-prefix sharded
+	// engine (the shared-decomposition plan under the SFC strategy).
+	BackendEnginePrefix Backend = "engine-prefix"
+)
+
+// brokerEngineWorkers sizes the per-link engine worker pools. Broker links
+// issue small batches (the covered-set re-forward probes), so a deep pool
+// per link would only multiply idle goroutines across the overlay.
+const brokerEngineWorkers = 2
+
+// suppSeedOffset separates the suppressed-set provider's index randomness
+// from the forwarded-set provider's on the same link.
+const suppSeedOffset = int64(1) << 32
+
+// newForwardedProvider builds the forwarded-set provider for one link,
+// per the configured backend.
+func (cfg Config) newForwardedProvider(seed int64) (core.Provider, error) {
+	dc := core.Config{
+		Schema:   cfg.Schema,
+		Mode:     cfg.Mode,
+		Epsilon:  cfg.Epsilon,
+		Strategy: cfg.Strategy,
+		MaxCubes: cfg.MaxCubes,
+		Seed:     seed,
+	}
+	switch cfg.Backend {
+	case "", BackendDetector:
+		return core.New(dc)
+	case BackendEngineHash, BackendEnginePrefix:
+		part := engine.PartitionHash
+		if cfg.Backend == BackendEnginePrefix {
+			part = engine.PartitionPrefix
+		}
+		return engine.New(engine.Config{
+			Detector:  dc,
+			Shards:    cfg.Shards,
+			Partition: part,
+			Workers:   brokerEngineWorkers,
+		})
+	default:
+		return nil, fmt.Errorf("broker: unknown backend %q", cfg.Backend)
+	}
+}
+
+// newSuppressedProvider builds the suppressed-set provider for one link:
+// always a single exact-mode Detector, regardless of Config.Backend. The
+// covered set computed at unsubscription time must be exact — a missed
+// member would never be re-forwarded and events would be lost, unlike
+// covering misses, which only cost redundant traffic. Exact FindCovered
+// is a plain scan, so an engine's worker pool and sharded index would
+// only add per-link goroutines and lock round trips for identical
+// answers.
+func (cfg Config) newSuppressedProvider(seed int64) (core.Provider, error) {
+	return core.New(core.Config{
+		Schema:   cfg.Schema,
+		Mode:     core.ModeExact,
+		Strategy: cfg.Strategy,
+		MaxCubes: cfg.MaxCubes,
+		Seed:     seed,
+	})
+}

@@ -3,8 +3,12 @@
 // form an acyclic overlay, subscriptions propagate through the overlay so
 // that events published anywhere reach every matching subscriber, and each
 // broker suppresses the forwarding of subscriptions that are covered by
-// ones it already forwarded — using a core.Detector in any of the paper's
-// modes (off / exact / ε-approximate).
+// ones it already forwarded — using a core.Provider (a single Detector or
+// a sharded engine, per Config.Backend) in any of the paper's modes
+// (off / exact / ε-approximate). At unsubscription time the suppressed
+// set is queried with FindCovered for exactly the subscriptions the
+// retracted cover was holding back, which are then re-screened and
+// re-forwarded where needed.
 //
 // The simulation is deterministic: messages are processed from a single
 // FIFO queue, and all iteration orders are fixed. The safety property the
@@ -23,7 +27,7 @@ import (
 	"sfccover/internal/subscription"
 )
 
-// Config parameterizes every broker's covering detectors.
+// Config parameterizes every broker's covering providers.
 type Config struct {
 	// Schema is the pub/sub attribute schema (required).
 	Schema *subscription.Schema
@@ -37,6 +41,17 @@ type Config struct {
 	MaxCubes int
 	// Seed derives the deterministic randomness of the SFC arrays.
 	Seed int64
+	// Backend selects the per-link covering provider: a single Detector
+	// (default), a hash-sharded engine, or a curve-prefix engine. Networks
+	// with engine backends own worker pools; call Close when done.
+	Backend Backend
+	// Shards is the per-link shard count for the engine backends
+	// (0 = the engine default).
+	Shards int
+	// BatchSize chunks the covered-set re-forward probes issued at
+	// unsubscription time through the provider's batch interface
+	// (0 = the whole covered set in one batch).
+	BatchSize int
 }
 
 // Metrics aggregates network-wide counters. Subscription/unsubscription
@@ -162,6 +177,7 @@ type Broker struct {
 	table     map[string]*tableRow
 	out       map[int]*neighborState // per neighbor
 	clients   []int                  // sorted attachment order
+	batch     int                    // covered-set re-probe chunk size (0 = all)
 }
 
 // tableRow is one routing-table entry: a subscription together with the
@@ -172,12 +188,20 @@ type tableRow struct {
 	count int // reference count for repeated identical subscribes
 }
 
-// neighborState tracks what this broker has forwarded to one neighbor: a
-// covering detector over the forwarded set plus the id needed to remove
-// entries on unsubscription.
+// neighborState tracks the link state toward one neighbor through two
+// covering providers. fwd holds the forwarded set — the covering queries
+// that suppress redundant forwards run against it, in the configured mode.
+// supp holds the suppressed set — every subscription withheld from this
+// link because a forwarded one covered it. supp always runs ModeExact:
+// at unsubscription time FindCovered against it yields the *exact* set of
+// subscriptions the retracted cover had been suppressing, which is the
+// set that must be re-screened for forwarding (a miss there would lose
+// events, unlike covering misses, which only cost redundant traffic).
 type neighborState struct {
-	det *core.Detector
-	ids map[string]uint64 // subKey -> detector id
+	fwd  core.Provider
+	ids  map[string]uint64 // subKey -> fwd provider id
+	supp core.Provider
+	sups map[string]uint64 // subKey -> supp provider id
 }
 
 // NewNetwork builds the overlay and its per-link covering detectors.
@@ -203,23 +227,41 @@ func NewNetwork(topo Topology, cfg Config) (*Network, error) {
 		n.brokers[e[1]].neighbors = append(n.brokers[e[1]].neighbors, e[0])
 	}
 	for _, b := range n.brokers {
+		b.batch = cfg.BatchSize
 		sort.Ints(b.neighbors)
 		for _, j := range b.neighbors {
-			det, err := core.New(core.Config{
-				Schema:   cfg.Schema,
-				Mode:     cfg.Mode,
-				Epsilon:  cfg.Epsilon,
-				Strategy: cfg.Strategy,
-				MaxCubes: cfg.MaxCubes,
-				Seed:     cfg.Seed + int64(b.id)<<16 + int64(j),
-			})
+			seed := cfg.Seed + int64(b.id)<<16 + int64(j)
+			fwd, err := cfg.newForwardedProvider(seed)
 			if err != nil {
-				return nil, fmt.Errorf("broker: building detector %d->%d: %w", b.id, j, err)
+				n.Close()
+				return nil, fmt.Errorf("broker: building provider %d->%d: %w", b.id, j, err)
 			}
-			b.out[j] = &neighborState{det: det, ids: make(map[string]uint64)}
+			supp, err := cfg.newSuppressedProvider(seed + suppSeedOffset)
+			if err != nil {
+				fwd.Close()
+				n.Close()
+				return nil, fmt.Errorf("broker: building suppressed-set provider %d->%d: %w", b.id, j, err)
+			}
+			b.out[j] = &neighborState{
+				fwd: fwd, ids: make(map[string]uint64),
+				supp: supp, sups: make(map[string]uint64),
+			}
 		}
 	}
 	return n, nil
+}
+
+// Close releases every per-link provider. Engine backends own worker
+// pools, so networks built with them must be closed; with the default
+// detector backend Close is a cheap no-op. The network must not be used
+// afterwards.
+func (n *Network) Close() {
+	for _, b := range n.brokers {
+		for _, st := range b.out {
+			st.fwd.Close()
+			st.supp.Close()
+		}
+	}
 }
 
 // MustNetwork is NewNetwork for known-good arguments.
@@ -252,22 +294,37 @@ func (n *Network) ForwardedEntries() int {
 	total := 0
 	for _, b := range n.brokers {
 		for _, st := range b.out {
-			total += st.det.Len()
+			total += st.fwd.Len()
 		}
 	}
 	return total
 }
 
-// CoverTotals sums query counters across every per-link detector.
+// SuppressedEntries returns the total size of all per-link suppressed
+// sets — the subscriptions the covering optimization is currently keeping
+// off the wire.
+func (n *Network) SuppressedEntries() int {
+	total := 0
+	for _, b := range n.brokers {
+		for _, st := range b.out {
+			total += st.supp.Len()
+		}
+	}
+	return total
+}
+
+// CoverTotals sums query counters across every per-link forwarded-set
+// provider (the suppressed-set providers' exact bookkeeping queries are
+// not included).
 func (n *Network) CoverTotals() core.Totals {
 	var tot core.Totals
 	for _, b := range n.brokers {
 		for _, j := range b.neighbors {
-			t := b.out[j].det.Totals()
-			tot.Queries += t.Queries
-			tot.Hits += t.Hits
-			tot.RunsProbed += t.RunsProbed
-			tot.CubesGenerated += t.CubesGenerated
+			ps := b.out[j].fwd.Stats()
+			tot.Queries += ps.Queries
+			tot.Hits += ps.Hits
+			tot.RunsProbed += ps.RunsProbed
+			tot.CubesGenerated += ps.CubesGenerated
 		}
 	}
 	return tot
@@ -390,7 +447,9 @@ func (b *Broker) handleSubscribe(from iface, s *subscription.Subscription) {
 
 // forwardIfUncovered implements the covering optimization on one link: the
 // subscription is forwarded unless an already-forwarded subscription covers
-// it (or the identical subscription is already forwarded).
+// it (or the identical subscription is already forwarded). Suppressed
+// subscriptions are recorded in the link's suppressed-set provider so
+// unsubscription can later compute the exact covered set to re-forward.
 func (b *Broker) forwardIfUncovered(j int, s *subscription.Subscription) {
 	st := b.out[j]
 	key := subKey(s)
@@ -398,16 +457,27 @@ func (b *Broker) forwardIfUncovered(j int, s *subscription.Subscription) {
 		b.env.bump(metricDuplicate)
 		return
 	}
-	_, covered, _, err := st.det.FindCover(s)
+	_, covered, _, err := st.fwd.FindCover(s)
 	if err != nil {
 		b.env.bump(metricProtocolError)
 		return
 	}
 	if covered {
 		b.env.bump(metricSuppressed)
+		b.suppress(st, key, s)
 		return
 	}
-	id, err := st.det.Insert(s)
+	b.forward(j, st, key, s)
+}
+
+// forward inserts s into the link's forwarded set and sends it. Any
+// suppressed-set entry for the rectangle is retired first: in approximate
+// mode a later probe can miss the cover that suppressed an earlier
+// identical row, and forwarding must win over suppression or a future
+// cover removal would re-forward an already-forwarded rectangle.
+func (b *Broker) forward(j int, st *neighborState, key string, s *subscription.Subscription) {
+	b.dropSuppressed(st, key)
+	id, err := st.fwd.Insert(s)
 	if err != nil {
 		b.env.bump(metricProtocolError)
 		return
@@ -417,6 +487,33 @@ func (b *Broker) forwardIfUncovered(j int, s *subscription.Subscription) {
 	b.env.enqueue(message{
 		to: j, from: iface{kind: ifNeighbor, id: b.id}, sub: s.Clone(), kind: msgSubscribe,
 	})
+}
+
+// suppress records s in the link's suppressed set (once per rectangle:
+// identical rows from different interfaces share the entry).
+func (b *Broker) suppress(st *neighborState, key string, s *subscription.Subscription) {
+	if _, ok := st.sups[key]; ok {
+		return
+	}
+	sid, err := st.supp.Insert(s)
+	if err != nil {
+		b.env.bump(metricProtocolError)
+		return
+	}
+	st.sups[key] = sid
+}
+
+// dropSuppressed retires the suppressed-set entry for key, if present.
+func (b *Broker) dropSuppressed(st *neighborState, key string) {
+	sid, ok := st.sups[key]
+	if !ok {
+		return
+	}
+	if err := st.supp.Remove(sid); err != nil {
+		b.env.bump(metricProtocolError)
+		return
+	}
+	delete(st.sups, key)
 }
 
 func (b *Broker) handleUnsubscribe(from iface, s *subscription.Subscription) {
@@ -436,17 +533,21 @@ func (b *Broker) handleUnsubscribe(from iface, s *subscription.Subscription) {
 		if from.kind == ifNeighbor && from.id == j {
 			continue
 		}
-		st := b.out[j]
-		id, forwarded := st.ids[key]
-		if !forwarded {
-			continue // it was suppressed on this link; nothing to retract
-		}
-		// Check no other table row still justifies the forwarded entry
-		// (an identical subscription from a different interface).
+		// Some other live table row carrying the same rectangle toward j
+		// keeps the link state — forwarded or suppressed — justified.
 		if b.hasOtherSource(key, j) {
 			continue
 		}
-		if err := st.det.Remove(id); err != nil {
+		st := b.out[j]
+		id, forwarded := st.ids[key]
+		if !forwarded {
+			// The subscription was suppressed on this link: nothing to
+			// retract on the wire, but its suppressed-set entry dies with
+			// the last table row.
+			b.dropSuppressed(st, key)
+			continue
+		}
+		if err := st.fwd.Remove(id); err != nil {
 			b.env.bump(metricProtocolError)
 			continue
 		}
@@ -455,14 +556,95 @@ func (b *Broker) handleUnsubscribe(from iface, s *subscription.Subscription) {
 		b.env.enqueue(message{
 			to: j, from: iface{kind: ifNeighbor, id: b.id}, sub: s.Clone(), kind: msgUnsubscribe,
 		})
-		// Re-forward any table entries that the retracted subscription had
-		// been covering on this link.
-		for _, r := range b.sortedRows() {
-			if r.from.kind == ifNeighbor && r.from.id == j {
+		b.resubscribeCovered(j, st, s)
+	}
+}
+
+// resubscribeCovered implements the paper's unsubscription protocol: the
+// retracted subscription's covered set — exactly the suppressed
+// subscriptions it covers, popped from the suppressed-set provider via
+// FindCovered — is re-screened against the remaining forwarded set and
+// re-forwarded wherever no other cover remains. The probes go through
+// core.CoverQueries in BatchSize chunks, so engine backends answer them
+// on their batch path.
+func (b *Broker) resubscribeCovered(j int, st *neighborState, removed *subscription.Subscription) {
+	uncovered := b.popCovered(st, removed)
+	if len(uncovered) == 0 {
+		return
+	}
+	// FindCovered pops in provider-internal order; sort by rectangle so
+	// the re-forward sequence is deterministic across runs and backends.
+	sort.Slice(uncovered, func(x, y int) bool {
+		return subKey(uncovered[x]) < subKey(uncovered[y])
+	})
+	batch := b.batch
+	if batch <= 0 {
+		batch = len(uncovered)
+	}
+	// Subscriptions re-forwarded earlier in this pass can themselves cover
+	// later ones; batch probes cannot see them (they are screened against
+	// the forwarded set as of the chunk's start), so re-check directly —
+	// exactly, which keeps the suppression justified.
+	var reforwarded []*subscription.Subscription
+	coveredByReforwarded := func(s *subscription.Subscription) bool {
+		for _, f := range reforwarded {
+			if f.Covers(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for lo := 0; lo < len(uncovered); lo += batch {
+		hi := lo + batch
+		if hi > len(uncovered) {
+			hi = len(uncovered)
+		}
+		chunk := uncovered[lo:hi]
+		for i, res := range core.CoverQueries(st.fwd, chunk) {
+			sub := chunk[i]
+			if res.Err != nil {
+				b.env.bump(metricProtocolError)
 				continue
 			}
-			b.forwardIfUncovered(j, r.sub)
+			key := subKey(sub)
+			if res.Covered || coveredByReforwarded(sub) {
+				b.env.bump(metricSuppressed)
+				b.suppress(st, key, sub)
+				continue
+			}
+			b.forward(j, st, key, sub)
+			reforwarded = append(reforwarded, sub)
 		}
+	}
+}
+
+// popCovered drains from the link's suppressed set every subscription the
+// removed one covers. The suppressed-set provider runs ModeExact, so the
+// result is the exact covered set — the invariant "every suppressed
+// subscription is covered by some forwarded one" guarantees no suppressed
+// subscription outside it lost its cover.
+func (b *Broker) popCovered(st *neighborState, removed *subscription.Subscription) []*subscription.Subscription {
+	var out []*subscription.Subscription
+	for {
+		sid, found, _, err := st.supp.FindCovered(removed)
+		if err != nil {
+			b.env.bump(metricProtocolError)
+			return out
+		}
+		if !found {
+			return out
+		}
+		sub, ok := st.supp.Subscription(sid)
+		if !ok {
+			b.env.bump(metricProtocolError)
+			return out
+		}
+		if err := st.supp.Remove(sid); err != nil {
+			b.env.bump(metricProtocolError)
+			return out
+		}
+		delete(st.sups, subKey(sub))
+		out = append(out, sub)
 	}
 }
 

@@ -273,6 +273,7 @@ func genWorkload(schema *subscription.Schema, seed int64, nOps, nClients int) []
 func runWorkload(t *testing.T, cfg Config, topo Topology, ops []workloadOp, nClients int) [][]subscription.Event {
 	t.Helper()
 	n := MustNetwork(topo, cfg)
+	defer n.Close()
 	clients := make([]*Client, nClients)
 	for i := range clients {
 		c, err := n.AttachClient(i % n.NumBrokers())

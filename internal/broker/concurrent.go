@@ -243,13 +243,14 @@ func (c *Concurrent) Publish(clientID int, e subscription.Event) error {
 // concurrently with Flush if they need a true quiescence point.
 func (c *Concurrent) Flush() { c.inflight.Wait() }
 
-// Close stops all broker goroutines. Pending messages are abandoned, so
-// Flush first for a clean shutdown.
+// Close stops all broker goroutines and releases the per-link providers.
+// Pending messages are abandoned, so Flush first for a clean shutdown.
 func (c *Concurrent) Close() {
 	c.mu.Lock()
 	if !c.started {
 		c.started = true // prevent a later Start
 		c.mu.Unlock()
+		c.net.Close()
 		return
 	}
 	c.mu.Unlock()
@@ -260,6 +261,7 @@ func (c *Concurrent) Close() {
 	}
 	close(c.done)
 	c.actors.Wait()
+	c.net.Close()
 }
 
 // Metrics returns a snapshot of the counters. Only stable at quiescence.

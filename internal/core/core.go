@@ -254,6 +254,41 @@ func (d *Detector) Insert(s *subscription.Subscription) (uint64, error) {
 	return id, nil
 }
 
+// InsertBatch stores every subscription under a single lock acquisition —
+// the bulk-load path sharding layers use to avoid one mutex round trip per
+// item — and returns the assigned ids, aligned with the input.
+func (d *Detector) InsertBatch(subs []*subscription.Subscription) ([]uint64, error) {
+	// Validate and transform outside the lock; Point() is pure.
+	points := make([][]uint32, len(subs))
+	var mirrors [][]uint32
+	for i, s := range subs {
+		if s.Schema() != d.cfg.Schema {
+			return nil, fmt.Errorf("core: subscription schema differs from detector schema")
+		}
+		points[i] = s.Point()
+	}
+	if d.mirror != nil {
+		mirrors = make([][]uint32, len(subs))
+		for i, p := range points {
+			mirrors[i] = d.mirrorPoint(p)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]uint64, len(subs))
+	for i, s := range subs {
+		id := d.nextID
+		d.nextID++
+		d.subs[id] = s.Clone()
+		d.exact.Insert(points[i], id)
+		if d.mirror != nil {
+			d.mirror.Insert(mirrors[i], id)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
 // Remove deletes a previously inserted subscription by id.
 func (d *Detector) Remove(id uint64) error {
 	d.mu.Lock()

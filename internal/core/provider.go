@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sfccover/internal/dominance"
+	"sfccover/internal/subscription"
+)
+
+// Provider is the covering-detection abstraction: one interface over the
+// single-lock Detector and the sharded engine (and, through them, anything
+// else that can answer covering questions about a dynamic subscription
+// set). Routers, brokers and services program against it so the choice of
+// backing index — one detector, hash-sharded detectors, a curve-prefix
+// sharded index — is a configuration knob, not a code path.
+//
+// Every implementation preserves the paper's asymmetry: a reported cover
+// (or covered subscription) is always genuine; approximate modes may miss.
+type Provider interface {
+	// Add is the router arrival path: search for a cover of s, then insert
+	// s either way. covered reports whether a cover was found, coveredBy
+	// its id.
+	Add(s *subscription.Subscription) (id uint64, covered bool, coveredBy uint64, err error)
+	// Insert stores s unconditionally (no covering query) and returns its id.
+	Insert(s *subscription.Subscription) (uint64, error)
+	// Remove deletes a previously inserted subscription by id.
+	Remove(id uint64) error
+	// FindCover searches the held set for a subscription covering s.
+	FindCover(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error)
+	// FindCovered searches the held set for a subscription that s covers —
+	// the reverse question, used at unsubscription time.
+	FindCovered(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error)
+	// Subscription resolves an id to its held subscription.
+	Subscription(id uint64) (*subscription.Subscription, bool)
+	// Len returns the number of held subscriptions.
+	Len() int
+	// Mode returns the configured detection mode.
+	Mode() Mode
+	// Schema returns the provider's attribute schema.
+	Schema() *subscription.Schema
+	// Stats returns a uniform snapshot of counters and occupancy.
+	Stats() ProviderStats
+	// Close releases resources (worker pools, goroutines). A closed
+	// provider must not be used; Close is idempotent.
+	Close()
+}
+
+// BatchQuerier is the optional batch capability of a Provider: backends
+// that can amortize per-query dispatch (the engine's worker pool) expose
+// it; CoverQueries uses it when present.
+type BatchQuerier interface {
+	// CoverQueryBatch runs FindCover for every subscription, returning
+	// results aligned with the input slice.
+	CoverQueryBatch(subs []*subscription.Subscription) []QueryResult
+}
+
+// QueryResult is one covering-query outcome, the per-item currency of the
+// batch interfaces.
+type QueryResult struct {
+	// Covered reports whether a stored subscription covers the query.
+	Covered bool
+	// CoveredBy is the id of the covering subscription.
+	CoveredBy uint64
+	// Stats aggregates the search cost in the paper's cost units.
+	Stats dominance.Stats
+	// Err is the per-item failure, nil on success.
+	Err error
+}
+
+// CoverQueries runs FindCover for every subscription against p, through
+// the batch capability when p has one and one query at a time otherwise.
+// Results align with the input slice.
+func CoverQueries(p Provider, subs []*subscription.Subscription) []QueryResult {
+	if bq, ok := p.(BatchQuerier); ok {
+		return bq.CoverQueryBatch(subs)
+	}
+	out := make([]QueryResult, len(subs))
+	for i, s := range subs {
+		id, found, stats, err := p.FindCover(s)
+		out[i] = QueryResult{Covered: found, CoveredBy: id, Stats: stats, Err: err}
+	}
+	return out
+}
+
+// ProviderStats is the uniform counter-and-occupancy snapshot every
+// Provider serves: lifetime query totals plus the shard layout, including
+// the max/min slice-occupancy ratio that makes curve-prefix skew
+// observable before any rebalancing kicks in.
+type ProviderStats struct {
+	// Subscriptions is the number of currently held subscriptions.
+	Subscriptions int
+	// Queries, Hits, RunsProbed and CubesGenerated are the lifetime query
+	// totals, in the cost units of the paper's analysis.
+	Queries        int
+	Hits           int
+	RunsProbed     int
+	CubesGenerated int
+	// ShardSearches counts per-shard searches issued (equals Queries for a
+	// single detector and for the shared-decomposition engine plan).
+	ShardSearches int
+	// Shards is the number of partitions (1 for a single detector).
+	Shards int
+	// ShardSizes is the per-shard subscription count.
+	ShardSizes []int
+	// MaxShardSize and MinShardSize are the extremes of ShardSizes.
+	MaxShardSize int
+	MinShardSize int
+	// SkewRatio is MaxShardSize over MinShardSize with the denominator
+	// clamped to 1, so an empty slice under a hot one reads as the hot
+	// slice's absolute size. 1.0 means perfectly balanced.
+	SkewRatio float64
+}
+
+// SetShardSizes records the occupancy layout and derives Subscriptions,
+// Shards, the extremes and SkewRatio from it.
+func (ps *ProviderStats) SetShardSizes(sizes []int) {
+	ps.Shards = len(sizes)
+	ps.ShardSizes = sizes
+	ps.Subscriptions = 0
+	ps.MaxShardSize, ps.MinShardSize = 0, 0
+	for i, n := range sizes {
+		ps.Subscriptions += n
+		if i == 0 || n > ps.MaxShardSize {
+			ps.MaxShardSize = n
+		}
+		if i == 0 || n < ps.MinShardSize {
+			ps.MinShardSize = n
+		}
+	}
+	den := ps.MinShardSize
+	if den < 1 {
+		den = 1
+	}
+	ps.SkewRatio = float64(ps.MaxShardSize) / float64(den)
+}
+
+var _ Provider = (*Detector)(nil)
+
+// Stats implements Provider for the single detector: one shard holding
+// everything, so the occupancy fields are trivial and ShardSearches
+// equals Queries.
+func (d *Detector) Stats() ProviderStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps := ProviderStats{
+		Queries:        d.totals.Queries,
+		Hits:           d.totals.Hits,
+		RunsProbed:     d.totals.RunsProbed,
+		CubesGenerated: d.totals.CubesGenerated,
+		ShardSearches:  d.totals.Queries,
+	}
+	ps.SetShardSizes([]int{len(d.subs)})
+	return ps
+}
+
+// Close implements Provider. A Detector holds no goroutines or external
+// resources, so this is a no-op.
+func (d *Detector) Close() {}

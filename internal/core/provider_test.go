@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"sfccover/internal/subscription"
+)
+
+func TestProviderStatsSetShardSizes(t *testing.T) {
+	cases := []struct {
+		sizes    []int
+		max, min int
+		subs     int
+		skew     float64
+	}{
+		{[]int{5}, 5, 5, 5, 1},
+		{[]int{4, 4, 4}, 4, 4, 12, 1},
+		{[]int{8, 2}, 8, 2, 10, 4},
+		{[]int{6, 0}, 6, 0, 6, 6}, // empty slice: denominator clamps to 1
+		{[]int{0, 0}, 0, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		var ps ProviderStats
+		ps.SetShardSizes(tc.sizes)
+		if ps.Shards != len(tc.sizes) {
+			t.Errorf("%v: Shards = %d", tc.sizes, ps.Shards)
+		}
+		if ps.Subscriptions != tc.subs {
+			t.Errorf("%v: Subscriptions = %d, want %d", tc.sizes, ps.Subscriptions, tc.subs)
+		}
+		if ps.MaxShardSize != tc.max || ps.MinShardSize != tc.min {
+			t.Errorf("%v: max/min = %d/%d, want %d/%d", tc.sizes, ps.MaxShardSize, ps.MinShardSize, tc.max, tc.min)
+		}
+		if ps.SkewRatio != tc.skew {
+			t.Errorf("%v: SkewRatio = %v, want %v", tc.sizes, ps.SkewRatio, tc.skew)
+		}
+	}
+}
+
+func TestDetectorStats(t *testing.T) {
+	schema := subscription.MustSchema(8, "a", "b")
+	d := MustNew(Config{Schema: schema, Mode: ModeExact, Strategy: StrategyLinear})
+	wide := subscription.MustParse(schema, "a <= 200")
+	if _, err := d.Insert(wide); err != nil {
+		t.Fatal(err)
+	}
+	narrow := subscription.MustParse(schema, "a in [10,20]")
+	if _, found, _, err := d.FindCover(narrow); err != nil || !found {
+		t.Fatalf("FindCover = (%v, %v)", found, err)
+	}
+	ps := d.Stats()
+	if ps.Subscriptions != 1 || ps.Shards != 1 {
+		t.Fatalf("Stats occupancy = %d subs / %d shards", ps.Subscriptions, ps.Shards)
+	}
+	if ps.Queries != 1 || ps.Hits != 1 || ps.ShardSearches != 1 {
+		t.Fatalf("Stats totals = %+v", ps)
+	}
+	if ps.SkewRatio != 1 {
+		t.Fatalf("single shard SkewRatio = %v", ps.SkewRatio)
+	}
+	d.Close() // no-op, must not disturb the detector
+	if d.Len() != 1 {
+		t.Fatal("Close must leave the detector usable")
+	}
+}
+
+func TestCoverQueriesFallback(t *testing.T) {
+	// A Detector has no batch capability, so CoverQueries must fall back
+	// to per-item FindCover with identical outcomes.
+	schema := subscription.MustSchema(8, "a", "b")
+	d := MustNew(Config{Schema: schema, Mode: ModeExact, Strategy: StrategyLinear})
+	if _, err := d.Insert(subscription.MustParse(schema, "a <= 100 && b <= 100")); err != nil {
+		t.Fatal(err)
+	}
+	queries := []*subscription.Subscription{
+		subscription.MustParse(schema, "a in [5,10] && b in [5,10]"), // covered
+		subscription.MustParse(schema, "a >= 200"),                   // not covered
+	}
+	res := CoverQueries(d, queries)
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Err != nil || !res[0].Covered {
+		t.Fatalf("query 0 = %+v, want covered", res[0])
+	}
+	if res[1].Err != nil || res[1].Covered {
+		t.Fatalf("query 1 = %+v, want uncovered", res[1])
+	}
+}
+
+func TestDetectorInsertBatch(t *testing.T) {
+	schema := subscription.MustSchema(8, "a", "b")
+	build := func(track bool) *Detector {
+		return MustNew(Config{
+			Schema: schema, Mode: ModeApprox, Epsilon: 0.3, MaxCubes: 2000,
+			TrackCovered: track,
+		})
+	}
+	subs := []*subscription.Subscription{
+		subscription.MustParse(schema, "a <= 100 && b <= 100"),
+		subscription.MustParse(schema, "a in [5,10]"),
+		subscription.MustParse(schema, "b >= 50"),
+	}
+	for _, track := range []bool{false, true} {
+		d := build(track)
+		ids, err := d.InsertBatch(subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != len(subs) || d.Len() != len(subs) {
+			t.Fatalf("track=%v: %d ids, Len %d", track, len(ids), d.Len())
+		}
+		for i, id := range ids {
+			got, ok := d.Subscription(id)
+			if !ok || !got.Equal(subs[i]) {
+				t.Fatalf("track=%v: id %d does not round-trip", track, id)
+			}
+		}
+		// The batch must land in the indexes: remove everything cleanly.
+		for _, id := range ids {
+			if err := d.Remove(id); err != nil {
+				t.Fatalf("track=%v: remove: %v", track, err)
+			}
+		}
+	}
+	// Schema mismatch anywhere in the batch fails it atomically.
+	d := build(false)
+	other := subscription.MustSchema(8, "a", "b")
+	if _, err := d.InsertBatch([]*subscription.Subscription{subscription.New(other)}); err == nil {
+		t.Fatal("foreign schema must fail")
+	}
+	if d.Len() != 0 {
+		t.Fatal("failed batch must not insert")
+	}
+}

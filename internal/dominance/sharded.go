@@ -129,6 +129,29 @@ func (x *ShardedIndex) Insert(p []uint32, id uint64) {
 	s.mu.Unlock()
 }
 
+// InsertBatch indexes a group of points, aligned with ids, taking each
+// slice lock once per batch instead of once per point: keys are computed
+// and grouped by owning slice outside any lock, then each touched slice
+// is bulk-loaded under a single write-lock acquisition. Only one slice
+// lock is held at a time, so concurrent batches cannot deadlock.
+func (x *ShardedIndex) InsertBatch(ps [][]uint32, ids []uint64) {
+	keys := make([]bits.Key, len(ps))
+	groups := make(map[int][]int, 1)
+	for i, p := range ps {
+		keys[i] = x.curve.Key(p)
+		shard := x.shardForKey(keys[i])
+		groups[shard] = append(groups[shard], i)
+	}
+	for shard, group := range groups {
+		s := &x.shards[shard]
+		s.mu.Lock()
+		for _, i := range group {
+			s.arr.Insert(keys[i], ids[i])
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Delete removes one (p, id) entry, reporting whether it existed.
 func (x *ShardedIndex) Delete(p []uint32, id uint64) bool {
 	k := x.curve.Key(p)

@@ -87,23 +87,16 @@ type Totals struct {
 	ShardSearches int
 }
 
-// QueryResult is one CoverQueryBatch outcome.
-type QueryResult struct {
-	// Covered reports whether a stored subscription covers the query.
-	Covered bool
-	// CoveredBy is the engine id of the covering subscription.
-	CoveredBy uint64
-	// Stats aggregates search cost over every shard the query probed:
-	// RunsProbed and CubesGenerated are summed, Found is the overall
-	// outcome, and VolumeFraction is the minimum over probed shards (the
-	// conservative per-shard guarantee).
-	Stats dominance.Stats
-	// Err is the per-item failure, nil on success.
-	Err error
-}
+// QueryResult is one CoverQueryBatch outcome. For queries that fanned out,
+// Stats aggregates the search cost over every shard probed: RunsProbed and
+// CubesGenerated are summed and VolumeFraction is the minimum over probed
+// shards (the conservative per-shard guarantee). It is an alias of the
+// core type so engine batches satisfy core.BatchQuerier directly.
+type QueryResult = core.QueryResult
 
 // AddResult is one AddBatch outcome: the id assigned to the inserted
-// subscription plus the result of the pre-insert covering query.
+// subscription plus the result of the pre-insert covering query. (The
+// single-item Add returns plain values instead, matching core.Provider.)
 type AddResult struct {
 	// ID is the engine-assigned id of the inserted subscription (0 if the
 	// insert failed).
@@ -113,9 +106,12 @@ type AddResult struct {
 
 // backend is one of the two execution plans behind the Engine API.
 // findCover/findCovered return the result plus the number of per-shard
-// searches issued.
+// searches issued. insertBatch groups its inserts by destination shard
+// and bulk-loads each shard under one lock acquisition, parallelizing the
+// shard groups through the supplied runner.
 type backend interface {
 	insert(s *subscription.Subscription) (uint64, error)
+	insertBatch(subs []*subscription.Subscription, par func(n int, fn func(i int))) ([]uint64, []error)
 	remove(id uint64) error
 	subscription(id uint64) (*subscription.Subscription, bool)
 	findCover(s *subscription.Subscription) (QueryResult, int)
@@ -298,19 +294,18 @@ func (e *Engine) FindCovered(s *subscription.Subscription) (id uint64, found boo
 }
 
 // Add runs the router arrival path: query for a cover, then insert s into
-// its home shard either way.
-func (e *Engine) Add(s *subscription.Subscription) AddResult {
-	res := AddResult{QueryResult: e.findCover(s)}
+// its home shard either way. The signature matches core.Provider (and the
+// single Detector), so routers can swap backends freely.
+func (e *Engine) Add(s *subscription.Subscription) (id uint64, covered bool, coveredBy uint64, err error) {
+	res := e.findCover(s)
 	if res.Err != nil {
-		return res
+		return 0, false, 0, res.Err
 	}
-	id, err := e.be.insert(s)
+	id, err = e.be.insert(s)
 	if err != nil {
-		res.Err = err
-		return res
+		return 0, false, 0, err
 	}
-	res.ID = id
-	return res
+	return id, res.Covered, res.CoveredBy, nil
 }
 
 // Insert stores s unconditionally (no covering query) and returns its id.
@@ -339,6 +334,25 @@ func (e *Engine) Totals() Totals {
 		ShardSearches:  int(e.shardSearches.Load()),
 	}
 }
+
+// Stats implements core.Provider: the engine totals plus the per-shard
+// occupancy layout, including the max/min slice ratio that makes
+// curve-prefix skew observable before rebalancing.
+func (e *Engine) Stats() core.ProviderStats {
+	tot := e.Totals()
+	ps := core.ProviderStats{
+		Queries:        tot.Queries,
+		Hits:           tot.Hits,
+		RunsProbed:     tot.RunsProbed,
+		CubesGenerated: tot.CubesGenerated,
+		ShardSearches:  tot.ShardSearches,
+	}
+	ps.SetShardSizes(e.be.shardSizes())
+	return ps
+}
+
+var _ core.Provider = (*Engine)(nil)
+var _ core.BatchQuerier = (*Engine)(nil)
 
 // run executes fn(0..n-1) on the worker pool, in contiguous chunks to
 // amortize dispatch, and waits for completion.
@@ -370,14 +384,32 @@ func (e *Engine) run(n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// AddBatch runs Add for every subscription concurrently. Results align
-// with the input slice; failures are reported per item. Items of one batch
-// are mutually unordered: whether one item's query observes another item's
-// insert is unspecified (covering misses are safe, so either outcome is
-// correct).
+// AddBatch runs the arrival path for every subscription: all covering
+// queries run concurrently first, then the inserts are grouped by
+// destination shard and bulk-loaded one shard at a time — one lock
+// acquisition per shard instead of one per item. Results align with the
+// input slice; failures are reported per item. Batch items are mutually
+// unordered and no item's query observes another batch item's insert
+// (covering misses are safe, so that is a correct outcome).
 func (e *Engine) AddBatch(subs []*subscription.Subscription) []AddResult {
 	out := make([]AddResult, len(subs))
-	e.run(len(subs), func(i int) { out[i] = e.Add(subs[i]) })
+	e.run(len(subs), func(i int) { out[i].QueryResult = e.findCover(subs[i]) })
+	valid := make([]int, 0, len(subs))
+	batch := make([]*subscription.Subscription, 0, len(subs))
+	for i := range out {
+		if out[i].Err == nil {
+			valid = append(valid, i)
+			batch = append(batch, subs[i])
+		}
+	}
+	ids, errs := e.be.insertBatch(batch, e.run)
+	for k, i := range valid {
+		if errs[k] != nil {
+			out[i].Err = errs[k]
+			continue
+		}
+		out[i].ID = ids[k]
+	}
 	return out
 }
 

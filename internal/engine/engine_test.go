@@ -228,7 +228,7 @@ func TestSchemaMismatch(t *testing.T) {
 	if _, _, _, err := e.FindCover(s); err == nil {
 		t.Error("FindCover across schemas should fail")
 	}
-	if r := e.Add(s); r.Err == nil {
+	if _, _, _, err := e.Add(s); err == nil {
 		t.Error("Add across schemas should fail")
 	}
 }
@@ -504,6 +504,137 @@ func TestFindCovered(t *testing.T) {
 	defer e.Close()
 	if _, _, _, err := e.FindCovered(pairs[0].Parent); err == nil {
 		t.Error("approximate FindCovered without TrackCovered should fail")
+	}
+}
+
+// TestAddBatchBulkLoad exercises the shard-grouped insert path: a cold
+// batch lands whole (ids unique and resolvable, shard sizes consistent),
+// no query in a cold batch observes a batch-mate (all uncovered), and a
+// second batch of planted children sees the first batch's parents.
+func TestAddBatchBulkLoad(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	pairs, err := workload.Covers(workload.CoverSpec{
+		Schema: schema, N: 300, SlackFrac: 0.2, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents := make([]*subscription.Subscription, len(pairs))
+	children := make([]*subscription.Subscription, len(pairs))
+	for i, p := range pairs {
+		parents[i] = p.Parent
+		children[i] = p.Child
+	}
+	for _, part := range []Partition{PartitionHash, PartitionPrefix} {
+		t.Run(string(part), func(t *testing.T) {
+			e := MustNew(Config{
+				Detector:  core.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear},
+				Shards:    4,
+				Partition: part,
+			})
+			defer e.Close()
+			first := e.AddBatch(parents)
+			seen := make(map[uint64]bool)
+			for i, r := range first {
+				if r.Err != nil {
+					t.Fatalf("parent %d: %v", i, r.Err)
+				}
+				if r.Covered {
+					t.Fatalf("parent %d: cold-batch query observed a batch-mate", i)
+				}
+				if seen[r.ID] {
+					t.Fatalf("duplicate id %d", r.ID)
+				}
+				seen[r.ID] = true
+				got, ok := e.Subscription(r.ID)
+				if !ok || !got.Equal(parents[i]) {
+					t.Fatalf("parent %d: id %d does not round-trip", i, r.ID)
+				}
+			}
+			if e.Len() != len(parents) {
+				t.Fatalf("Len = %d, want %d", e.Len(), len(parents))
+			}
+			total := 0
+			for _, n := range e.ShardSizes() {
+				total += n
+			}
+			if total != len(parents) {
+				t.Fatalf("ShardSizes sum = %d", total)
+			}
+			// Exact mode: every planted child must see its parent.
+			for i, r := range e.AddBatch(children) {
+				if r.Err != nil {
+					t.Fatalf("child %d: %v", i, r.Err)
+				}
+				if !r.Covered {
+					t.Fatalf("child %d: exact query missed its planted parent", i)
+				}
+			}
+			// Everything must be removable (indexes in sync with stores).
+			ids := make([]uint64, 0, 2*len(pairs))
+			for id := range seen {
+				ids = append(ids, id)
+			}
+			for _, err := range e.RemoveBatch(ids) {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestAddBatchBulkLoadMirror checks the bulk path keeps the mirrored
+// (TrackCovered) index in sync on the routed plan.
+func TestAddBatchBulkLoadMirror(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	pairs, err := workload.Covers(workload.CoverSpec{
+		Schema: schema, N: 100, SlackFrac: 0.2, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := MustNew(Config{
+		Detector: core.Config{
+			Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3,
+			MaxCubes: 10000, TrackCovered: true,
+		},
+		Shards:    4,
+		Partition: PartitionPrefix,
+	})
+	defer e.Close()
+	children := make([]*subscription.Subscription, len(pairs))
+	for i, p := range pairs {
+		children[i] = p.Child
+	}
+	ids := make([]uint64, 0, len(children))
+	for i, r := range e.AddBatch(children) {
+		if r.Err != nil {
+			t.Fatalf("child %d: %v", i, r.Err)
+		}
+		ids = append(ids, r.ID)
+	}
+	hits := 0
+	for _, p := range pairs {
+		_, found, _, err := e.FindCovered(p.Parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			hits++
+		}
+	}
+	if hits < len(pairs)/2 {
+		t.Fatalf("mirror recall after bulk load too low: %d/%d", hits, len(pairs))
+	}
+	// Removal goes through both indexes; any desync fails here.
+	for _, err := range e.RemoveBatch(ids) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d", e.Len())
 	}
 }
 

@@ -85,6 +85,43 @@ func (f *fanout) insert(s *subscription.Subscription) (uint64, error) {
 	return encodeID(len(f.dets), shard, local), nil
 }
 
+// insertBatch groups the batch by home shard and bulk-loads each shard's
+// group through Detector.InsertBatch — one detector lock acquisition per
+// shard instead of one per item. Shard groups load in parallel through
+// the supplied runner.
+func (f *fanout) insertBatch(subs []*subscription.Subscription, par func(n int, fn func(i int))) ([]uint64, []error) {
+	ids := make([]uint64, len(subs))
+	errs := make([]error, len(subs))
+	groups := make([][]int, len(f.dets))
+	for i, s := range subs {
+		shard := f.place(s.Point())
+		groups[shard] = append(groups[shard], i)
+	}
+	active := make([]int, 0, len(groups))
+	for shard, g := range groups {
+		if len(g) > 0 {
+			active = append(active, shard)
+		}
+	}
+	par(len(active), func(gi int) {
+		shard := active[gi]
+		group := groups[shard]
+		batch := make([]*subscription.Subscription, len(group))
+		for k, i := range group {
+			batch[k] = subs[i]
+		}
+		local, err := f.dets[shard].InsertBatch(batch)
+		for k, i := range group {
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			ids[i] = encodeID(len(f.dets), shard, local[k])
+		}
+	})
+	return ids, errs
+}
+
 func (f *fanout) remove(id uint64) error {
 	shard, local := decodeID(len(f.dets), id)
 	return f.dets[shard].Remove(local)

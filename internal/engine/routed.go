@@ -115,6 +115,54 @@ func (r *routed) insert(s *subscription.Subscription) (uint64, error) {
 	return id, nil
 }
 
+// insertBatch groups the batch by destination key slice and bulk-loads
+// each slice: the stripe mutex and the index slice lock are each taken
+// once per shard group instead of once per item. Groups load in parallel
+// through the supplied runner; the lock order within a group (stripe,
+// then slice) matches insert's, so the paths cannot deadlock.
+func (r *routed) insertBatch(subs []*subscription.Subscription, par func(n int, fn func(i int))) ([]uint64, []error) {
+	ids := make([]uint64, len(subs))
+	errs := make([]error, len(subs))
+	points := make([][]uint32, len(subs))
+	groups := make([][]int, len(r.stores))
+	for i, s := range subs {
+		points[i] = s.Point()
+		shard := r.idx.ShardFor(points[i])
+		groups[shard] = append(groups[shard], i)
+	}
+	active := make([]int, 0, len(groups))
+	for shard, g := range groups {
+		if len(g) > 0 {
+			active = append(active, shard)
+		}
+	}
+	par(len(active), func(gi int) {
+		shard := active[gi]
+		group := groups[shard]
+		ps := make([][]uint32, len(group))
+		groupIDs := make([]uint64, len(group))
+		st := &r.stores[shard]
+		st.mu.Lock()
+		for k, i := range group {
+			id := encodeID(len(r.stores), shard, st.next)
+			st.next++
+			st.subs[id] = subs[i].Clone()
+			ps[k] = points[i]
+			groupIDs[k] = id
+			ids[i] = id
+		}
+		r.idx.InsertBatch(ps, groupIDs)
+		if r.mirror != nil {
+			for k := range ps {
+				ps[k] = r.mirrorPoint(ps[k])
+			}
+			r.mirror.InsertBatch(ps, groupIDs)
+		}
+		st.mu.Unlock()
+	})
+	return ids, errs
+}
+
 func (r *routed) remove(id uint64) error {
 	shard, _ := decodeID(len(r.stores), id)
 	st := &r.stores[shard]

@@ -220,6 +220,39 @@ func (c *Client) QueryBatch(subs []*subscription.Subscription) ([]Result, error)
 	return resp.Results, nil
 }
 
+// QueryCovered asks the reverse covering question: does the store hold a
+// subscription that s covers? Routers use it at unsubscription time. The
+// server answers through the engine's FindCovered, with its guarantees
+// (exact mode scans exactly; approximate mode needs TrackCovered and may
+// miss but never misreports).
+func (c *Client) QueryCovered(s *subscription.Subscription) (covered bool, coveredID uint64, err error) {
+	payload, err := c.encodeSub(s)
+	if err != nil {
+		return false, 0, err
+	}
+	resp, err := c.roundTrip(Request{Op: "covered", Payload: payload})
+	if err != nil {
+		return false, 0, err
+	}
+	if resp.Result == nil {
+		return false, 0, errors.New("sfcd: response carries no result")
+	}
+	return resp.Result.Covered, resp.Result.CoveredBy, nil
+}
+
+// Metrics fetches the server counters rendered in the Prometheus text
+// exposition format.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.roundTrip(Request{Op: "metrics"})
+	if err != nil {
+		return "", err
+	}
+	if resp.Metrics == "" {
+		return "", errors.New("sfcd: response carries no metrics")
+	}
+	return resp.Metrics, nil
+}
+
 // Match asks whether any stored subscription matches the event — covering
 // applied to the event's degenerate point-subscription, with the usual
 // guarantee (a reported match is genuine; approximate mode may miss).

@@ -1,0 +1,65 @@
+package sfcd
+
+import (
+	"fmt"
+	"strings"
+
+	"sfccover/internal/core"
+)
+
+// metricDef describes one exported metric: Prometheus name, type and help
+// text. The order here is the order in the rendered exposition.
+type metricDef struct {
+	name, kind, help string
+}
+
+var scalarMetrics = []metricDef{
+	{"sfcd_queries_total", "counter", "Logical covering queries served."},
+	{"sfcd_hits_total", "counter", "Covering queries that found a cover."},
+	{"sfcd_runs_probed_total", "counter", "SFC run probes issued, the paper's unit of query cost."},
+	{"sfcd_cubes_generated_total", "counter", "Standard cubes generated across all searches."},
+	{"sfcd_shard_searches_total", "counter", "Per-shard searches issued (fan-out)."},
+	{"sfcd_subscriptions", "gauge", "Subscriptions currently held."},
+	{"sfcd_shards", "gauge", "Configured shard count."},
+	{"sfcd_shard_size_max", "gauge", "Largest shard occupancy."},
+	{"sfcd_shard_size_min", "gauge", "Smallest shard occupancy."},
+	{"sfcd_shard_skew_ratio", "gauge", "Max/min shard occupancy ratio (min clamped to 1); 1.0 is balanced."},
+}
+
+// RenderPrometheus renders a provider snapshot in the Prometheus text
+// exposition format (version 0.0.4): for every metric a `# HELP` line, a
+// `# TYPE` line and one sample line, plus one `sfcd_shard_size{shard="i"}`
+// sample per shard.
+func RenderPrometheus(ps core.ProviderStats) string {
+	var sb strings.Builder
+	values := []float64{
+		float64(ps.Queries),
+		float64(ps.Hits),
+		float64(ps.RunsProbed),
+		float64(ps.CubesGenerated),
+		float64(ps.ShardSearches),
+		float64(ps.Subscriptions),
+		float64(ps.Shards),
+		float64(ps.MaxShardSize),
+		float64(ps.MinShardSize),
+		ps.SkewRatio,
+	}
+	for i, m := range scalarMetrics {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			m.name, m.help, m.name, m.kind, m.name, formatSample(values[i]))
+	}
+	sb.WriteString("# HELP sfcd_shard_size Per-shard subscription count.\n# TYPE sfcd_shard_size gauge\n")
+	for i, n := range ps.ShardSizes {
+		fmt.Fprintf(&sb, "sfcd_shard_size{shard=\"%d\"} %d\n", i, n)
+	}
+	return sb.String()
+}
+
+// formatSample prints a value the way Prometheus parsers expect: integers
+// without an exponent, ratios with a short decimal form.
+func formatSample(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

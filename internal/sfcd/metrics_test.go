@@ -1,0 +1,148 @@
+package sfcd
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/subscription"
+)
+
+func TestCoveredOp(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeExact)
+	c, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	narrow := subscription.MustParse(schema, "volume in [200,300] && price in [50,60]")
+	broad := subscription.MustParse(schema, "volume in [100,900] && price in [10,400]")
+	sid, _, _, err := c.Subscribe(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, coveredID, err := c.QueryCovered(broad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !covered || coveredID != sid {
+		t.Fatalf("QueryCovered = (%v, %d), want (true, %d)", covered, coveredID, sid)
+	}
+	// A strictly narrower probe covers nothing in the store.
+	tiny := subscription.MustParse(schema, "volume in [250,260] && price in [55,58]")
+	if covered, _, err = c.QueryCovered(tiny); err != nil {
+		t.Fatal(err)
+	} else if covered {
+		t.Fatal("strictly narrower probe must not cover the store")
+	}
+}
+
+// promLine matches one Prometheus text-exposition sample:
+// name, optional {labels}, one float value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|NaN|[+-]Inf)$`)
+
+// promComment matches the HELP/TYPE comment lines.
+var promComment = regexp.MustCompile(`^# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+|TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped))$`)
+
+func TestMetricsOpRendersParsableExposition(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeExact)
+	c, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Put some load on the counters first.
+	broad := subscription.MustParse(schema, "volume in [100,900] && price in [10,400]")
+	narrow := subscription.MustParse(schema, "volume in [200,300] && price in [50,60]")
+	if _, _, _, err := c.Subscribe(broad); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Subscribe(narrow); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Query(narrow); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("exposition must end in a newline")
+	}
+	samples := make(map[string]float64)
+	helped := make(map[string]bool)
+	typed := make(map[string]bool)
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Fatalf("line %d is not a valid HELP/TYPE comment: %q", i+1, line)
+			}
+			fields := strings.Fields(line)
+			if fields[1] == "HELP" {
+				helped[fields[2]] = true
+			} else {
+				typed[fields[2]] = true
+			}
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line %d is not a valid sample: %q", i+1, line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d value: %v", i+1, err)
+		}
+		samples[name] = v // per-shard samples collapse; fine for this check
+		if !helped[name] || !typed[name] {
+			t.Fatalf("line %d: sample %q precedes its HELP/TYPE comments", i+1, name)
+		}
+	}
+	if got := samples["sfcd_subscriptions"]; got != 2 {
+		t.Fatalf("sfcd_subscriptions = %v, want 2", got)
+	}
+	if got := samples["sfcd_queries_total"]; got < 3 {
+		t.Fatalf("sfcd_queries_total = %v, want >= 3", got)
+	}
+	if got := samples["sfcd_shards"]; got != 4 {
+		t.Fatalf("sfcd_shards = %v, want 4", got)
+	}
+	if _, ok := samples["sfcd_shard_size"]; !ok {
+		t.Fatal("per-shard sfcd_shard_size samples missing")
+	}
+	if _, ok := samples["sfcd_shard_skew_ratio"]; !ok {
+		t.Fatal("sfcd_shard_skew_ratio missing")
+	}
+}
+
+func TestStatsIncludesSkew(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeExact)
+	c, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, _, err := c.Subscribe(subscription.MustParse(schema, "volume in [1,2]")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Subscriptions != 1 || st.MaxShardSize != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// One sub across 4 shards: min 0, clamped denominator -> skew = max.
+	if st.SkewRatio != 1 {
+		t.Fatalf("SkewRatio = %v, want 1 (max 1 / clamped min 1)", st.SkewRatio)
+	}
+}

@@ -19,7 +19,13 @@
 //	← {"id":3,"ok":true,"results":[{"covered":true,"coveredBy":17},{"covered":false}]}
 //
 // Operations: hello, ping, subscribe, subscribe_batch, unsubscribe,
-// unsubscribe_batch, query, query_batch, match, stats.
+// unsubscribe_batch, query, query_batch, covered, match, stats, metrics.
+//
+// "covered" is the reverse covering query (engine FindCovered): does the
+// store hold a subscription that the payload covers? Routers call it at
+// unsubscription time to decide which suppressed subscriptions must be
+// re-forwarded. "metrics" renders the stats counters in the Prometheus
+// text exposition format for scrape-style monitoring.
 //
 // "match" answers event delivery: an event e is a degenerate subscription
 // constraining every attribute to exactly its value, so "does any stored
@@ -69,6 +75,12 @@ type Stats struct {
 	Subscriptions int `json:"subscriptions"`
 	// ShardSizes is the per-shard subscription count.
 	ShardSizes []int `json:"shardSizes"`
+	// MaxShardSize/MinShardSize/SkewRatio summarize slice-occupancy
+	// balance; SkewRatio is max/min with the denominator clamped to 1, so
+	// curve-prefix skew is observable before rebalancing.
+	MaxShardSize int     `json:"maxShardSize"`
+	MinShardSize int     `json:"minShardSize"`
+	SkewRatio    float64 `json:"skewRatio"`
 }
 
 // Response is one protocol response line.
@@ -92,6 +104,8 @@ type Response struct {
 	Results []Result `json:"results,omitempty"`
 	// Stats snapshot (stats op).
 	Stats *Stats `json:"stats,omitempty"`
+	// Metrics is the Prometheus text exposition (metrics op).
+	Metrics string `json:"metrics,omitempty"`
 }
 
 // MaxLineBytes bounds one protocol line (a batch of ~64k subscriptions);

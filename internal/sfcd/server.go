@@ -178,11 +178,11 @@ func (s *Server) serve(req Request) Response {
 		if err != nil {
 			return errResponse(err)
 		}
-		r := s.eng.Add(sub)
-		if r.Err != nil {
-			return errResponse(r.Err)
+		sid, covered, coveredBy, err := s.eng.Add(sub)
+		if err != nil {
+			return errResponse(err)
 		}
-		return Response{OK: true, Result: &Result{SID: r.ID, Covered: r.Covered, CoveredBy: r.CoveredBy}}
+		return Response{OK: true, Result: &Result{SID: sid, Covered: covered, CoveredBy: coveredBy}}
 	case "subscribe_batch":
 		subs, errs := s.decodeSubs(req.Payloads)
 		results := make([]Result, len(subs))
@@ -245,6 +245,16 @@ func (s *Server) serve(req Request) Response {
 			}
 		}
 		return Response{OK: true, Results: results}
+	case "covered":
+		sub, err := s.decodeSub(req.Payload)
+		if err != nil {
+			return errResponse(err)
+		}
+		id, found, _, err := s.eng.FindCovered(sub)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
 	case "match":
 		sub, err := s.decodeEventAsSub(req.Payload)
 		if err != nil {
@@ -256,16 +266,21 @@ func (s *Server) serve(req Request) Response {
 		}
 		return Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
 	case "stats":
-		tot := s.eng.Totals()
+		ps := s.eng.Stats()
 		return Response{OK: true, Stats: &Stats{
-			Queries:        tot.Queries,
-			Hits:           tot.Hits,
-			RunsProbed:     tot.RunsProbed,
-			CubesGenerated: tot.CubesGenerated,
-			ShardSearches:  tot.ShardSearches,
-			Subscriptions:  s.eng.Len(),
-			ShardSizes:     s.eng.ShardSizes(),
+			Queries:        ps.Queries,
+			Hits:           ps.Hits,
+			RunsProbed:     ps.RunsProbed,
+			CubesGenerated: ps.CubesGenerated,
+			ShardSearches:  ps.ShardSearches,
+			Subscriptions:  ps.Subscriptions,
+			ShardSizes:     ps.ShardSizes,
+			MaxShardSize:   ps.MaxShardSize,
+			MinShardSize:   ps.MinShardSize,
+			SkewRatio:      ps.SkewRatio,
 		}}
+	case "metrics":
+		return Response{OK: true, Metrics: RenderPrometheus(s.eng.Stats())}
 	default:
 		return Response{OK: false, Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}

@@ -16,6 +16,8 @@
 //
 // The entry points:
 //
+//   - Provider: the covering-detection interface implemented by Detector
+//     and Engine alike — one protocol, many backing indexes.
 //   - Detector: covering detection over a dynamic subscription set
 //     (off / exact / ε-approximate; SFC, linear-scan or k-d tree backends).
 //   - Engine: a sharded, concurrent detection engine that partitions the
@@ -25,7 +27,9 @@
 //     (newline-delimited JSON over TCP, binary wire payloads) that turns
 //     an Engine into a standalone service.
 //   - Network: a deterministic simulation of a broker overlay that uses
-//     covering detection during subscription propagation.
+//     covering detection during subscription propagation — per-link
+//     providers selected by NetworkConfig.Backend, with the paper's
+//     covered-set resubscription protocol at unsubscription time.
 //   - Schema / Subscription / Event: the multi-attribute data model, with
 //     a constraint parser and a float quantizer.
 //
@@ -57,6 +61,24 @@ type Range = subscription.Range
 
 // Quantizer maps a continuous attribute domain onto the discrete grid.
 type Quantizer = subscription.Quantizer
+
+// Provider is the covering-detection abstraction implemented by both
+// Detector and Engine: Add/Insert/Remove, the forward (FindCover) and
+// reverse (FindCovered) covering queries, and a uniform Stats snapshot.
+// Brokers and services program against it so the backing index is a
+// configuration knob.
+type Provider = core.Provider
+
+// ProviderStats is the uniform counter-and-occupancy snapshot every
+// Provider serves, including the max/min shard-occupancy skew ratio.
+type ProviderStats = core.ProviderStats
+
+// CoverQueries runs FindCover for a batch of subscriptions against any
+// Provider, using its batch capability when present (the Engine's worker
+// pool) and falling back to per-item queries otherwise.
+func CoverQueries(p Provider, subs []*Subscription) []EngineQueryResult {
+	return core.CoverQueries(p, subs)
+}
 
 // Detector detects covering relationships among subscriptions.
 type Detector = core.Detector
@@ -155,8 +177,23 @@ type Network = broker.Network
 // for concurrent Subscribe/Publish after Start.
 type ConcurrentNetwork = broker.Concurrent
 
-// NetworkConfig parameterizes a Network's brokers.
+// NetworkConfig parameterizes a Network's brokers, including the per-link
+// provider backend (NetworkBackend*) and its engine knobs.
 type NetworkConfig = broker.Config
+
+// NetworkBackend selects the per-link covering provider brokers run.
+type NetworkBackend = broker.Backend
+
+// Broker provider backends.
+const (
+	// NetworkBackendDetector backs each link with a single Detector.
+	NetworkBackendDetector = broker.BackendDetector
+	// NetworkBackendEngineHash backs each link with a hash-sharded engine.
+	NetworkBackendEngineHash = broker.BackendEngineHash
+	// NetworkBackendEnginePrefix backs each link with a curve-prefix
+	// sharded engine.
+	NetworkBackendEnginePrefix = broker.BackendEnginePrefix
+)
 
 // NetworkMetrics aggregates network-wide counters.
 type NetworkMetrics = broker.Metrics
