@@ -5,9 +5,16 @@
 package sfccover_test
 
 import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -21,6 +28,7 @@ import (
 	"sfccover/internal/geom"
 	"sfccover/internal/sfc"
 	"sfccover/internal/sfcarray"
+	"sfccover/internal/sfcd"
 	"sfccover/internal/subscription"
 	"sfccover/internal/workload"
 )
@@ -447,6 +455,167 @@ func benchBrokerChurn(b *testing.B, backend broker.Backend) {
 func BenchmarkBrokerChurnDetector(b *testing.B)     { benchBrokerChurn(b, broker.BackendDetector) }
 func BenchmarkBrokerChurnEngineHash(b *testing.B)   { benchBrokerChurn(b, broker.BackendEngineHash) }
 func BenchmarkBrokerChurnEnginePrefix(b *testing.B) { benchBrokerChurn(b, broker.BackendEnginePrefix) }
+
+// --- Daemon client benchmarks -----------------------------------------
+//
+// BenchmarkDaemonFindCover* quantify the pipelining redesign: 16
+// goroutines issue covering queries over ONE TCP connection to a live
+// daemon. The pipelined client interleaves them — ids demultiplex the
+// responses, writes coalesce into shared flushes — while the lock-step
+// comparator reproduces the previous client's discipline: a mutex admits
+// one request/response round trip at a time, so callers convoy behind
+// each other's network latency. ns/op is per covering query.
+
+// lockstepClient is the pre-redesign wire discipline: one in-flight
+// request per connection, serialized by a mutex.
+type lockstepClient struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	sc     *bufio.Scanner
+	w      *bufio.Writer
+	nextID uint64
+}
+
+func dialLockstep(addr string) (*lockstepClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &lockstepClient{conn: conn, sc: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}
+	c.sc.Buffer(make([]byte, 64<<10), sfcd.MaxLineBytes)
+	return c, nil
+}
+
+func (c *lockstepClient) query(s *subscription.Subscription) error {
+	raw, err := s.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	line, err := json.Marshal(&sfcd.Request{
+		ID: c.nextID, Op: "query", Payload: base64.StdEncoding.EncodeToString(raw),
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := c.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if !c.sc.Scan() {
+		return fmt.Errorf("connection closed (%v)", c.sc.Err())
+	}
+	var resp sfcd.Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("server: %s", resp.Error)
+	}
+	return nil
+}
+
+// startBenchDaemon boots a daemon preloaded with a planted-cover
+// population and returns its address. The population is smaller than the
+// engine benchmarks' — the quantity under test is protocol overhead per
+// query, not index scaling, and preloading happens per benchmark run.
+func startBenchDaemon(b *testing.B) (addr string, queries []*subscription.Subscription) {
+	b.Helper()
+	schema := subscription.MustSchema(10, "volume", "price")
+	pairs, err := workload.Covers(workload.CoverSpec{
+		Schema: schema, N: 2048, SlackFrac: 0.35, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parents := make([]*subscription.Subscription, len(pairs))
+	queries = make([]*subscription.Subscription, len(pairs))
+	for i, p := range pairs {
+		parents[i] = p.Parent
+		queries[i] = p.Child
+	}
+	// Generous covers and a tight probe budget keep each query cheap (the
+	// router's hit-heavy steady state), so the comparison isolates what
+	// the two wire disciplines cost rather than the index search.
+	cfg := core.Config{Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3, MaxCubes: 1000}
+	eng := engine.MustNew(engine.Config{
+		Detector:  cfg,
+		Shards:    4,
+		Partition: engine.PartitionPrefix,
+		Workers:   max(8, runtime.GOMAXPROCS(0)),
+	})
+	srv := sfcd.NewServer(eng)
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	for lo := 0; lo < len(parents); lo += 1024 {
+		hi := min(lo+1024, len(parents))
+		for _, r := range eng.AddBatch(parents[lo:hi]) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	return bound.String(), queries
+}
+
+// daemonBenchGoroutines is the concurrency of the client benchmarks.
+const daemonBenchGoroutines = 16
+
+func BenchmarkDaemonFindCoverLockstep16(b *testing.B) {
+	addr, queries := startBenchDaemon(b)
+	c, err := dialLockstep(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.conn.Close()
+	var cursor atomic.Int64
+	par := (daemonBenchGoroutines + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(par)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := queries[int(cursor.Add(1)-1)%len(queries)]
+			if err := c.query(q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkDaemonFindCoverPipelined16(b *testing.B) {
+	addr, queries := startBenchDaemon(b)
+	schema := queries[0].Schema()
+	c, err := sfcd.Dial(addr, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	var cursor atomic.Int64
+	par := (daemonBenchGoroutines + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(par)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := queries[int(cursor.Add(1)-1)%len(queries)]
+			if _, _, err := c.Query(ctx, q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
 
 func BenchmarkSubscriptionMatch(b *testing.B) {
 	schema := subscription.MustSchema(10, "stock", "volume", "current")

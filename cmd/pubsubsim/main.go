@@ -20,6 +20,8 @@ import (
 
 	"sfccover/internal/broker"
 	"sfccover/internal/core"
+	"sfccover/internal/engine"
+	"sfccover/internal/sfcd"
 	"sfccover/internal/stats"
 	"sfccover/internal/subscription"
 	"sfccover/internal/workload"
@@ -42,6 +44,7 @@ type params struct {
 	shards   int
 	batch    int
 	churn    float64
+	daemon   string
 }
 
 func main() {
@@ -57,7 +60,8 @@ func main() {
 	flag.Float64Var(&p.width, "width", 0.3, "mean subscription width as a fraction of the domain")
 	flag.StringVar(&p.dist, "dist", "uniform", "value distribution: uniform | zipf | clustered")
 	flag.Int64Var(&p.seed, "seed", 1, "workload seed")
-	flag.StringVar(&p.backend, "backend", "detector", "per-link provider: detector | engine-hash | engine-prefix")
+	flag.StringVar(&p.backend, "backend", "detector", "per-link provider: detector | engine-hash | engine-prefix | remote")
+	flag.StringVar(&p.daemon, "daemon", "", "sfcd daemon address for -backend remote; \"local\" spins an in-process daemon so the whole overlay shares one index service")
 	flag.IntVar(&p.shards, "shards", 0, "per-link engine shard count (engine backends; 0 = default)")
 	flag.IntVar(&p.batch, "batch", 0, "covered-set re-forward probe batch size (0 = whole set)")
 	flag.Float64Var(&p.churn, "churn", 0.25, "fraction of subscriptions withdrawn again before publishing")
@@ -108,6 +112,40 @@ func run(p params) error {
 	}
 	if p.churn < 0 || p.churn > 1 {
 		return fmt.Errorf("churn fraction %v out of [0,1]", p.churn)
+	}
+	if cfg.Backend == broker.BackendRemote {
+		switch p.daemon {
+		case "":
+			return fmt.Errorf("-backend remote needs -daemon (an sfcd address, or \"local\")")
+		case "local":
+			// One in-process daemon backing every broker link — the
+			// shared-daemon deployment the remote backend exists for, in a
+			// self-contained process.
+			eng, err := engine.New(engine.Config{
+				Detector: core.Config{
+					Schema:   schema,
+					Mode:     cfg.Mode,
+					Epsilon:  cfg.Epsilon,
+					Strategy: cfg.Strategy,
+					MaxCubes: cfg.MaxCubes,
+					Seed:     cfg.Seed,
+				},
+				Shards: p.shards,
+			})
+			if err != nil {
+				return err
+			}
+			defer eng.Close()
+			srv := sfcd.NewServer(eng)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			cfg.DaemonAddr = addr.String()
+		default:
+			cfg.DaemonAddr = p.daemon
+		}
 	}
 
 	subs, err := workload.Subscriptions(workload.SubSpec{

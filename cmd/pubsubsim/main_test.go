@@ -50,6 +50,18 @@ func TestRunEngineBackends(t *testing.T) {
 	}
 }
 
+func TestRunRemoteBackend(t *testing.T) {
+	// "-backend remote -daemon local" spins an in-process daemon and
+	// points every broker link at it over one pipelined connection.
+	p := base()
+	p.brokers, p.nSubs = 5, 30
+	p.backend, p.daemon, p.shards = "remote", "local", 2
+	p.churn = 0.5
+	if err := run(p); err != nil {
+		t.Errorf("remote backend: %v", err)
+	}
+}
+
 func TestRunRejectsBadArguments(t *testing.T) {
 	mutations := map[string]func(*params){
 		"unknown topology":     func(p *params) { p.topology = "mesh" },
@@ -57,6 +69,7 @@ func TestRunRejectsBadArguments(t *testing.T) {
 		"epsilon out of range": func(p *params) { p.mode = "approx"; p.eps = 7 },
 		"unknown distribution": func(p *params) { p.dist = "bimodal" },
 		"unknown backend":      func(p *params) { p.backend = "quantum" },
+		"remote sans daemon":   func(p *params) { p.backend = "remote" },
 		"churn out of range":   func(p *params) { p.churn = 1.5 },
 	}
 	for name, mutate := range mutations {

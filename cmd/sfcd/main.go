@@ -67,16 +67,9 @@ func buildConfig(o options) (engine.Config, error) {
 	if err != nil {
 		return engine.Config{}, err
 	}
-	var mode core.Mode
-	switch o.mode {
-	case "off":
-		mode = core.ModeOff
-	case "exact":
-		mode = core.ModeExact
-	case "approx":
-		mode = core.ModeApprox
-	default:
-		return engine.Config{}, fmt.Errorf("unknown mode %q (off, exact, approx)", o.mode)
+	mode, err := core.ParseMode(o.mode)
+	if err != nil {
+		return engine.Config{}, err
 	}
 	return engine.Config{
 		Detector: core.Config{
@@ -110,6 +103,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":7421", "TCP listen address")
 		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for Prometheus /metrics (empty = disabled)")
+		maxConns    = flag.Int("max-conns", 0, "max concurrently open client connections (0 = unlimited); excess dials get a clean conn_limit error frame")
+		readTimeout = flag.Duration("read-timeout", 0, "per-request read timeout; idle/stalled connections past it are reaped (0 = none)")
 		o           options
 	)
 	flag.StringVar(&o.attrs, "attrs", "volume,price", "comma-separated attribute names")
@@ -140,7 +135,10 @@ func main() {
 	}
 	defer eng.Close()
 
-	srv := sfcd.NewServer(eng)
+	srv := sfcd.NewServerWith(eng, sfcd.ServerConfig{
+		MaxConns:    *maxConns,
+		ReadTimeout: *readTimeout,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		// The server's errors already carry the "sfcd:" prefix.

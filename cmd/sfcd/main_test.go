@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
@@ -109,8 +111,8 @@ func TestMetricsHandler(t *testing.T) {
 	}
 }
 
-// TestDaemonRoundTrip builds the engine+server exactly as main does and
-// drives it through the client.
+// TestDaemonRoundTrip builds the engine+server exactly as main does —
+// hardening flags included — and drives it through the client.
 func TestDaemonRoundTrip(t *testing.T) {
 	cfg, err := buildConfig(defaultOptions())
 	if err != nil {
@@ -121,24 +123,28 @@ func TestDaemonRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	srv := sfcd.NewServer(eng)
+	srv := sfcd.NewServerWith(eng, sfcd.ServerConfig{
+		MaxConns:    16,
+		ReadTimeout: time.Minute,
+	})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 
+	ctx := context.Background()
 	schema := subscription.MustSchema(10, "volume", "price")
 	c, err := sfcd.Dial(addr.String(), schema)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	sid, _, _, err := c.Subscribe(subscription.MustParse(schema, "volume in [0,1000] && price in [0,1000]"))
+	sid, _, _, err := c.Subscribe(ctx, subscription.MustParse(schema, "volume in [0,1000] && price in [0,1000]"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Unsubscribe(sid); err != nil {
+	if err := c.Unsubscribe(ctx, sid); err != nil {
 		t.Fatal(err)
 	}
 }

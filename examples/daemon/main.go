@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"sfccover"
 )
@@ -42,7 +44,15 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("sfcd serving on %v\n", addr)
 
-	client, err := sfccover.DialDaemon(addr.String(), schema)
+	// The client is pipelined: any number of goroutines can share it, and
+	// every operation takes a context. A per-request timeout guards
+	// against a stalled daemon.
+	ctx := context.Background()
+	client, err := sfccover.DialDaemonContext(ctx, sfccover.DaemonDialConfig{
+		Addr:           addr.String(),
+		Schema:         schema,
+		RequestTimeout: 5 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +63,7 @@ func main() {
 	// One broad subscription, then a batch of narrower ones: the covering
 	// query that runs inside every subscribe spots the redundancy.
 	broad := sfccover.MustParseSubscription(schema, "volume in [100,900] && price in [10,400]")
-	sid, _, _, err := client.Subscribe(broad)
+	sid, _, _, err := client.Subscribe(ctx, broad)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +74,7 @@ func main() {
 		sfccover.MustParseSubscription(schema, "volume in [400,500] && price in [100,200]"),
 		sfccover.MustParseSubscription(schema, "volume in [0,50] && price in [900,1000]"),
 	}
-	results, err := client.SubscribeBatch(narrow)
+	results, err := client.SubscribeBatch(ctx, narrow)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,16 +96,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	matched, by, err := client.Match(ev)
+	matched, by, err := client.Match(ctx, ev)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("event (volume=250, price=55): matched=%v by #%d\n", matched, by)
 
-	stats, err := client.Stats()
+	stats, err := client.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("daemon stats: %d subscriptions, %d queries (%d hits), shard sizes %v\n",
 		stats.Subscriptions, stats.Queries, stats.Hits, stats.ShardSizes)
+
+	// The same daemon as a core.Provider: each named link is an isolated
+	// subscription namespace — this is how a broker overlay points every
+	// link at one shared daemon.
+	linkA, err := client.Provider("router-1:link-a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer linkA.Close()
+	if _, err := linkA.Insert(broad); err != nil {
+		log.Fatal(err)
+	}
+	_, foundA, _, err := linkA.FindCover(narrow[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	linkB, err := client.Provider("router-1:link-b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer linkB.Close()
+	_, foundB, _, err := linkB.FindCover(narrow[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("link namespaces: cover found on link-a=%v, on empty link-b=%v\n", foundA, foundB)
 }

@@ -1,7 +1,10 @@
 package sfccover_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"sfccover"
 )
@@ -205,6 +208,88 @@ func TestEngineBackedNetworkFacade(t *testing.T) {
 	net.Drain()
 	if len(sub.Received) != 1 {
 		t.Fatalf("received %d events, want 1 (covered-set resubscription)", len(sub.Received))
+	}
+	if m := net.Metrics(); m.ProtocolErrors != 0 {
+		t.Fatalf("protocol errors: %d", m.ProtocolErrors)
+	}
+}
+
+// TestRemoteDaemonFacade drives the README's shared-daemon deployment
+// through the public facade: a daemon-as-Provider, a remote-backed
+// broker network, and the typed dial errors.
+func TestRemoteDaemonFacade(t *testing.T) {
+	schema := sfccover.MustSchema(10, "topic", "price")
+	eng, err := sfccover.NewEngine(sfccover.EngineConfig{
+		Detector: sfccover.DetectorConfig{Schema: schema, Mode: sfccover.ModeExact, Strategy: sfccover.StrategyLinear},
+		Shards:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := sfccover.NewDaemonServerWith(eng, sfccover.DaemonServerConfig{MaxConns: 8})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A mismatched schema fails with the typed error.
+	if _, err := sfccover.DialDaemon(addr.String(), sfccover.MustSchema(8, "topic", "price")); !errors.Is(err, sfccover.ErrDaemonSchemaMismatch) {
+		t.Fatalf("mismatched dial error = %v, want ErrDaemonSchemaMismatch", err)
+	}
+
+	client, err := sfccover.DialDaemonContext(context.Background(), sfccover.DaemonDialConfig{
+		Addr:           addr.String(),
+		Schema:         schema,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// The daemon as a Provider: the facade's Provider seam, served remotely.
+	var p sfccover.Provider
+	p, err = client.Provider("facade-link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	wide := sfccover.MustParseSubscription(schema, "price <= 500")
+	if _, err := p.Insert(wide); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _, err := p.FindCover(sfccover.MustParseSubscription(schema, "price in [50,80]")); err != nil || !found {
+		t.Fatalf("remote FindCover = (%v, %v), want hit", found, err)
+	}
+
+	// A broker network with every link on the shared daemon.
+	net, err := sfccover.NewNetwork(sfccover.LineTopology(3), sfccover.NetworkConfig{
+		Schema:     schema,
+		Mode:       sfccover.ModeExact,
+		Strategy:   sfccover.StrategyLinear,
+		Backend:    sfccover.NetworkBackendRemote,
+		DaemonAddr: addr.String(),
+		LinkPrefix: "facade/",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	sub, _ := net.AttachClient(0)
+	pub, _ := net.AttachClient(2)
+	if err := net.Subscribe(sub.ID, wide); err != nil {
+		t.Fatal(err)
+	}
+	net.Drain()
+	ev, _ := sfccover.ParseEvent(schema, "topic = 1, price = 60")
+	if err := net.Publish(pub.ID, ev); err != nil {
+		t.Fatal(err)
+	}
+	net.Drain()
+	if len(sub.Received) != 1 {
+		t.Fatalf("received %d events through the remote-backed overlay, want 1", len(sub.Received))
 	}
 	if m := net.Metrics(); m.ProtocolErrors != 0 {
 		t.Fatalf("protocol errors: %d", m.ProtocolErrors)

@@ -1,10 +1,12 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
+	"sfccover/internal/sfcd"
 )
 
 // Backend selects the covering-detection provider each broker link runs.
@@ -22,6 +24,14 @@ const (
 	// BackendEnginePrefix backs each link with a curve-prefix sharded
 	// engine (the shared-decomposition plan under the SFC strategy).
 	BackendEnginePrefix Backend = "engine-prefix"
+	// BackendRemote backs every link with an isolated namespace on one
+	// shared sfcd daemon (Config.DaemonAddr): the whole overlay's
+	// forwarded sets live in a single remote process, reached over one
+	// pipelined connection. Covering detection then runs in the daemon's
+	// configured mode — the daemon is the authority, Config.Mode applies
+	// only to the local exact suppressed sets. Networks with this backend
+	// own the connection; call Close when done.
+	BackendRemote Backend = "remote"
 )
 
 // brokerEngineWorkers sizes the per-link engine worker pools. Broker links
@@ -33,9 +43,56 @@ const brokerEngineWorkers = 2
 // from the forwarded-set provider's on the same link.
 const suppSeedOffset = int64(1) << 32
 
-// newForwardedProvider builds the forwarded-set provider for one link,
-// per the configured backend.
-func (cfg Config) newForwardedProvider(seed int64) (core.Provider, error) {
+// providerSource builds the per-link providers of one network. For the
+// in-process backends it is stateless; for BackendRemote it owns the
+// single pipelined daemon connection that every link's provider
+// multiplexes over.
+type providerSource struct {
+	cfg    Config
+	client *sfcd.Client // non-nil iff cfg.Backend == BackendRemote
+}
+
+// newProviderSource validates the backend choice and, for BackendRemote,
+// dials the shared daemon.
+func newProviderSource(cfg Config) (*providerSource, error) {
+	switch cfg.Backend {
+	case "", BackendDetector, BackendEngineHash, BackendEnginePrefix:
+		return &providerSource{cfg: cfg}, nil
+	case BackendRemote:
+		if cfg.DaemonAddr == "" {
+			return nil, fmt.Errorf("broker: backend %q needs Config.DaemonAddr", cfg.Backend)
+		}
+		client, err := sfcd.DialContext(context.Background(), sfcd.DialConfig{
+			Addr:           cfg.DaemonAddr,
+			Schema:         cfg.Schema,
+			RequestTimeout: cfg.DaemonTimeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("broker: dialing daemon: %w", err)
+		}
+		return &providerSource{cfg: cfg, client: client}, nil
+	default:
+		return nil, fmt.Errorf("broker: unknown backend %q", cfg.Backend)
+	}
+}
+
+// Close releases the shared daemon connection, if any. Per-link providers
+// are closed by their owners first (remote ones unlink their namespaces
+// over this connection).
+func (ps *providerSource) Close() {
+	if ps.client != nil {
+		ps.client.Close()
+	}
+}
+
+// forwarded builds the forwarded-set provider for the link broker->neighbor.
+func (ps *providerSource) forwarded(brokerID, neighborID int, seed int64) (core.Provider, error) {
+	if ps.client != nil {
+		// One namespace per directed link on the shared daemon; LinkPrefix
+		// keeps networks sharing a daemon out of each other's namespaces.
+		return ps.client.Provider(fmt.Sprintf("%sb%d-n%d", ps.cfg.LinkPrefix, brokerID, neighborID))
+	}
+	cfg := ps.cfg
 	dc := core.Config{
 		Schema:   cfg.Schema,
 		Mode:     cfg.Mode,
@@ -47,7 +104,7 @@ func (cfg Config) newForwardedProvider(seed int64) (core.Provider, error) {
 	switch cfg.Backend {
 	case "", BackendDetector:
 		return core.New(dc)
-	case BackendEngineHash, BackendEnginePrefix:
+	default: // BackendEngineHash, BackendEnginePrefix (validated in newProviderSource)
 		part := engine.PartitionHash
 		if cfg.Backend == BackendEnginePrefix {
 			part = engine.PartitionPrefix
@@ -58,20 +115,19 @@ func (cfg Config) newForwardedProvider(seed int64) (core.Provider, error) {
 			Partition: part,
 			Workers:   brokerEngineWorkers,
 		})
-	default:
-		return nil, fmt.Errorf("broker: unknown backend %q", cfg.Backend)
 	}
 }
 
-// newSuppressedProvider builds the suppressed-set provider for one link:
-// always a single exact-mode Detector, regardless of Config.Backend. The
-// covered set computed at unsubscription time must be exact — a missed
-// member would never be re-forwarded and events would be lost, unlike
-// covering misses, which only cost redundant traffic. Exact FindCovered
-// is a plain scan, so an engine's worker pool and sharded index would
-// only add per-link goroutines and lock round trips for identical
-// answers.
-func (cfg Config) newSuppressedProvider(seed int64) (core.Provider, error) {
+// suppressed builds the suppressed-set provider for one link: always a
+// local, single, exact-mode Detector, regardless of Config.Backend — even
+// BackendRemote. The covered set computed at unsubscription time must be
+// exact — a missed member would never be re-forwarded and events would be
+// lost, unlike covering misses, which only cost redundant traffic. Exact
+// FindCovered (and the one-scan DrainCovered the unsubscription path
+// prefers) is a plain scan, so an engine's worker pool, a sharded index,
+// or a network round trip would only add cost for identical answers.
+func (ps *providerSource) suppressed(seed int64) (core.Provider, error) {
+	cfg := ps.cfg
 	return core.New(core.Config{
 		Schema:   cfg.Schema,
 		Mode:     core.ModeExact,

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"sfccover/internal/core"
 	"sfccover/internal/subscription"
@@ -42,12 +43,25 @@ type Config struct {
 	// Seed derives the deterministic randomness of the SFC arrays.
 	Seed int64
 	// Backend selects the per-link covering provider: a single Detector
-	// (default), a hash-sharded engine, or a curve-prefix engine. Networks
-	// with engine backends own worker pools; call Close when done.
+	// (default), a hash-sharded engine, a curve-prefix engine, or link
+	// namespaces on a shared sfcd daemon. Networks with engine backends
+	// own worker pools and remote-backed networks own a daemon
+	// connection; call Close when done.
 	Backend Backend
 	// Shards is the per-link shard count for the engine backends
 	// (0 = the engine default).
 	Shards int
+	// DaemonAddr is the shared sfcd daemon's TCP address (required for
+	// BackendRemote, ignored otherwise). All links of all brokers
+	// multiplex one pipelined connection to it.
+	DaemonAddr string
+	// DaemonTimeout is the per-operation deadline on daemon calls
+	// (BackendRemote; 0 = none).
+	DaemonTimeout time.Duration
+	// LinkPrefix namespaces this network's links on the shared daemon, so
+	// several networks (or several runs) can share one daemon without
+	// colliding (BackendRemote; empty is fine for a dedicated daemon).
+	LinkPrefix string
 	// BatchSize chunks the covered-set re-forward probes issued at
 	// unsubscription time through the provider's batch interface
 	// (0 = the whole covered set in one batch).
@@ -139,6 +153,7 @@ func (c *Client) Subscriptions() []*subscription.Subscription {
 // Network is a deterministic simulation of a broker overlay.
 type Network struct {
 	cfg     Config
+	src     *providerSource
 	brokers []*Broker
 	clients map[int]*Client
 	nextCli int
@@ -202,6 +217,14 @@ type neighborState struct {
 	ids  map[string]uint64 // subKey -> fwd provider id
 	supp core.Provider
 	sups map[string]uint64 // subKey -> supp provider id
+	// degraded marks a link whose forwarded-set provider may have
+	// diverged from the wire — a Remove failed, so the provider (a remote
+	// daemon, typically) may still hold a cover whose retraction was
+	// already sent. Covering answers from a diverged set cannot be
+	// trusted for suppression (a stale cover would suppress subscriptions
+	// the neighbor no longer covers — silent event loss), so a degraded
+	// link floods: every subscription is forwarded unconditionally.
+	degraded bool
 }
 
 // NewNetwork builds the overlay and its per-link covering detectors.
@@ -212,7 +235,11 @@ func NewNetwork(topo Topology, cfg Config) (*Network, error) {
 	if cfg.Schema == nil {
 		return nil, fmt.Errorf("broker: config needs a schema")
 	}
-	n := &Network{cfg: cfg, clients: make(map[int]*Client)}
+	src, err := newProviderSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, src: src, clients: make(map[int]*Client)}
 	n.brokers = make([]*Broker, topo.N)
 	for i := range n.brokers {
 		n.brokers[i] = &Broker{
@@ -231,12 +258,12 @@ func NewNetwork(topo Topology, cfg Config) (*Network, error) {
 		sort.Ints(b.neighbors)
 		for _, j := range b.neighbors {
 			seed := cfg.Seed + int64(b.id)<<16 + int64(j)
-			fwd, err := cfg.newForwardedProvider(seed)
+			fwd, err := src.forwarded(b.id, j, seed)
 			if err != nil {
 				n.Close()
 				return nil, fmt.Errorf("broker: building provider %d->%d: %w", b.id, j, err)
 			}
-			supp, err := cfg.newSuppressedProvider(seed + suppSeedOffset)
+			supp, err := src.suppressed(seed + suppSeedOffset)
 			if err != nil {
 				fwd.Close()
 				n.Close()
@@ -251,16 +278,21 @@ func NewNetwork(topo Topology, cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// Close releases every per-link provider. Engine backends own worker
-// pools, so networks built with them must be closed; with the default
-// detector backend Close is a cheap no-op. The network must not be used
-// afterwards.
+// Close releases every per-link provider and, for BackendRemote, the
+// shared daemon connection (per-link namespaces are unlinked first, so a
+// long-lived shared daemon does not accumulate dead namespaces). Engine
+// backends own worker pools, so networks built with them must be closed;
+// with the default detector backend Close is a cheap no-op. The network
+// must not be used afterwards.
 func (n *Network) Close() {
 	for _, b := range n.brokers {
 		for _, st := range b.out {
 			st.fwd.Close()
 			st.supp.Close()
 		}
+	}
+	if n.src != nil {
+		n.src.Close()
 	}
 }
 
@@ -457,9 +489,18 @@ func (b *Broker) forwardIfUncovered(j int, s *subscription.Subscription) {
 		b.env.bump(metricDuplicate)
 		return
 	}
+	if st.degraded {
+		b.forward(j, st, key, s)
+		return
+	}
 	_, covered, _, err := st.fwd.FindCover(s)
 	if err != nil {
+		// Covering detection is unavailable (a remote provider's daemon
+		// may be unreachable): degrade to flooding. Forwarding costs only
+		// redundant traffic; a subscription that is neither forwarded nor
+		// suppressed would silently lose events.
 		b.env.bump(metricProtocolError)
+		b.forward(j, st, key, s)
 		return
 	}
 	if covered {
@@ -475,14 +516,20 @@ func (b *Broker) forwardIfUncovered(j int, s *subscription.Subscription) {
 // mode a later probe can miss the cover that suppressed an earlier
 // identical row, and forwarding must win over suppression or a future
 // cover removal would re-forward an already-forwarded rectangle.
+//
+// The subscribe message goes on the wire even if the forwarded-set
+// insert fails (again: a remote provider's daemon may be down). The
+// failure costs link-state bookkeeping — the eventual unsubscribe will
+// find no forwarded id and leave a stale row at the neighbor, harmless
+// extra traffic — but never a lost delivery.
 func (b *Broker) forward(j int, st *neighborState, key string, s *subscription.Subscription) {
 	b.dropSuppressed(st, key)
 	id, err := st.fwd.Insert(s)
 	if err != nil {
 		b.env.bump(metricProtocolError)
-		return
+	} else {
+		st.ids[key] = id
 	}
-	st.ids[key] = id
 	b.env.bump(metricSubscribeMsgs)
 	b.env.enqueue(message{
 		to: j, from: iface{kind: ifNeighbor, id: b.id}, sub: s.Clone(), kind: msgSubscribe,
@@ -548,8 +595,16 @@ func (b *Broker) handleUnsubscribe(from iface, s *subscription.Subscription) {
 			continue
 		}
 		if err := st.fwd.Remove(id); err != nil {
+			// The forwarded-set entry may be unreachable (a remote
+			// provider's daemon down) or the removal may have been lost
+			// in flight; the retraction and the covered-set resubscription
+			// below must proceed anyway — skipping them would strand every
+			// suppressed subscription this cover was holding back. But the
+			// provider may now hold state the wire has retracted, so its
+			// covering answers can no longer justify suppression on this
+			// link: degrade it to flooding.
 			b.env.bump(metricProtocolError)
-			continue
+			st.degraded = true
 		}
 		delete(st.ids, key)
 		b.env.bump(metricUnsubscribeMsgs)
@@ -577,6 +632,16 @@ func (b *Broker) resubscribeCovered(j int, st *neighborState, removed *subscript
 	sort.Slice(uncovered, func(x, y int) bool {
 		return subKey(uncovered[x]) < subKey(uncovered[y])
 	})
+	// A degraded link cannot trust the forwarded set's covering answers
+	// (a stale cover — possibly the very one being retracted — would
+	// re-suppress subscriptions the neighbor no longer covers): flood the
+	// whole covered set instead of re-screening it.
+	if st.degraded {
+		for _, sub := range uncovered {
+			b.forward(j, st, subKey(sub), sub)
+		}
+		return
+	}
 	batch := b.batch
 	if batch <= 0 {
 		batch = len(uncovered)
@@ -602,11 +667,17 @@ func (b *Broker) resubscribeCovered(j int, st *neighborState, removed *subscript
 		chunk := uncovered[lo:hi]
 		for i, res := range core.CoverQueries(st.fwd, chunk) {
 			sub := chunk[i]
+			key := subKey(sub)
 			if res.Err != nil {
+				// The subscription is already popped from the suppressed
+				// set; dropping it here would lose its events forever.
+				// With covering state unavailable, forward it — the
+				// flooding fallback is always safe.
 				b.env.bump(metricProtocolError)
+				b.forward(j, st, key, sub)
+				reforwarded = append(reforwarded, sub)
 				continue
 			}
-			key := subKey(sub)
 			if res.Covered || coveredByReforwarded(sub) {
 				b.env.bump(metricSuppressed)
 				b.suppress(st, key, sub)
@@ -623,7 +694,26 @@ func (b *Broker) resubscribeCovered(j int, st *neighborState, removed *subscript
 // result is the exact covered set — the invariant "every suppressed
 // subscription is covered by some forwarded one" guarantees no suppressed
 // subscription outside it lost its cover.
+//
+// Providers with the drain capability (the Detector, which is what
+// suppressed sets run on) collect the whole covered set in one scan;
+// the FindCovered/Subscription/Remove pop loop below costs one full scan
+// per covered member and remains only as the fallback for providers
+// without it.
 func (b *Broker) popCovered(st *neighborState, removed *subscription.Subscription) []*subscription.Subscription {
+	if dr, ok := st.supp.(core.CoveredDrainer); ok {
+		drained, err := dr.DrainCovered(removed)
+		if err != nil {
+			b.env.bump(metricProtocolError)
+			return nil
+		}
+		out := make([]*subscription.Subscription, len(drained))
+		for i, it := range drained {
+			delete(st.sups, subKey(it.Sub))
+			out[i] = it.Sub
+		}
+		return out
+	}
 	var out []*subscription.Subscription
 	for {
 		sid, found, _, err := st.supp.FindCovered(removed)

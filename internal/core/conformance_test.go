@@ -1,0 +1,23 @@
+package core_test
+
+import (
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/core/coretest"
+)
+
+// TestDetectorProviderConformance anchors the shared core.Provider
+// battery on the reference implementation. Engine and the sfcd
+// RemoteProvider run the identical suite from their own packages, which
+// is what licenses brokers to treat the backend as a configuration knob.
+func TestDetectorProviderConformance(t *testing.T) {
+	schema := coretest.Schema()
+	for _, strat := range []core.Strategy{core.StrategySFC, core.StrategyLinear} {
+		t.Run(string(strat), func(t *testing.T) {
+			coretest.RunProviderConformance(t, schema, func(t *testing.T) core.Provider {
+				return core.MustNew(core.Config{Schema: schema, Mode: core.ModeExact, Strategy: strat})
+			})
+		})
+	}
+}

@@ -34,6 +34,22 @@ const (
 	ModeApprox
 )
 
+// ParseMode inverts Mode.String: "off", "exact" and "approx" parse to the
+// corresponding mode. Network clients use it to lift a daemon's negotiated
+// mode string back into the typed world; CLIs use it for -mode flags.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "exact":
+		return ModeExact, nil
+	case "approx":
+		return ModeApprox, nil
+	default:
+		return 0, fmt.Errorf("core: unknown mode %q (off, exact, approx)", s)
+	}
+}
+
 // String implements fmt.Stringer.
 func (m Mode) String() string {
 	switch m {
@@ -393,6 +409,49 @@ func (d *Detector) FindCovered(s *subscription.Subscription) (id uint64, found b
 	d.totals.RunsProbed += stats.RunsProbed
 	d.totals.CubesGenerated += stats.CubesGenerated
 	return id, found, stats, nil
+}
+
+// DrainCovered removes and returns every held subscription that s covers,
+// in one scan under one lock acquisition. It is the batch form of the
+// FindCovered/Subscription/Remove pop loop routers run at unsubscription
+// time: popping k covered subscriptions out of m held ones costs O(k·m)
+// scans through repeated FindCovered calls, while DrainCovered collects
+// the whole covered set in a single O(m) pass. It requires ModeExact —
+// the covered set must be exact where it feeds resubscription, since a
+// missed member would never be re-forwarded and events would be lost.
+//
+// The returned subscriptions are the detector's own (now orphaned) copies;
+// callers may keep them without cloning.
+func (d *Detector) DrainCovered(s *subscription.Subscription) ([]Drained, error) {
+	if s.Schema() != d.cfg.Schema {
+		return nil, fmt.Errorf("core: subscription schema differs from detector schema")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.Mode != ModeExact {
+		return nil, fmt.Errorf("core: DrainCovered requires ModeExact, detector runs %v", d.cfg.Mode)
+	}
+	var out []Drained
+	for id, cand := range d.subs {
+		if s.Covers(cand) {
+			out = append(out, Drained{ID: id, Sub: cand})
+		}
+	}
+	for _, it := range out {
+		delete(d.subs, it.ID)
+		p := it.Sub.Point()
+		if !d.exact.Delete(p, it.ID) {
+			return nil, fmt.Errorf("core: index out of sync for id %d", it.ID)
+		}
+		if d.mirror != nil && !d.mirror.Delete(d.mirrorPoint(p), it.ID) {
+			return nil, fmt.Errorf("core: mirror index out of sync for id %d", it.ID)
+		}
+	}
+	d.totals.Queries++
+	if len(out) > 0 {
+		d.totals.Hits++
+	}
+	return out, nil
 }
 
 // Add is the router's arrival path: search for a cover of s and insert s

@@ -1,0 +1,218 @@
+// Package coretest holds the core.Provider conformance suite: one battery
+// of behavioral checks that every provider implementation — the single
+// Detector, the sharded Engine, the sfcd RemoteProvider — must pass
+// identically, so that brokers and services can swap backends without
+// re-auditing semantics. Implementation packages call RunProviderConformance
+// from their own tests with a factory for a fresh, empty, exact-mode
+// provider.
+package coretest
+
+import (
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/subscription"
+)
+
+// Schema returns a fresh schema of the shape the conformance suite
+// expects: callers build it once and hand both the schema and a provider
+// factory over it to RunProviderConformance.
+func Schema() *subscription.Schema {
+	return subscription.MustSchema(10, "volume", "price")
+}
+
+// RunProviderConformance runs the shared behavioral battery against
+// providers produced by build. Each subtest gets its own fresh provider;
+// build must return an empty provider in core.ModeExact on the given
+// schema (exact mode makes every outcome deterministic, so the same
+// assertions hold for any backing index). Providers are closed by the
+// suite.
+func RunProviderConformance(t *testing.T, schema *subscription.Schema, build func(t *testing.T) core.Provider) {
+	t.Helper()
+	fresh := func(t *testing.T) core.Provider {
+		t.Helper()
+		p := build(t)
+		t.Cleanup(p.Close)
+		if p.Mode() != core.ModeExact {
+			t.Fatalf("conformance providers must run ModeExact, got %v", p.Mode())
+		}
+		if p.Len() != 0 {
+			t.Fatalf("conformance providers must start empty, got Len %d", p.Len())
+		}
+		return p
+	}
+	// The three rectangles pin the semantics (wide ⊇ narrow; uncovered is
+	// covered by nothing stored and covers nothing stored). Their bounds
+	// hug the domain edges deliberately: a covering query's dominance
+	// region has per-axis sides (lo, max−hi), and exhaustive SFC search
+	// decomposes that region in full — mid-domain rectangles would cost
+	// minutes under the SFC strategy for identical answers.
+	wide := subscription.MustParse(schema, "volume <= 1020 && price <= 1020")
+	narrow := subscription.MustParse(schema, "volume in [5,1000] && price in [5,1000]")
+	uncovered := subscription.MustParse(schema, "volume in [7,1022] && price in [7,1022]")
+
+	t.Run("schema", func(t *testing.T) {
+		p := fresh(t)
+		if p.Schema() != schema {
+			t.Fatal("Schema() must return the configured schema")
+		}
+		foreign := subscription.New(subscription.MustSchema(8, "volume", "price"))
+		if _, err := p.Insert(foreign); err == nil {
+			t.Error("Insert with a foreign schema must fail")
+		}
+		if _, _, _, err := p.Add(foreign); err == nil {
+			t.Error("Add with a foreign schema must fail")
+		}
+		if _, _, _, err := p.FindCover(foreign); err == nil {
+			t.Error("FindCover with a foreign schema must fail")
+		}
+		if _, _, _, err := p.FindCovered(foreign); err == nil {
+			t.Error("FindCovered with a foreign schema must fail")
+		}
+	})
+
+	t.Run("insert-roundtrip", func(t *testing.T) {
+		p := fresh(t)
+		id, err := p.Insert(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Len() != 1 {
+			t.Fatalf("Len = %d after one insert", p.Len())
+		}
+		got, ok := p.Subscription(id)
+		if !ok || !got.Equal(wide) {
+			t.Fatalf("Subscription(%d) does not round-trip", id)
+		}
+		if _, ok := p.Subscription(id + 1000); ok {
+			t.Error("unknown id must not resolve")
+		}
+	})
+
+	t.Run("add-cover-semantics", func(t *testing.T) {
+		p := fresh(t)
+		wid, covered, _, err := p.Add(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if covered {
+			t.Error("first arrival cannot be covered")
+		}
+		nid, covered, coveredBy, err := p.Add(narrow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !covered || coveredBy != wid {
+			t.Errorf("Add(narrow) = covered=%v by %d, want covered by %d", covered, coveredBy, wid)
+		}
+		if nid == wid {
+			t.Error("Add must assign distinct ids")
+		}
+		if p.Len() != 2 {
+			t.Errorf("Len = %d, want 2 (Add inserts either way)", p.Len())
+		}
+	})
+
+	t.Run("find-cover", func(t *testing.T) {
+		p := fresh(t)
+		wid, err := p.Insert(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, found, _, err := p.FindCover(narrow)
+		if err != nil || !found || id != wid {
+			t.Fatalf("FindCover(narrow) = (%d,%v,%v), want (%d,true,nil)", id, found, err, wid)
+		}
+		if _, found, _, err := p.FindCover(uncovered); err != nil || found {
+			t.Fatalf("FindCover(uncovered) = (%v,%v), want a clean miss", found, err)
+		}
+	})
+
+	t.Run("find-covered", func(t *testing.T) {
+		p := fresh(t)
+		nid, err := p.Insert(narrow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, found, _, err := p.FindCovered(wide)
+		if err != nil || !found || id != nid {
+			t.Fatalf("FindCovered(wide) = (%d,%v,%v), want (%d,true,nil)", id, found, err, nid)
+		}
+		if _, found, _, err := p.FindCovered(uncovered); err != nil || found {
+			t.Fatalf("FindCovered(uncovered) = (%v,%v), want a clean miss", found, err)
+		}
+	})
+
+	t.Run("remove", func(t *testing.T) {
+		p := fresh(t)
+		id, err := p.Insert(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+		if p.Len() != 0 {
+			t.Errorf("Len = %d after removal", p.Len())
+		}
+		if _, found, _, _ := p.FindCover(narrow); found {
+			t.Error("removed subscription still covers")
+		}
+		if err := p.Remove(id); err == nil {
+			t.Error("double remove must fail")
+		}
+	})
+
+	t.Run("batch-queries", func(t *testing.T) {
+		p := fresh(t)
+		if _, err := p.Insert(wide); err != nil {
+			t.Fatal(err)
+		}
+		res := core.CoverQueries(p, []*subscription.Subscription{narrow, uncovered})
+		if len(res) != 2 {
+			t.Fatalf("got %d results for 2 queries", len(res))
+		}
+		if res[0].Err != nil || !res[0].Covered {
+			t.Errorf("batch query 0 = %+v, want covered", res[0])
+		}
+		if res[1].Err != nil || res[1].Covered {
+			t.Errorf("batch query 1 = %+v, want uncovered", res[1])
+		}
+	})
+
+	t.Run("stats", func(t *testing.T) {
+		p := fresh(t)
+		if _, err := p.Insert(wide); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := p.FindCover(narrow); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := p.FindCover(uncovered); err != nil {
+			t.Fatal(err)
+		}
+		ps := p.Stats()
+		if ps.Subscriptions != 1 {
+			t.Errorf("Stats.Subscriptions = %d, want 1", ps.Subscriptions)
+		}
+		if ps.Queries < 2 || ps.Hits < 1 {
+			t.Errorf("Stats totals = %d queries / %d hits, want >= 2 / >= 1", ps.Queries, ps.Hits)
+		}
+		if ps.Shards < 1 || len(ps.ShardSizes) != ps.Shards {
+			t.Errorf("Stats layout = %d shards, %d sizes", ps.Shards, len(ps.ShardSizes))
+		}
+		total := 0
+		for _, n := range ps.ShardSizes {
+			total += n
+		}
+		if total != ps.Subscriptions {
+			t.Errorf("ShardSizes sum %d != Subscriptions %d", total, ps.Subscriptions)
+		}
+	})
+
+	t.Run("close-idempotent", func(t *testing.T) {
+		p := build(t)
+		p.Close()
+		p.Close()
+	})
+}

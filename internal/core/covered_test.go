@@ -119,6 +119,68 @@ func TestFindCoveredAgreesWithOracle(t *testing.T) {
 	}
 }
 
+// TestDrainCovered pins the one-scan drain against the pop loop it
+// replaces: both must remove exactly the covered set, and the drained
+// subscriptions must round-trip (they feed resubscription).
+func TestDrainCovered(t *testing.T) {
+	schema := testSchema(t)
+	build := func(track bool) *Detector {
+		d := MustNew(Config{Schema: schema, Mode: ModeExact, TrackCovered: track})
+		for _, expr := range []string{
+			"x in [10,20] && y in [10,20]",
+			"x in [30,40] && y in [30,40]",
+			"x in [210,220] && y in [10,20]", // outside the wide cover
+		} {
+			if _, err := d.Insert(subscription.MustParse(schema, expr)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	wide := subscription.MustParse(schema, "x <= 100 && y <= 100")
+	for _, track := range []bool{false, true} {
+		d := build(track)
+		drained, err := d.DrainCovered(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(drained) != 2 {
+			t.Fatalf("track=%v: drained %d, want 2", track, len(drained))
+		}
+		for _, it := range drained {
+			if !wide.Covers(it.Sub) {
+				t.Fatalf("track=%v: drained uncovered subscription %v", track, it.Sub)
+			}
+			if _, ok := d.Subscription(it.ID); ok {
+				t.Fatalf("track=%v: drained id %d still held", track, it.ID)
+			}
+		}
+		if d.Len() != 1 {
+			t.Fatalf("track=%v: Len = %d after drain, want 1", track, d.Len())
+		}
+		// The survivor's indexes are intact: it is still findable/removable.
+		if _, found, _, err := d.FindCover(subscription.MustParse(schema, "x in [212,215] && y in [12,15]")); err != nil || !found {
+			t.Fatalf("track=%v: survivor not findable (found=%v err=%v)", track, found, err)
+		}
+		// A second drain finds nothing.
+		if again, err := d.DrainCovered(wide); err != nil || len(again) != 0 {
+			t.Fatalf("track=%v: second drain = (%d items, %v)", track, len(again), err)
+		}
+	}
+	// Non-exact modes refuse: the covered set feeding resubscription must
+	// be exact.
+	approx := MustNew(Config{Schema: schema, Mode: ModeApprox, Epsilon: 0.3, TrackCovered: true})
+	if _, err := approx.DrainCovered(wide); err == nil {
+		t.Fatal("approximate DrainCovered must fail")
+	}
+	// Foreign schema is rejected.
+	d := build(false)
+	other := subscription.MustSchema(schema.Bits(), schema.Attrs()...)
+	if _, err := d.DrainCovered(subscription.New(other)); err == nil {
+		t.Fatal("foreign schema must fail")
+	}
+}
+
 func TestFindCoveredModeOff(t *testing.T) {
 	schema := testSchema(t)
 	d := MustNew(Config{Schema: schema, Mode: ModeOff, TrackCovered: true})

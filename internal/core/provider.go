@@ -52,6 +52,24 @@ type BatchQuerier interface {
 	CoverQueryBatch(subs []*subscription.Subscription) []QueryResult
 }
 
+// CoveredDrainer is the optional batch-drain capability of a Provider:
+// backends that can collect and remove the full covered set of a
+// subscription in one pass expose it. Routers prefer it at unsubscription
+// time over the FindCovered/Subscription/Remove pop loop, which costs one
+// full scan per covered member.
+type CoveredDrainer interface {
+	// DrainCovered removes and returns every held subscription covered by
+	// s. The result order is unspecified.
+	DrainCovered(s *subscription.Subscription) ([]Drained, error)
+}
+
+// Drained is one subscription removed by a DrainCovered call, with the id
+// it was held under.
+type Drained struct {
+	ID  uint64
+	Sub *subscription.Subscription
+}
+
 // QueryResult is one covering-query outcome, the per-item currency of the
 // batch interfaces.
 type QueryResult struct {
@@ -133,6 +151,7 @@ func (ps *ProviderStats) SetShardSizes(sizes []int) {
 }
 
 var _ Provider = (*Detector)(nil)
+var _ CoveredDrainer = (*Detector)(nil)
 
 // Stats implements Provider for the single detector: one shard holding
 // everything, so the occupancy fields are trivial and ShardSearches

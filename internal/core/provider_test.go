@@ -6,6 +6,40 @@ import (
 	"sfccover/internal/subscription"
 )
 
+// TestDetectorProviderStrategies pins that the search-strategy variants
+// behave identically through the Provider surface; the cross-implementation
+// battery lives in coretest and runs from conformance_test.go.
+func TestDetectorProviderStrategies(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	// Edge-hugging bounds keep the SFC variant's exhaustive enumeration
+	// small (the dominance region's sides are (lo, max−hi) per axis).
+	wide := subscription.MustParse(schema, "volume <= 1020 && price <= 1020")
+	narrow := subscription.MustParse(schema, "volume in [5,1000] && price in [5,1000]")
+	for _, strat := range []Strategy{StrategySFC, StrategyLinear, StrategyKDTree} {
+		t.Run(string(strat), func(t *testing.T) {
+			var p Provider = MustNew(Config{Schema: schema, Mode: ModeExact, Strategy: strat})
+			defer p.Close()
+			wid, covered, _, err := p.Add(wide)
+			if err != nil || covered {
+				t.Fatalf("Add(wide) = covered=%v err=%v", covered, err)
+			}
+			id, found, _, err := p.FindCover(narrow)
+			if err != nil || !found || id != wid {
+				t.Fatalf("FindCover = (%d,%v,%v), want (%d,true,nil)", id, found, err, wid)
+			}
+			if id, found, _, err := p.FindCovered(wide.Clone()); err != nil || !found || id != wid {
+				t.Fatalf("FindCovered = (%d,%v,%v), want stored twin", id, found, err)
+			}
+			if err := p.Remove(wid); err != nil {
+				t.Fatal(err)
+			}
+			if p.Len() != 0 {
+				t.Fatalf("Len = %d after removal", p.Len())
+			}
+		})
+	}
+}
+
 func TestProviderStatsSetShardSizes(t *testing.T) {
 	cases := []struct {
 		sizes    []int

@@ -1,0 +1,31 @@
+package engine_test
+
+import (
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/core/coretest"
+	"sfccover/internal/engine"
+)
+
+// TestEngineProviderConformance runs the shared core.Provider battery
+// over both partition plans: through the Provider seam an engine must be
+// indistinguishable from the reference Detector.
+func TestEngineProviderConformance(t *testing.T) {
+	schema := coretest.Schema()
+	for _, part := range []engine.Partition{engine.PartitionHash, engine.PartitionPrefix} {
+		t.Run(string(part), func(t *testing.T) {
+			coretest.RunProviderConformance(t, schema, func(t *testing.T) core.Provider {
+				// Default (SFC) strategy: PartitionPrefix then exercises
+				// the routed shared-decomposition plan through the
+				// battery, PartitionHash the fan-out plan.
+				return engine.MustNew(engine.Config{
+					Detector:  core.Config{Schema: schema, Mode: core.ModeExact},
+					Shards:    4,
+					Partition: part,
+					Workers:   4,
+				})
+			})
+		})
+	}
+}

@@ -219,6 +219,12 @@ func (e *Engine) Close() {
 // NumShards returns the configured shard count.
 func (e *Engine) NumShards() int { return e.cfg.Shards }
 
+// Config returns the engine's configuration with defaults resolved
+// (Shards, Partition, Workers; the detector template as given). Service
+// layers use it to derive compatible side indexes — the sfcd server
+// builds its per-link namespace detectors from Config().Detector.
+func (e *Engine) Config() Config { return e.cfg }
+
 // PartitionStrategy returns the configured partition strategy.
 func (e *Engine) PartitionStrategy() Partition { return e.cfg.Partition }
 

@@ -2,24 +2,95 @@ package sfcd
 
 import (
 	"bufio"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
+	"sync"
+	"time"
 
 	"sfccover/internal/subscription"
 )
 
-// Client is a synchronous sfcd protocol client. It is safe for one
-// goroutine; routers wanting concurrency open one client per goroutine (or
-// batch, which is usually faster than concurrency on the same link).
+// Sentinel errors of the client surface. Operation failures wrap one of
+// these (or a *ServerError), so callers branch with errors.Is/errors.As
+// instead of string matching.
+var (
+	// ErrSchemaMismatch is returned by Dial when the server's negotiated
+	// schema (bit width, attribute names) differs from the client's.
+	ErrSchemaMismatch = errors.New("sfcd: server schema differs from client schema")
+	// ErrClientClosed is returned by operations issued after Close.
+	ErrClientClosed = errors.New("sfcd: client is closed")
+	// ErrConnectionLost is returned by operations — in flight or later —
+	// once the connection has failed (server restart, network drop). The
+	// client does not reconnect; callers dial a fresh client.
+	ErrConnectionLost = errors.New("sfcd: connection lost")
+)
+
+// ServerError is an error frame the server answered a request with.
+type ServerError struct {
+	// Code classifies the failure (CodeBadRequest, CodeOpFailed, ...).
+	Code string
+	// Msg is the human-readable explanation.
+	Msg string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	if e.Code == "" {
+		return "sfcd: server: " + e.Msg
+	}
+	return "sfcd: server [" + e.Code + "]: " + e.Msg
+}
+
+// DefaultDialTimeout bounds connection establishment plus the hello
+// exchange when DialConfig leaves DialTimeout zero.
+const DefaultDialTimeout = 10 * time.Second
+
+// writeBacklog buffers the frame queue between callers and the writer
+// goroutine: senders enqueue without a synchronous handoff, and the
+// writer drains whole bursts into one flush.
+const writeBacklog = 256
+
+// DialConfig parameterizes DialContext.
+type DialConfig struct {
+	// Addr is the server's TCP address (required).
+	Addr string
+	// Schema is the client's attribute schema (required); Dial verifies it
+	// against the server's.
+	Schema *subscription.Schema
+	// DialTimeout bounds connection establishment and the hello exchange
+	// (0 = DefaultDialTimeout).
+	DialTimeout time.Duration
+	// RequestTimeout is the per-operation deadline applied to every
+	// request whose context carries no deadline of its own (0 = none).
+	RequestTimeout time.Duration
+}
+
+// Client is a pipelined sfcd protocol client. Any number of goroutines
+// may issue operations concurrently on one Client over one TCP
+// connection: requests carry ids, a writer goroutine streams frames
+// (coalescing bursts into single flushes), and a reader goroutine
+// demultiplexes responses back to their callers — no caller ever waits
+// behind another caller's round trip. Every operation takes a
+// context.Context; cancellation abandons the call (the response, if it
+// ever arrives, is discarded) without disturbing the connection.
 type Client struct {
+	cfg    DialConfig
 	conn   net.Conn
-	r      *bufio.Scanner
-	w      *bufio.Writer
 	schema *subscription.Schema
-	nextID uint64
+
+	writeCh chan []byte
+	done    chan struct{} // closed on terminal failure or Close
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Response
+	nextID  uint64
+	err     error // terminal error, set once
 
 	// Hello-negotiated server facts.
 	shards    int
@@ -27,44 +98,90 @@ type Client struct {
 	mode      string
 }
 
-// Dial connects to an sfcd server and verifies with a hello exchange that
-// the server's schema matches the client's (attribute names and bit width
-// both participate in the binary wire format's header check, so a mismatch
-// here fails fast instead of per request).
+// Dial connects to an sfcd server with default configuration and verifies
+// with a hello exchange that the server's schema matches the client's
+// (attribute names and bit width both participate in the binary wire
+// format's header check, so a mismatch here fails fast — with
+// ErrSchemaMismatch — instead of per request).
 func Dial(addr string, schema *subscription.Schema) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), DialConfig{Addr: addr, Schema: schema})
+}
+
+// DialContext connects per cfg. The context bounds connection
+// establishment and the hello exchange; the returned client is not tied
+// to it.
+func DialContext(ctx context.Context, cfg DialConfig) (*Client, error) {
+	if cfg.Schema == nil {
+		return nil, errors.New("sfcd: dial config needs a schema")
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("sfcd: dial config needs an address")
+	}
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = DefaultDialTimeout
+	}
+	// One deadline covers connecting AND the hello exchange, as
+	// documented — a server that accepts late and then stalls must not
+	// get a second full timeout.
+	deadline := time.Now().Add(dialTimeout)
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("sfcd: %w", err)
 	}
 	c := &Client{
-		conn:   conn,
-		r:      bufio.NewScanner(conn),
-		w:      bufio.NewWriter(conn),
-		schema: schema,
+		cfg:     cfg,
+		conn:    conn,
+		schema:  cfg.Schema,
+		writeCh: make(chan []byte, writeBacklog),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]chan *Response),
 	}
-	c.r.Buffer(make([]byte, 64<<10), MaxLineBytes)
-	resp, err := c.roundTrip(Request{Op: "hello"})
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.writeLoop()
+
+	hctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	resp, err := c.do(hctx, &Request{Op: "hello"})
 	if err != nil {
-		conn.Close()
+		c.Close()
 		return nil, err
 	}
-	if resp.Bits != schema.Bits() || len(resp.Attrs) != schema.NumAttrs() {
-		conn.Close()
-		return nil, fmt.Errorf("sfcd: server schema (%d bits, %d attrs) differs from client schema (%d bits, %d attrs)",
-			resp.Bits, len(resp.Attrs), schema.Bits(), schema.NumAttrs())
-	}
-	for i, attr := range schema.Attrs() {
-		if resp.Attrs[i] != attr {
-			conn.Close()
-			return nil, fmt.Errorf("sfcd: server attribute %d is %q, client expects %q", i, resp.Attrs[i], attr)
-		}
+	if err := checkSchema(cfg.Schema, resp); err != nil {
+		c.Close()
+		return nil, err
 	}
 	c.shards, c.partition, c.mode = resp.Shards, resp.Partition, resp.Mode
 	return c, nil
 }
 
-// Close shuts the connection down.
-func (c *Client) Close() error { return c.conn.Close() }
+// checkSchema verifies the hello response against the client schema.
+func checkSchema(schema *subscription.Schema, resp *Response) error {
+	if resp.Bits != schema.Bits() || len(resp.Attrs) != schema.NumAttrs() {
+		return fmt.Errorf("%w: server has %d bits and %d attrs, client has %d bits and %d attrs",
+			ErrSchemaMismatch, resp.Bits, len(resp.Attrs), schema.Bits(), schema.NumAttrs())
+	}
+	for i, attr := range schema.Attrs() {
+		if resp.Attrs[i] != attr {
+			return fmt.Errorf("%w: server attribute %d is %q, client expects %q",
+				ErrSchemaMismatch, i, resp.Attrs[i], attr)
+		}
+	}
+	return nil
+}
+
+// Close shuts the connection down. In-flight operations fail with
+// ErrClientClosed. Close is idempotent.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	c.wg.Wait()
+	return nil
+}
+
+// Schema returns the client's attribute schema.
+func (c *Client) Schema() *subscription.Schema { return c.schema }
 
 // Shards reports the server's shard count (from the hello exchange).
 func (c *Client) Shards() int { return c.shards }
@@ -75,40 +192,190 @@ func (c *Client) Partition() string { return c.partition }
 // Mode reports the server's detection mode.
 func (c *Client) Mode() string { return c.mode }
 
-// roundTrip sends one request and reads one response.
-func (c *Client) roundTrip(req Request) (Response, error) {
+// fail records the terminal error (first one wins) and tears the
+// connection down; every waiter and later caller observes it.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// terminalErr returns the recorded terminal error.
+func (c *Client) terminalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// unregister abandons a pending request (timeout, cancellation).
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// writeLoop streams frames onto the connection. A burst of pipelined
+// requests is coalesced into one flush: after writing a frame it keeps
+// draining queued frames before flushing, so concurrent callers share
+// syscalls instead of paying one write+flush each.
+func (c *Client) writeLoop() {
+	defer c.wg.Done()
+	w := bufio.NewWriter(c.conn)
+	for {
+		select {
+		case <-c.done:
+			return
+		case line := <-c.writeCh:
+			if _, err := w.Write(line); err != nil {
+				c.fail(fmt.Errorf("%w: %v", ErrConnectionLost, err))
+				return
+			}
+			// One scheduler yield lets concurrently submitting callers
+			// land in this burst instead of each paying their own flush;
+			// without it a loaded single-P process degenerates to one
+			// frame per syscall.
+			runtime.Gosched()
+			coalescing := true
+			for coalescing {
+				select {
+				case more := <-c.writeCh:
+					if _, err := w.Write(more); err != nil {
+						c.fail(fmt.Errorf("%w: %v", ErrConnectionLost, err))
+						return
+					}
+				default:
+					coalescing = false
+				}
+			}
+			if err := w.Flush(); err != nil {
+				c.fail(fmt.Errorf("%w: %v", ErrConnectionLost, err))
+				return
+			}
+		}
+	}
+}
+
+// readLoop demultiplexes response lines to their waiting callers by
+// request id. Responses for abandoned requests are dropped; an id-0
+// frame is a connection-level server error and terminates the client.
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 64<<10), MaxLineBytes)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		resp := new(Response)
+		if err := json.Unmarshal(sc.Bytes(), resp); err != nil {
+			c.fail(fmt.Errorf("sfcd: malformed response: %w", err))
+			return
+		}
+		if resp.ID == 0 {
+			c.fail(&ServerError{Code: resp.Code, Msg: resp.Error})
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks
+		}
+	}
+	if err := sc.Err(); err != nil {
+		c.fail(fmt.Errorf("%w: %v", ErrConnectionLost, err))
+		return
+	}
+	c.fail(fmt.Errorf("%w: connection closed by server", ErrConnectionLost))
+}
+
+// do issues one request and waits for its response. It applies the
+// configured RequestTimeout when ctx carries no deadline, registers the
+// request id for demultiplexing, and hands the frame to the writer; the
+// caller's wait is independent of every other in-flight request.
+func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
+	if c.cfg.RequestTimeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+			defer cancel()
+		}
+	}
+	ch := respChPool.Get().(chan *Response)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		respChPool.Put(ch)
+		return nil, err
+	}
 	c.nextID++
-	req.ID = c.nextID
-	line, err := json.Marshal(&req)
+	id := c.nextID
+	req.ID = id
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	// Until the frame reaches the writer no response can ever target ch,
+	// so these bail-out paths unregister and recycle it.
+	abandonUnsent := func() {
+		c.unregister(id)
+		respChPool.Put(ch)
+	}
+	line, err := json.Marshal(req)
 	if err != nil {
-		return Response{}, fmt.Errorf("sfcd: send: %w", err)
+		abandonUnsent()
+		return nil, fmt.Errorf("sfcd: send: %w", err)
 	}
 	// The server drops the connection on lines beyond MaxLineBytes; fail
 	// the request with an actionable error instead (split the batch).
 	if len(line) >= MaxLineBytes {
-		return Response{}, fmt.Errorf("sfcd: request line is %d bytes, server cap is %d: split the batch", len(line), MaxLineBytes)
+		abandonUnsent()
+		return nil, fmt.Errorf("sfcd: request line is %d bytes, server cap is %d: split the batch", len(line), MaxLineBytes)
 	}
-	if _, err := c.w.Write(append(line, '\n')); err != nil {
-		return Response{}, fmt.Errorf("sfcd: send: %w", err)
+	select {
+	case c.writeCh <- append(line, '\n'):
+	case <-ctx.Done():
+		abandonUnsent()
+		return nil, fmt.Errorf("sfcd: %s: %w", req.Op, ctx.Err())
+	case <-c.done:
+		abandonUnsent()
+		return nil, c.terminalErr()
 	}
-	if err := c.w.Flush(); err != nil {
-		return Response{}, fmt.Errorf("sfcd: send: %w", err)
-	}
-	if !c.r.Scan() {
-		if err := c.r.Err(); err != nil {
-			return Response{}, fmt.Errorf("sfcd: read: %w", err)
+	select {
+	case resp := <-ch:
+		respChPool.Put(ch)
+		return checkResponse(resp)
+	case <-ctx.Done():
+		c.unregister(id)
+		// Not pooled: the reader may already hold this channel and send
+		// the late response into it.
+		return nil, fmt.Errorf("sfcd: %s: %w", req.Op, ctx.Err())
+	case <-c.done:
+		// The response may have been delivered just before the failure.
+		select {
+		case resp := <-ch:
+			respChPool.Put(ch)
+			return checkResponse(resp)
+		default:
 		}
-		return Response{}, errors.New("sfcd: connection closed by server")
+		return nil, c.terminalErr()
 	}
-	var resp Response
-	if err := json.Unmarshal(c.r.Bytes(), &resp); err != nil {
-		return Response{}, fmt.Errorf("sfcd: malformed response: %w", err)
-	}
-	if resp.ID != req.ID {
-		return Response{}, fmt.Errorf("sfcd: response id %d for request %d", resp.ID, req.ID)
-	}
+}
+
+// respChPool recycles the per-request response channels. A channel is
+// returned to the pool only after its response was received — the one
+// point where no late send can ever reach it again.
+var respChPool = sync.Pool{New: func() any { return make(chan *Response, 1) }}
+
+// checkResponse lifts error frames into *ServerError.
+func checkResponse(resp *Response) (*Response, error) {
 	if !resp.OK {
-		return Response{}, fmt.Errorf("sfcd: server: %s", resp.Error)
+		return nil, &ServerError{Code: resp.Code, Msg: resp.Error}
 	}
 	return resp, nil
 }
@@ -121,20 +388,32 @@ func (c *Client) encodeSub(s *subscription.Subscription) (string, error) {
 	return base64.StdEncoding.EncodeToString(raw), nil
 }
 
+func (c *Client) encodeSubs(subs []*subscription.Subscription) ([]string, error) {
+	payloads := make([]string, len(subs))
+	for i, s := range subs {
+		p, err := c.encodeSub(s)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+	return payloads, nil
+}
+
 // Ping checks liveness.
-func (c *Client) Ping() error {
-	_, err := c.roundTrip(Request{Op: "ping"})
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: "ping"})
 	return err
 }
 
 // Subscribe stores s on the server, returning its id and the outcome of
 // the pre-insert covering query.
-func (c *Client) Subscribe(s *subscription.Subscription) (sid uint64, covered bool, coveredBy uint64, err error) {
+func (c *Client) Subscribe(ctx context.Context, s *subscription.Subscription) (sid uint64, covered bool, coveredBy uint64, err error) {
 	payload, err := c.encodeSub(s)
 	if err != nil {
 		return 0, false, 0, err
 	}
-	resp, err := c.roundTrip(Request{Op: "subscribe", Payload: payload})
+	resp, err := c.do(ctx, &Request{Op: "subscribe", Payload: payload})
 	if err != nil {
 		return 0, false, 0, err
 	}
@@ -146,16 +425,12 @@ func (c *Client) Subscribe(s *subscription.Subscription) (sid uint64, covered bo
 
 // SubscribeBatch stores a batch in one round trip. The results align with
 // subs; per-item failures are reported in Result.Error.
-func (c *Client) SubscribeBatch(subs []*subscription.Subscription) ([]Result, error) {
-	payloads := make([]string, len(subs))
-	for i, s := range subs {
-		p, err := c.encodeSub(s)
-		if err != nil {
-			return nil, err
-		}
-		payloads[i] = p
+func (c *Client) SubscribeBatch(ctx context.Context, subs []*subscription.Subscription) ([]Result, error) {
+	payloads, err := c.encodeSubs(subs)
+	if err != nil {
+		return nil, err
 	}
-	resp, err := c.roundTrip(Request{Op: "subscribe_batch", Payloads: payloads})
+	resp, err := c.do(ctx, &Request{Op: "subscribe_batch", Payloads: payloads})
 	if err != nil {
 		return nil, err
 	}
@@ -165,15 +440,32 @@ func (c *Client) SubscribeBatch(subs []*subscription.Subscription) ([]Result, er
 	return resp.Results, nil
 }
 
+// Insert stores s without the pre-insert covering query — the
+// Provider.Insert path — and returns its id.
+func (c *Client) Insert(ctx context.Context, s *subscription.Subscription) (uint64, error) {
+	payload, err := c.encodeSub(s)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.do(ctx, &Request{Op: "insert", Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Result == nil {
+		return 0, errors.New("sfcd: response carries no result")
+	}
+	return resp.Result.SID, nil
+}
+
 // Unsubscribe removes the subscription with the given id.
-func (c *Client) Unsubscribe(sid uint64) error {
-	_, err := c.roundTrip(Request{Op: "unsubscribe", SID: sid})
+func (c *Client) Unsubscribe(ctx context.Context, sid uint64) error {
+	_, err := c.do(ctx, &Request{Op: "unsubscribe", SID: sid})
 	return err
 }
 
 // UnsubscribeBatch removes a batch of ids in one round trip.
-func (c *Client) UnsubscribeBatch(sids []uint64) ([]Result, error) {
-	resp, err := c.roundTrip(Request{Op: "unsubscribe_batch", SIDs: sids})
+func (c *Client) UnsubscribeBatch(ctx context.Context, sids []uint64) ([]Result, error) {
+	resp, err := c.do(ctx, &Request{Op: "unsubscribe_batch", SIDs: sids})
 	if err != nil {
 		return nil, err
 	}
@@ -185,12 +477,12 @@ func (c *Client) UnsubscribeBatch(sids []uint64) ([]Result, error) {
 
 // Query asks whether any stored subscription covers s, without storing
 // anything.
-func (c *Client) Query(s *subscription.Subscription) (covered bool, coveredBy uint64, err error) {
+func (c *Client) Query(ctx context.Context, s *subscription.Subscription) (covered bool, coveredBy uint64, err error) {
 	payload, err := c.encodeSub(s)
 	if err != nil {
 		return false, 0, err
 	}
-	resp, err := c.roundTrip(Request{Op: "query", Payload: payload})
+	resp, err := c.do(ctx, &Request{Op: "query", Payload: payload})
 	if err != nil {
 		return false, 0, err
 	}
@@ -201,16 +493,12 @@ func (c *Client) Query(s *subscription.Subscription) (covered bool, coveredBy ui
 }
 
 // QueryBatch runs a batch of covering queries in one round trip.
-func (c *Client) QueryBatch(subs []*subscription.Subscription) ([]Result, error) {
-	payloads := make([]string, len(subs))
-	for i, s := range subs {
-		p, err := c.encodeSub(s)
-		if err != nil {
-			return nil, err
-		}
-		payloads[i] = p
+func (c *Client) QueryBatch(ctx context.Context, subs []*subscription.Subscription) ([]Result, error) {
+	payloads, err := c.encodeSubs(subs)
+	if err != nil {
+		return nil, err
 	}
-	resp, err := c.roundTrip(Request{Op: "query_batch", Payloads: payloads})
+	resp, err := c.do(ctx, &Request{Op: "query_batch", Payloads: payloads})
 	if err != nil {
 		return nil, err
 	}
@@ -222,15 +510,15 @@ func (c *Client) QueryBatch(subs []*subscription.Subscription) ([]Result, error)
 
 // QueryCovered asks the reverse covering question: does the store hold a
 // subscription that s covers? Routers use it at unsubscription time. The
-// server answers through the engine's FindCovered, with its guarantees
+// server answers through the provider's FindCovered, with its guarantees
 // (exact mode scans exactly; approximate mode needs TrackCovered and may
 // miss but never misreports).
-func (c *Client) QueryCovered(s *subscription.Subscription) (covered bool, coveredID uint64, err error) {
+func (c *Client) QueryCovered(ctx context.Context, s *subscription.Subscription) (covered bool, coveredID uint64, err error) {
 	payload, err := c.encodeSub(s)
 	if err != nil {
 		return false, 0, err
 	}
-	resp, err := c.roundTrip(Request{Op: "covered", Payload: payload})
+	resp, err := c.do(ctx, &Request{Op: "covered", Payload: payload})
 	if err != nil {
 		return false, 0, err
 	}
@@ -240,10 +528,30 @@ func (c *Client) QueryCovered(s *subscription.Subscription) (covered bool, cover
 	return resp.Result.Covered, resp.Result.CoveredBy, nil
 }
 
+// Subscription resolves a stored id back to its subscription.
+func (c *Client) Subscription(ctx context.Context, sid uint64) (*subscription.Subscription, error) {
+	resp, err := c.do(ctx, &Request{Op: "get", SID: sid})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, errors.New("sfcd: response carries no result")
+	}
+	raw, err := base64.StdEncoding.DecodeString(resp.Result.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("sfcd: malformed get payload: %w", err)
+	}
+	sub, err := subscription.UnmarshalSubscription(c.schema, raw)
+	if err != nil {
+		return nil, fmt.Errorf("sfcd: %w", err)
+	}
+	return sub, nil
+}
+
 // Metrics fetches the server counters rendered in the Prometheus text
 // exposition format.
-func (c *Client) Metrics() (string, error) {
-	resp, err := c.roundTrip(Request{Op: "metrics"})
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, &Request{Op: "metrics"})
 	if err != nil {
 		return "", err
 	}
@@ -256,12 +564,12 @@ func (c *Client) Metrics() (string, error) {
 // Match asks whether any stored subscription matches the event — covering
 // applied to the event's degenerate point-subscription, with the usual
 // guarantee (a reported match is genuine; approximate mode may miss).
-func (c *Client) Match(e subscription.Event) (matched bool, matchedBy uint64, err error) {
+func (c *Client) Match(ctx context.Context, e subscription.Event) (matched bool, matchedBy uint64, err error) {
 	raw, err := e.MarshalBinary(c.schema)
 	if err != nil {
 		return false, 0, fmt.Errorf("sfcd: %w", err)
 	}
-	resp, err := c.roundTrip(Request{Op: "match", Payload: base64.StdEncoding.EncodeToString(raw)})
+	resp, err := c.do(ctx, &Request{Op: "match", Payload: base64.StdEncoding.EncodeToString(raw)})
 	if err != nil {
 		return false, 0, err
 	}
@@ -272,8 +580,8 @@ func (c *Client) Match(e subscription.Event) (matched bool, matchedBy uint64, er
 }
 
 // Stats fetches the server's counter snapshot.
-func (c *Client) Stats() (Stats, error) {
-	resp, err := c.roundTrip(Request{Op: "stats"})
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	resp, err := c.do(ctx, &Request{Op: "stats"})
 	if err != nil {
 		return Stats{}, err
 	}

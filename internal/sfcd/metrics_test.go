@@ -21,11 +21,11 @@ func TestCoveredOp(t *testing.T) {
 
 	narrow := subscription.MustParse(schema, "volume in [200,300] && price in [50,60]")
 	broad := subscription.MustParse(schema, "volume in [100,900] && price in [10,400]")
-	sid, _, _, err := c.Subscribe(narrow)
+	sid, _, _, err := c.Subscribe(bg, narrow)
 	if err != nil {
 		t.Fatal(err)
 	}
-	covered, coveredID, err := c.QueryCovered(broad)
+	covered, coveredID, err := c.QueryCovered(bg, broad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestCoveredOp(t *testing.T) {
 	}
 	// A strictly narrower probe covers nothing in the store.
 	tiny := subscription.MustParse(schema, "volume in [250,260] && price in [55,58]")
-	if covered, _, err = c.QueryCovered(tiny); err != nil {
+	if covered, _, err = c.QueryCovered(bg, tiny); err != nil {
 		t.Fatal(err)
 	} else if covered {
 		t.Fatal("strictly narrower probe must not cover the store")
@@ -60,17 +60,17 @@ func TestMetricsOpRendersParsableExposition(t *testing.T) {
 	// Put some load on the counters first.
 	broad := subscription.MustParse(schema, "volume in [100,900] && price in [10,400]")
 	narrow := subscription.MustParse(schema, "volume in [200,300] && price in [50,60]")
-	if _, _, _, err := c.Subscribe(broad); err != nil {
+	if _, _, _, err := c.Subscribe(bg, broad); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := c.Subscribe(narrow); err != nil {
+	if _, _, _, err := c.Subscribe(bg, narrow); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Query(narrow); err != nil {
+	if _, _, err := c.Query(bg, narrow); err != nil {
 		t.Fatal(err)
 	}
 
-	text, err := c.Metrics()
+	text, err := c.Metrics(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,10 +131,10 @@ func TestStatsIncludesSkew(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, _, _, err := c.Subscribe(subscription.MustParse(schema, "volume in [1,2]")); err != nil {
+	if _, _, _, err := c.Subscribe(bg, subscription.MustParse(schema, "volume in [1,2]")); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}

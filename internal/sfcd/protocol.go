@@ -1,51 +1,72 @@
 // Package sfcd turns the sharded detection engine into a network service:
 // a newline-delimited JSON protocol over TCP, carrying subscriptions and
-// events in their binary wire format (base64-encoded), plus the matching
-// client. One daemon serves many routers; batch operations map directly
-// onto the engine's AddBatch/RemoveBatch/CoverQueryBatch so a single
-// request line can amortize the round trip over hundreds of covering
-// queries.
+// events in their binary wire format (base64-encoded), plus a pipelined
+// client and a core.Provider implementation over it. One daemon serves
+// many routers; batch operations map directly onto the engine's
+// AddBatch/RemoveBatch/CoverQueryBatch so a single request line can
+// amortize the round trip over hundreds of covering queries, and the
+// pipelined client overlaps independent requests on one connection so
+// that N concurrent callers never serialize on the wire.
 //
-// Protocol: each line is one JSON request; the server answers each with
-// one JSON response line, in request order per connection. Concurrency
-// comes from concurrent connections and from the engine's worker pool
-// underneath batch requests.
+// Protocol: each line is one JSON request carrying a client-chosen id;
+// the server answers each request with one JSON response line echoing
+// that id. Responses may arrive OUT OF ORDER — the server handles a
+// connection's requests concurrently — so clients demultiplex by id.
+// A response with id 0 that no request asked for is a connection-level
+// error frame (e.g. the connection limit was hit); the connection is
+// closed after it.
 //
 //	→ {"id":1,"op":"hello"}
 //	← {"id":1,"ok":true,"bits":10,"attrs":["volume","price"],"shards":8,"partition":"hash","mode":"approx"}
 //	→ {"id":2,"op":"subscribe","payload":"<base64 subscription wire>"}
-//	← {"id":2,"ok":true,"sid":41,"covered":true,"coveredBy":17}
+//	← {"id":2,"ok":true,"result":{"sid":41,"covered":true,"coveredBy":17}}
 //	→ {"id":3,"op":"query_batch","payloads":["...","..."]}
 //	← {"id":3,"ok":true,"results":[{"covered":true,"coveredBy":17},{"covered":false}]}
 //
-// Operations: hello, ping, subscribe, subscribe_batch, unsubscribe,
-// unsubscribe_batch, query, query_batch, covered, match, stats, metrics.
+// Operations: hello, ping, subscribe, subscribe_batch, insert,
+// unsubscribe, unsubscribe_batch, query, query_batch, covered, get,
+// match, stats, metrics, unlink.
 //
-// "covered" is the reverse covering query (engine FindCovered): does the
-// store hold a subscription that the payload covers? Routers call it at
-// unsubscription time to decide which suppressed subscriptions must be
-// re-forwarded. "metrics" renders the stats counters in the Prometheus
-// text exposition format for scrape-style monitoring.
+// "insert" stores a subscription without the pre-insert covering query
+// (the Provider.Insert path); "get" resolves a sid back to its stored
+// subscription payload. "covered" is the reverse covering query (engine
+// FindCovered): does the store hold a subscription that the payload
+// covers? Routers call it at unsubscription time to decide which
+// suppressed subscriptions must be re-forwarded. "metrics" renders the
+// stats counters in the Prometheus text exposition format.
 //
 // "match" answers event delivery: an event e is a degenerate subscription
 // constraining every attribute to exactly its value, so "does any stored
 // subscription match e" is precisely "is that point-subscription covered",
 // and the engine's covering machinery answers it with the usual guarantee
 // (a reported match is genuine; approximate mode may miss).
+//
+// Link namespaces: every operation may carry a "link" field naming an
+// isolated subscription namespace on the daemon. The empty link is the
+// shared engine; any other link lazily materializes its own index built
+// from the engine's detector template, and "unlink" tears it down. This
+// is what lets one shared daemon back every broker link of an overlay:
+// each link's forwarded set stays independent while all of them share one
+// process, one connection and one schema.
 package sfcd
 
 // Request is one protocol request line.
 type Request struct {
-	// ID is echoed in the response so clients can pipeline.
+	// ID is echoed in the response; clients pipeline many requests and
+	// demultiplex responses by it. IDs must be unique among a connection's
+	// in-flight requests and must be non-zero (0 is reserved for
+	// connection-level error frames).
 	ID uint64 `json:"id"`
 	// Op selects the operation.
 	Op string `json:"op"`
+	// Link selects the subscription namespace; empty is the shared engine.
+	Link string `json:"link,omitempty"`
 	// Payload carries one base64-encoded binary subscription (subscribe,
-	// query) or event (match).
+	// insert, query, covered) or event (match).
 	Payload string `json:"payload,omitempty"`
 	// Payloads carries a batch of base64-encoded subscriptions.
 	Payloads []string `json:"payloads,omitempty"`
-	// SID identifies a subscription to unsubscribe.
+	// SID identifies a subscription to unsubscribe or get.
 	SID uint64 `json:"sid,omitempty"`
 	// SIDs identifies a batch of subscriptions to unsubscribe.
 	SIDs []uint64 `json:"sids,omitempty"`
@@ -53,18 +74,20 @@ type Request struct {
 
 // Result is one per-item outcome inside a batch response.
 type Result struct {
-	// SID is the id assigned by subscribe operations.
+	// SID is the id assigned by subscribe/insert operations.
 	SID uint64 `json:"sid,omitempty"`
 	// Covered reports whether a cover (or match) was found; CoveredBy is
 	// the id of the covering subscription.
 	Covered   bool   `json:"covered,omitempty"`
 	CoveredBy uint64 `json:"coveredBy,omitempty"`
+	// Payload is the base64-encoded subscription returned by get.
+	Payload string `json:"payload,omitempty"`
 	// Error is the per-item failure, empty on success.
 	Error string `json:"error,omitempty"`
 }
 
 // Stats is the counter snapshot returned by the stats operation: the
-// engine's logical totals plus occupancy.
+// provider's logical totals plus occupancy, per link namespace.
 type Stats struct {
 	Queries        int `json:"queries"`
 	Hits           int `json:"hits"`
@@ -83,13 +106,32 @@ type Stats struct {
 	SkewRatio    float64 `json:"skewRatio"`
 }
 
+// Error codes carried by error frames (Response.Code). The code
+// classifies the failure mechanically so clients can react without
+// parsing the human-readable Error text.
+const (
+	// CodeBadRequest marks a request the server could not parse or decode.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownOp marks an unrecognized operation.
+	CodeUnknownOp = "unknown_op"
+	// CodeConnLimit marks a connection refused by the -max-conns limit;
+	// it arrives in a connection-level frame (id 0) and the connection is
+	// closed after it.
+	CodeConnLimit = "conn_limit"
+	// CodeOpFailed marks an operation the provider rejected (unknown sid,
+	// schema trouble, mode restrictions).
+	CodeOpFailed = "op_failed"
+)
+
 // Response is one protocol response line.
 type Response struct {
-	// ID echoes the request id.
+	// ID echoes the request id; 0 marks a connection-level error frame.
 	ID uint64 `json:"id"`
-	// OK reports whether the request succeeded; on failure Error explains.
+	// OK reports whether the request succeeded; on failure Error explains
+	// and Code classifies.
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
 
 	// hello fields.
 	Bits      int      `json:"bits,omitempty"`
@@ -98,7 +140,8 @@ type Response struct {
 	Partition string   `json:"partition,omitempty"`
 	Mode      string   `json:"mode,omitempty"`
 
-	// Single-operation outcome (subscribe, query, match, unsubscribe).
+	// Single-operation outcome (subscribe, insert, query, covered, get,
+	// match, unsubscribe).
 	Result *Result `json:"result,omitempty"`
 	// Batch outcomes, aligned with the request's payloads/sids.
 	Results []Result `json:"results,omitempty"`

@@ -1,0 +1,253 @@
+package sfcd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sfccover/internal/core"
+	"sfccover/internal/dominance"
+	"sfccover/internal/subscription"
+)
+
+// RemoteProvider adapts one link namespace of a dialed sfcd daemon to
+// core.Provider: the full Add/Insert/Remove/FindCover/FindCovered/Stats
+// surface travels over the client's pipelined connection, so brokers and
+// routers can point any provider seam at a shared daemon exactly as they
+// would at an in-process Detector or Engine. Any number of providers —
+// one per broker link, say — share a single Client and therefore a
+// single TCP connection; their requests interleave without head-of-line
+// blocking.
+//
+// Divergences forced by the interface: the per-query dominance.Stats are
+// server-side aggregates (visible through Stats), so FindCover/FindCovered
+// return zero-valued per-call stats; Len and Subscription have no error
+// channel, so connection failures surface as 0 / not-found there and as
+// real errors on the next erroring operation.
+//
+// Closing a RemoteProvider releases its link namespace on the daemon
+// (best effort); it never closes the shared Client. Close the Client
+// itself when all providers on it are done.
+type RemoteProvider struct {
+	c    *Client
+	link string
+	mode core.Mode
+	ctx  context.Context
+}
+
+var _ core.Provider = (*RemoteProvider)(nil)
+var _ core.BatchQuerier = (*RemoteProvider)(nil)
+
+// Provider returns a core.Provider over the given link namespace of the
+// daemon. The empty link is the daemon's shared engine; any other link
+// names an isolated subscription set, lazily materialized server-side
+// from the engine's detector template (so its mode matches the daemon's).
+func (c *Client) Provider(link string) (*RemoteProvider, error) {
+	mode, err := core.ParseMode(c.mode)
+	if err != nil {
+		return nil, fmt.Errorf("sfcd: hello negotiated %w", err)
+	}
+	return &RemoteProvider{c: c, link: link, mode: mode, ctx: context.Background()}, nil
+}
+
+// Link returns the provider's namespace on the daemon.
+func (r *RemoteProvider) Link() string { return r.link }
+
+// checkSchema mirrors the local providers' pointer check so misuse fails
+// identically whether the index is local or remote.
+func (r *RemoteProvider) checkSchema(s *subscription.Subscription) error {
+	if s.Schema() != r.c.schema {
+		return errors.New("sfcd: subscription schema differs from client schema")
+	}
+	return nil
+}
+
+func (r *RemoteProvider) payload(s *subscription.Subscription) (string, error) {
+	if err := r.checkSchema(s); err != nil {
+		return "", err
+	}
+	return r.c.encodeSub(s)
+}
+
+// Add runs the router arrival path on the daemon: covering query, then
+// insert either way.
+func (r *RemoteProvider) Add(s *subscription.Subscription) (id uint64, covered bool, coveredBy uint64, err error) {
+	payload, err := r.payload(s)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	resp, err := r.c.do(r.ctx, &Request{Op: "subscribe", Link: r.link, Payload: payload})
+	if err != nil {
+		return 0, false, 0, err
+	}
+	if resp.Result == nil {
+		return 0, false, 0, errors.New("sfcd: response carries no result")
+	}
+	return resp.Result.SID, resp.Result.Covered, resp.Result.CoveredBy, nil
+}
+
+// Insert stores s unconditionally and returns its id.
+func (r *RemoteProvider) Insert(s *subscription.Subscription) (uint64, error) {
+	payload, err := r.payload(s)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.c.do(r.ctx, &Request{Op: "insert", Link: r.link, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Result == nil {
+		return 0, errors.New("sfcd: response carries no result")
+	}
+	return resp.Result.SID, nil
+}
+
+// Remove deletes a previously inserted subscription by id.
+func (r *RemoteProvider) Remove(id uint64) error {
+	_, err := r.c.do(r.ctx, &Request{Op: "unsubscribe", Link: r.link, SID: id})
+	return err
+}
+
+// FindCover searches the namespace for a subscription covering s. The
+// per-call dominance stats are zero (they live server-side; see Stats).
+func (r *RemoteProvider) FindCover(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error) {
+	payload, err := r.payload(s)
+	if err != nil {
+		return 0, false, stats, err
+	}
+	resp, err := r.c.do(r.ctx, &Request{Op: "query", Link: r.link, Payload: payload})
+	if err != nil {
+		return 0, false, stats, err
+	}
+	if resp.Result == nil {
+		return 0, false, stats, errors.New("sfcd: response carries no result")
+	}
+	return resp.Result.CoveredBy, resp.Result.Covered, stats, nil
+}
+
+// FindCovered searches the namespace for a subscription that s covers.
+func (r *RemoteProvider) FindCovered(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error) {
+	payload, err := r.payload(s)
+	if err != nil {
+		return 0, false, stats, err
+	}
+	resp, err := r.c.do(r.ctx, &Request{Op: "covered", Link: r.link, Payload: payload})
+	if err != nil {
+		return 0, false, stats, err
+	}
+	if resp.Result == nil {
+		return 0, false, stats, errors.New("sfcd: response carries no result")
+	}
+	return resp.Result.CoveredBy, resp.Result.Covered, stats, nil
+}
+
+// CoverQueryBatch implements core.BatchQuerier: the whole batch rides one
+// request line and fans out across the daemon's worker pool.
+func (r *RemoteProvider) CoverQueryBatch(subs []*subscription.Subscription) []core.QueryResult {
+	out := make([]core.QueryResult, len(subs))
+	payloads := make([]string, len(subs))
+	for i, s := range subs {
+		p, err := r.payload(s)
+		if err != nil {
+			// Per-item validation failures poison only their own slot, as
+			// with the engine's batch path.
+			out[i] = core.QueryResult{Err: err}
+			continue
+		}
+		payloads[i] = p
+	}
+	resp, err := r.c.do(r.ctx, &Request{Op: "query_batch", Link: r.link, Payloads: payloads})
+	if err != nil {
+		for i := range out {
+			if out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+		return out
+	}
+	if len(resp.Results) != len(subs) {
+		err := fmt.Errorf("sfcd: %d results for %d queries", len(resp.Results), len(subs))
+		for i := range out {
+			if out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+		return out
+	}
+	for i, res := range resp.Results {
+		if out[i].Err != nil {
+			continue
+		}
+		if res.Error != "" {
+			out[i].Err = &ServerError{Code: CodeOpFailed, Msg: res.Error}
+			continue
+		}
+		out[i] = core.QueryResult{Covered: res.Covered, CoveredBy: res.CoveredBy}
+	}
+	return out
+}
+
+// Subscription resolves an id to its held subscription. The Provider
+// signature has no error channel, so connection trouble reads as
+// not-found here and errors on the next operation that can report it.
+func (r *RemoteProvider) Subscription(id uint64) (*subscription.Subscription, bool) {
+	resp, err := r.c.do(r.ctx, &Request{Op: "get", Link: r.link, SID: id})
+	if err != nil || resp.Result == nil {
+		return nil, false
+	}
+	sub, err := decodeSubPayload(r.c.schema, resp.Result.Payload)
+	if err != nil {
+		return nil, false
+	}
+	return sub, true
+}
+
+// Len returns the number of held subscriptions in the namespace (0 when
+// the daemon cannot be reached; see the type comment).
+func (r *RemoteProvider) Len() int { return r.Stats().Subscriptions }
+
+// Mode returns the daemon's detection mode, as negotiated at dial time.
+func (r *RemoteProvider) Mode() core.Mode { return r.mode }
+
+// Schema returns the client's attribute schema.
+func (r *RemoteProvider) Schema() *subscription.Schema { return r.c.schema }
+
+// Stats returns the namespace's uniform counter snapshot (zero-valued
+// when the daemon cannot be reached).
+func (r *RemoteProvider) Stats() core.ProviderStats {
+	ws, err := r.stats()
+	if err != nil {
+		return core.ProviderStats{}
+	}
+	ps := core.ProviderStats{
+		Queries:        ws.Queries,
+		Hits:           ws.Hits,
+		RunsProbed:     ws.RunsProbed,
+		CubesGenerated: ws.CubesGenerated,
+		ShardSearches:  ws.ShardSearches,
+	}
+	ps.SetShardSizes(ws.ShardSizes)
+	return ps
+}
+
+func (r *RemoteProvider) stats() (Stats, error) {
+	resp, err := r.c.do(r.ctx, &Request{Op: "stats", Link: r.link})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("sfcd: response carries no stats")
+	}
+	return *resp.Stats, nil
+}
+
+// Close releases the link namespace on the daemon (best effort — a lost
+// connection makes it a no-op; the daemon reaps namespaces with the
+// process). The shared Client stays open. Close is idempotent: unlink of
+// an unknown or already-released link succeeds server-side.
+func (r *RemoteProvider) Close() {
+	if r.link == "" {
+		return // the shared engine is not ours to tear down
+	}
+	r.c.do(r.ctx, &Request{Op: "unlink", Link: r.link}) //nolint:errcheck // best effort
+}

@@ -6,34 +6,76 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
+	"runtime"
 	"sync"
+	"time"
 
+	"sfccover/internal/core"
 	"sfccover/internal/engine"
 	"sfccover/internal/subscription"
 )
 
+// ServerConfig parameterizes the daemon's hardening knobs; the zero value
+// is fully permissive (no connection limit, no read timeout).
+type ServerConfig struct {
+	// MaxConns caps concurrently open client connections (0 = unlimited).
+	// A connection beyond the cap receives one connection-level error
+	// frame (code "conn_limit") and is closed.
+	MaxConns int
+	// ReadTimeout bounds the wait for the next request line on a
+	// connection (0 = none). A connection that stays idle — or stalls
+	// mid-line — past the timeout is reaped, freeing its MaxConns slot.
+	ReadTimeout time.Duration
+}
+
+// connInflight bounds how many of one connection's pipelined requests are
+// served concurrently; further lines queue in the read loop. It trades
+// goroutine fan-out against the memory of buffered responses.
+const connInflight = 32
+
 // Server serves the sfcd protocol on top of one Engine. Connections are
-// handled concurrently; within a connection, requests are answered in
-// order.
+// handled concurrently, and so are the pipelined requests within one
+// connection: each request line is dispatched to its own handler (bounded
+// by connInflight) and responses are written as they complete — out of
+// request order when a slow covering query overlaps a fast ping. Clients
+// match responses to requests by id.
+//
+// Besides the engine — the shared namespace — the server lazily maintains
+// one isolated provider per named link (see the package comment on link
+// namespaces), built from the engine's detector template.
 type Server struct {
 	eng    *engine.Engine
 	schema *subscription.Schema
+	scfg   ServerConfig
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	linkMu sync.Mutex
+	links  map[string]core.Provider
 }
 
-// NewServer wraps an engine in a protocol server. The server does not own
-// the engine: Close stops serving but leaves the engine usable.
+// NewServer wraps an engine in a protocol server with permissive
+// hardening defaults. The server does not own the engine: Close stops
+// serving but leaves the engine usable.
 func NewServer(eng *engine.Engine) *Server {
+	return NewServerWith(eng, ServerConfig{})
+}
+
+// NewServerWith wraps an engine in a protocol server with the given
+// hardening configuration.
+func NewServerWith(eng *engine.Engine, cfg ServerConfig) *Server {
 	return &Server{
 		eng:    eng,
 		schema: eng.Schema(),
+		scfg:   cfg,
 		conns:  make(map[net.Conn]struct{}),
+		links:  make(map[string]core.Provider),
 	}
 }
 
@@ -52,8 +94,8 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		return nil, errors.New("sfcd: server is closed")
 	}
 	s.ln = ln
+	s.wg.Add(1) // under s.mu: see the comment in acceptLoop
 	s.mu.Unlock()
-	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		s.acceptLoop(ln)
@@ -93,9 +135,23 @@ func (s *Server) acceptLoop(ln net.Listener) error {
 			conn.Close()
 			return nil
 		}
+		if s.scfg.MaxConns > 0 && len(s.conns) >= s.scfg.MaxConns {
+			// wg.Add must happen while s.mu still proves !s.closed: Close
+			// sets closed under the same lock before wg.Wait, so Adding
+			// here can never race a Wait that already observed zero.
+			s.wg.Add(1)
+			s.mu.Unlock()
+			// Off the accept loop: refuse waits (bounded) for the client's
+			// hello, and a dialer that sends nothing must not stall accepts.
+			go func() {
+				defer s.wg.Done()
+				refuse(conn, s.scfg.MaxConns)
+			}()
+			continue
+		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handleConn(conn)
@@ -103,8 +159,35 @@ func (s *Server) acceptLoop(ln net.Listener) error {
 	}
 }
 
-// Close stops the listener, drops every open connection and waits for the
-// handlers to drain.
+// refuse answers an over-limit connection with one clean connection-level
+// error frame (id 0) and closes it, so clients fail with a diagnosis
+// instead of a dropped connection. It consumes the client's first line
+// (the hello) before closing: closing with unread data in the receive
+// buffer provokes a TCP reset that can discard the error frame before
+// the client reads it.
+func refuse(conn net.Conn, limit int) {
+	defer conn.Close()
+	deadline := time.Now().Add(time.Second)
+	conn.SetWriteDeadline(deadline)
+	frame := Response{
+		OK:    false,
+		Code:  CodeConnLimit,
+		Error: fmt.Sprintf("connection limit %d reached", limit),
+	}
+	line, err := json.Marshal(&frame)
+	if err != nil {
+		return
+	}
+	if _, err := conn.Write(append(line, '\n')); err != nil {
+		return
+	}
+	conn.SetReadDeadline(deadline)
+	br := bufio.NewReaderSize(conn, 4<<10)
+	br.ReadString('\n') //nolint:errcheck // drain the hello, best effort
+}
+
+// Close stops the listener, drops every open connection, waits for the
+// handlers to drain and releases the link-namespace providers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -121,6 +204,13 @@ func (s *Server) Close() error {
 		ln.Close()
 	}
 	s.wg.Wait()
+	s.linkMu.Lock()
+	links := s.links
+	s.links = make(map[string]core.Provider)
+	s.linkMu.Unlock()
+	for _, p := range links {
+		p.Close()
+	}
 	return nil
 }
 
@@ -131,41 +221,172 @@ func (s *Server) dropConn(conn net.Conn) {
 	conn.Close()
 }
 
+// connResponse is one writer-queue entry; closeAfter marks a
+// connection-level (id 0) error frame, after which the connection dies.
+type connResponse struct {
+	resp       *Response
+	closeAfter bool
+}
+
+// handleConn pumps one connection: the read loop dispatches each request
+// line to a pool of handler workers (grown on demand up to connInflight —
+// persistent workers keep warmed-up stacks across requests, while an idle
+// connection holds only what its pipelining depth ever needed), and a
+// writer goroutine serializes the responses back, flushing only when its
+// queue runs dry so bursts of pipelined completions share syscalls.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.dropConn(conn)
+	respCh := make(chan connResponse, connInflight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		w := bufio.NewWriter(conn)
+		enc := json.NewEncoder(w)
+		broken := false
+		for out := range respCh {
+			if broken {
+				continue // drain so handlers never block on a dead conn
+			}
+			if err := enc.Encode(out.resp); err != nil {
+				broken = true
+				continue
+			}
+			if out.closeAfter {
+				// A connection-level error frame: flush it, then tear the
+				// connection down as the protocol promises.
+				w.Flush() //nolint:errcheck // the connection dies either way
+				conn.Close()
+				broken = true
+				continue
+			}
+			if len(respCh) == 0 {
+				// Give concurrently completing handlers one scheduler pass
+				// to join this flush (see the client's writeLoop).
+				runtime.Gosched()
+			}
+			if len(respCh) == 0 {
+				if err := w.Flush(); err != nil {
+					broken = true
+				}
+			}
+		}
+	}()
+
+	lines := make(chan []byte) // unbuffered: a send means a worker has it
+	var handlers sync.WaitGroup
+	workers := 0
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 64<<10), MaxLineBytes)
-	out := bufio.NewWriter(conn)
-	enc := json.NewEncoder(out)
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
+	for {
+		if s.scfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.scfg.ReadTimeout))
+		}
+		if !scanner.Scan() {
+			break
+		}
+		if len(scanner.Bytes()) == 0 {
 			continue
 		}
-		var req Request
-		resp := Response{OK: true}
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp = Response{OK: false, Error: fmt.Sprintf("malformed request: %v", err)}
-		} else {
-			resp = s.serve(req)
-		}
-		resp.ID = req.ID
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
-		if err := out.Flush(); err != nil {
-			return
+		line := append([]byte(nil), scanner.Bytes()...) // Scan reuses its buffer
+		select {
+		case lines <- line: // an idle worker took it
+		default:
+			if workers < connInflight {
+				workers++
+				handlers.Add(1)
+				go func() {
+					defer handlers.Done()
+					for l := range lines {
+						respCh <- s.handleLine(l)
+					}
+				}()
+			}
+			lines <- line
 		}
 	}
+	close(lines)
+	handlers.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// handleLine parses and serves one request line. Lines the server cannot
+// parse — and requests carrying the reserved id 0 — get a connection-level
+// error frame: the response cannot be attributed to a request id, and a
+// pipelining client must treat an id-0 frame as fatal (a stray one would
+// otherwise poison response demultiplexing), so the connection is closed
+// after it.
+func (s *Server) handleLine(line []byte) connResponse {
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return connResponse{
+			resp:       &Response{OK: false, Code: CodeBadRequest, Error: fmt.Sprintf("malformed request: %v", err)},
+			closeAfter: true,
+		}
+	}
+	if req.ID == 0 {
+		return connResponse{
+			resp:       &Response{OK: false, Code: CodeBadRequest, Error: "request id 0 is reserved for connection-level frames"},
+			closeAfter: true,
+		}
+	}
+	resp := s.serve(req)
+	resp.ID = req.ID
+	return connResponse{resp: resp}
+}
+
+// linkSeed derives a link namespace's index seed from the engine
+// template's, so distinct links build independent index randomness.
+func linkSeed(base int64, link string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(link)) //nolint:errcheck // fnv never fails
+	return base ^ int64(h.Sum64())
+}
+
+// provider resolves the namespace a request addresses: the shared engine
+// for the empty link, a lazily created detector — cloned from the
+// engine's template configuration — for any other.
+func (s *Server) provider(link string) (core.Provider, error) {
+	if link == "" {
+		return s.eng, nil
+	}
+	s.linkMu.Lock()
+	defer s.linkMu.Unlock()
+	if p, ok := s.links[link]; ok {
+		return p, nil
+	}
+	dc := s.eng.Config().Detector
+	dc.Seed = linkSeed(dc.Seed, link)
+	p, err := core.New(dc)
+	if err != nil {
+		return nil, fmt.Errorf("building link %q: %w", link, err)
+	}
+	s.links[link] = p
+	return p, nil
+}
+
+// unlink tears a link namespace down; unknown links succeed (idempotent).
+func (s *Server) unlink(link string) *Response {
+	if link == "" {
+		return &Response{OK: false, Code: CodeBadRequest, Error: "cannot unlink the shared engine"}
+	}
+	s.linkMu.Lock()
+	p, ok := s.links[link]
+	delete(s.links, link)
+	s.linkMu.Unlock()
+	if ok {
+		p.Close()
+	}
+	return &Response{OK: true}
 }
 
 // serve dispatches one request.
-func (s *Server) serve(req Request) Response {
+func (s *Server) serve(req Request) *Response {
 	switch req.Op {
 	case "ping":
-		return Response{OK: true}
+		return &Response{OK: true}
 	case "hello":
-		return Response{
+		return &Response{
 			OK:        true,
 			Bits:      s.schema.Bits(),
 			Attrs:     s.schema.Attrs(),
@@ -173,63 +394,65 @@ func (s *Server) serve(req Request) Response {
 			Partition: string(s.eng.PartitionStrategy()),
 			Mode:      s.eng.Mode().String(),
 		}
+	case "unlink":
+		return s.unlink(req.Link)
+	}
+	prov, err := s.provider(req.Link)
+	if err != nil {
+		return errResponse(err)
+	}
+	switch req.Op {
 	case "subscribe":
 		sub, err := s.decodeSub(req.Payload)
 		if err != nil {
-			return errResponse(err)
+			return badRequest(err)
 		}
-		sid, covered, coveredBy, err := s.eng.Add(sub)
+		sid, covered, coveredBy, err := prov.Add(sub)
 		if err != nil {
 			return errResponse(err)
 		}
-		return Response{OK: true, Result: &Result{SID: sid, Covered: covered, CoveredBy: coveredBy}}
-	case "subscribe_batch":
-		subs, errs := s.decodeSubs(req.Payloads)
-		results := make([]Result, len(subs))
-		added := s.eng.AddBatch(compact(subs))
-		j := 0
-		for i := range subs {
-			switch {
-			case errs[i] != nil:
-				results[i] = Result{Error: errs[i].Error()}
-			case added[j].Err != nil:
-				results[i] = Result{Error: added[j].Err.Error()}
-				j++
-			default:
-				r := added[j]
-				results[i] = Result{SID: r.ID, Covered: r.Covered, CoveredBy: r.CoveredBy}
-				j++
-			}
+		return &Response{OK: true, Result: &Result{SID: sid, Covered: covered, CoveredBy: coveredBy}}
+	case "insert":
+		sub, err := s.decodeSub(req.Payload)
+		if err != nil {
+			return badRequest(err)
 		}
-		return Response{OK: true, Results: results}
-	case "unsubscribe":
-		if err := s.eng.Remove(req.SID); err != nil {
+		sid, err := prov.Insert(sub)
+		if err != nil {
 			return errResponse(err)
 		}
-		return Response{OK: true, Result: &Result{SID: req.SID}}
+		return &Response{OK: true, Result: &Result{SID: sid}}
+	case "subscribe_batch":
+		subs, errs := s.decodeSubs(req.Payloads)
+		return &Response{OK: true, Results: s.addBatch(prov, subs, errs)}
+	case "unsubscribe":
+		if err := prov.Remove(req.SID); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Result: &Result{SID: req.SID}}
 	case "unsubscribe_batch":
-		errs := s.eng.RemoveBatch(req.SIDs)
-		results := make([]Result, len(errs))
+		results := make([]Result, len(req.SIDs))
+		errs := removeBatch(prov, req.SIDs)
 		for i, err := range errs {
 			results[i] = Result{SID: req.SIDs[i]}
 			if err != nil {
 				results[i].Error = err.Error()
 			}
 		}
-		return Response{OK: true, Results: results}
+		return &Response{OK: true, Results: results}
 	case "query":
 		sub, err := s.decodeSub(req.Payload)
 		if err != nil {
-			return errResponse(err)
+			return badRequest(err)
 		}
-		id, found, _, err := s.eng.FindCover(sub)
+		id, found, _, err := prov.FindCover(sub)
 		if err != nil {
 			return errResponse(err)
 		}
-		return Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
+		return &Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
 	case "query_batch":
 		subs, errs := s.decodeSubs(req.Payloads)
-		queried := s.eng.CoverQueryBatch(compact(subs))
+		queried := core.CoverQueries(prov, compact(subs))
 		results := make([]Result, len(subs))
 		j := 0
 		for i := range subs {
@@ -244,30 +467,42 @@ func (s *Server) serve(req Request) Response {
 				j++
 			}
 		}
-		return Response{OK: true, Results: results}
+		return &Response{OK: true, Results: results}
 	case "covered":
 		sub, err := s.decodeSub(req.Payload)
 		if err != nil {
-			return errResponse(err)
+			return badRequest(err)
 		}
-		id, found, _, err := s.eng.FindCovered(sub)
+		id, found, _, err := prov.FindCovered(sub)
 		if err != nil {
 			return errResponse(err)
 		}
-		return Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
+		return &Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
+	case "get":
+		sub, ok := prov.Subscription(req.SID)
+		if !ok {
+			return &Response{OK: false, Code: CodeOpFailed, Error: fmt.Sprintf("no subscription with id %d", req.SID)}
+		}
+		raw, err := sub.MarshalBinary()
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Result: &Result{
+			SID: req.SID, Payload: base64.StdEncoding.EncodeToString(raw),
+		}}
 	case "match":
 		sub, err := s.decodeEventAsSub(req.Payload)
 		if err != nil {
-			return errResponse(err)
+			return badRequest(err)
 		}
-		id, found, _, err := s.eng.FindCover(sub)
+		id, found, _, err := prov.FindCover(sub)
 		if err != nil {
 			return errResponse(err)
 		}
-		return Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
+		return &Response{OK: true, Result: &Result{Covered: found, CoveredBy: id}}
 	case "stats":
-		ps := s.eng.Stats()
-		return Response{OK: true, Stats: &Stats{
+		ps := prov.Stats()
+		return &Response{OK: true, Stats: &Stats{
 			Queries:        ps.Queries,
 			Hits:           ps.Hits,
 			RunsProbed:     ps.RunsProbed,
@@ -280,21 +515,85 @@ func (s *Server) serve(req Request) Response {
 			SkewRatio:      ps.SkewRatio,
 		}}
 	case "metrics":
-		return Response{OK: true, Metrics: RenderPrometheus(s.eng.Stats())}
+		return &Response{OK: true, Metrics: RenderPrometheus(prov.Stats())}
 	default:
-		return Response{OK: false, Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return &Response{OK: false, Code: CodeUnknownOp, Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
-func errResponse(err error) Response { return Response{OK: false, Error: err.Error()} }
+// addBatch runs the arrival path for a decoded batch against any
+// provider: the engine's AddBatch when available (parallel queries,
+// shard-grouped bulk insert), a sequential loop otherwise. Results align
+// with the request payloads; decode failures occupy their slots.
+func (s *Server) addBatch(prov core.Provider, subs []*subscription.Subscription, errs []error) []Result {
+	results := make([]Result, len(subs))
+	if eng, ok := prov.(*engine.Engine); ok {
+		added := eng.AddBatch(compact(subs))
+		j := 0
+		for i := range subs {
+			switch {
+			case errs[i] != nil:
+				results[i] = Result{Error: errs[i].Error()}
+			case added[j].Err != nil:
+				results[i] = Result{Error: added[j].Err.Error()}
+				j++
+			default:
+				r := added[j]
+				results[i] = Result{SID: r.ID, Covered: r.Covered, CoveredBy: r.CoveredBy}
+				j++
+			}
+		}
+		return results
+	}
+	for i := range subs {
+		if errs[i] != nil {
+			results[i] = Result{Error: errs[i].Error()}
+			continue
+		}
+		sid, covered, coveredBy, err := prov.Add(subs[i])
+		if err != nil {
+			results[i] = Result{Error: err.Error()}
+			continue
+		}
+		results[i] = Result{SID: sid, Covered: covered, CoveredBy: coveredBy}
+	}
+	return results
+}
 
-// decodeSub decodes one base64 binary subscription payload.
-func (s *Server) decodeSub(payload string) (*subscription.Subscription, error) {
+// removeBatch deletes a batch of ids through the engine's parallel path
+// when available, one at a time otherwise.
+func removeBatch(prov core.Provider, sids []uint64) []error {
+	if eng, ok := prov.(*engine.Engine); ok {
+		return eng.RemoveBatch(sids)
+	}
+	errs := make([]error, len(sids))
+	for i, sid := range sids {
+		errs[i] = prov.Remove(sid)
+	}
+	return errs
+}
+
+func errResponse(err error) *Response {
+	return &Response{OK: false, Code: CodeOpFailed, Error: err.Error()}
+}
+
+func badRequest(err error) *Response {
+	return &Response{OK: false, Code: CodeBadRequest, Error: err.Error()}
+}
+
+// decodeSubPayload decodes one base64 binary subscription payload against
+// a schema.
+func decodeSubPayload(schema *subscription.Schema, payload string) (*subscription.Subscription, error) {
 	raw, err := base64.StdEncoding.DecodeString(payload)
 	if err != nil {
 		return nil, fmt.Errorf("payload is not base64: %w", err)
 	}
-	return subscription.UnmarshalSubscription(s.schema, raw)
+	return subscription.UnmarshalSubscription(schema, raw)
+}
+
+// decodeSub decodes one payload against the server schema.
+func (s *Server) decodeSub(payload string) (*subscription.Subscription, error) {
+	return decodeSubPayload(s.schema, payload)
 }
 
 // decodeSubs decodes a batch; per-item failures leave a nil subscription
@@ -330,7 +629,7 @@ func (s *Server) decodeEventAsSub(payload string) (*subscription.Subscription, e
 }
 
 // compact copies the non-nil entries (failed decodes leave holes) so
-// batches reach the engine dense.
+// batches reach the provider dense.
 func compact(subs []*subscription.Subscription) []*subscription.Subscription {
 	out := make([]*subscription.Subscription, 0, len(subs))
 	for _, s := range subs {

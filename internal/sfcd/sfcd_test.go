@@ -2,8 +2,10 @@ package sfcd
 
 import (
 	"bufio"
+	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -14,6 +16,9 @@ import (
 	"sfccover/internal/subscription"
 	"sfccover/internal/workload"
 )
+
+// bg is the context for test operations that need no deadline.
+var bg = context.Background()
 
 func startServer(t *testing.T, schema *subscription.Schema, mode core.Mode) (*Server, string) {
 	t.Helper()
@@ -51,14 +56,14 @@ func TestEndToEnd(t *testing.T) {
 	if c.Shards() != 4 || c.Mode() != "exact" {
 		t.Errorf("hello negotiated shards=%d mode=%q", c.Shards(), c.Mode())
 	}
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(bg); err != nil {
 		t.Fatal(err)
 	}
 
 	broad := subscription.MustParse(schema, "volume in [100,900] && price in [10,400]")
 	narrow := subscription.MustParse(schema, "volume in [200,300] && price in [50,60]")
 
-	sid, covered, _, err := c.Subscribe(broad)
+	sid, covered, _, err := c.Subscribe(bg, broad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +71,7 @@ func TestEndToEnd(t *testing.T) {
 		t.Error("first subscription cannot be covered")
 	}
 
-	covered, coveredBy, err := c.Query(narrow)
+	covered, coveredBy, err := c.Query(bg, narrow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +84,7 @@ func TestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	matched, matchedBy, err := c.Match(in)
+	matched, matchedBy, err := c.Match(bg, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,12 +95,12 @@ func TestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if matched, _, err := c.Match(out); err != nil || matched {
+	if matched, _, err := c.Match(bg, out); err != nil || matched {
 		t.Errorf("event outside all subscriptions: matched=%v err=%v", matched, err)
 	}
 
 	// Second subscribe of the narrow subscription reports the cover.
-	nsid, covered, coveredBy, err := c.Subscribe(narrow)
+	nsid, covered, coveredBy, err := c.Subscribe(bg, narrow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +108,7 @@ func TestEndToEnd(t *testing.T) {
 		t.Errorf("subscribe(narrow): covered=%v by %d, want by %d", covered, coveredBy, sid)
 	}
 
-	stats, err := c.Stats()
+	stats, err := c.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,13 +122,13 @@ func TestEndToEnd(t *testing.T) {
 		t.Errorf("stats.ShardSizes has %d entries, want 4", len(stats.ShardSizes))
 	}
 
-	if err := c.Unsubscribe(nsid); err != nil {
+	if err := c.Unsubscribe(bg, nsid); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Unsubscribe(nsid); err == nil {
+	if err := c.Unsubscribe(bg, nsid); err == nil {
 		t.Error("double unsubscribe should fail")
 	}
-	if covered, _, err := c.Query(narrow); err != nil || !covered {
+	if covered, _, err := c.Query(bg, narrow); err != nil || !covered {
 		t.Errorf("broad still stored: covered=%v err=%v", covered, err)
 	}
 }
@@ -143,7 +148,7 @@ func TestBatchOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	added, err := c.SubscribeBatch(subs)
+	added, err := c.SubscribeBatch(bg, subs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +160,7 @@ func TestBatchOps(t *testing.T) {
 		sids[i] = r.SID
 	}
 
-	queried, err := c.QueryBatch(subs)
+	queried, err := c.QueryBatch(bg, subs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +173,7 @@ func TestBatchOps(t *testing.T) {
 		}
 	}
 
-	removed, err := c.UnsubscribeBatch(sids)
+	removed, err := c.UnsubscribeBatch(bg, sids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +182,7 @@ func TestBatchOps(t *testing.T) {
 			t.Fatalf("unsubscribe %d: %s", i, r.Error)
 		}
 	}
-	stats, err := c.Stats()
+	stats, err := c.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,12 +216,12 @@ func TestConcurrentClients(t *testing.T) {
 				errs <- err
 				return
 			}
-			added, err := c.SubscribeBatch(subs)
+			added, err := c.SubscribeBatch(bg, subs)
 			if err != nil {
 				errs <- err
 				return
 			}
-			if _, err := c.QueryBatch(subs); err != nil {
+			if _, err := c.QueryBatch(bg, subs); err != nil {
 				errs <- err
 				return
 			}
@@ -224,7 +229,7 @@ func TestConcurrentClients(t *testing.T) {
 			for i, r := range added {
 				sids[i] = r.SID
 			}
-			if _, err := c.UnsubscribeBatch(sids); err != nil {
+			if _, err := c.UnsubscribeBatch(bg, sids); err != nil {
 				errs <- err
 				return
 			}
@@ -240,15 +245,29 @@ func TestConcurrentClients(t *testing.T) {
 func TestDialSchemaMismatch(t *testing.T) {
 	schema := subscription.MustSchema(10, "volume", "price")
 	_, addr := startServer(t, schema, core.ModeExact)
-	if _, err := Dial(addr, subscription.MustSchema(10, "volume", "qty")); err == nil {
-		t.Error("dial with mismatched attribute names should fail")
+	cases := map[string]*subscription.Schema{
+		"attribute names": subscription.MustSchema(10, "volume", "qty"),
+		"bit width":       subscription.MustSchema(8, "volume", "price"),
+		"attribute count": subscription.MustSchema(10, "volume"),
 	}
-	if _, err := Dial(addr, subscription.MustSchema(8, "volume", "price")); err == nil {
-		t.Error("dial with mismatched bit width should fail")
+	for name, bad := range cases {
+		_, err := Dial(addr, bad)
+		if err == nil {
+			t.Errorf("dial with mismatched %s should fail", name)
+			continue
+		}
+		// The mismatch is typed so operators can branch on it (re-deploy
+		// the daemon vs. fix the client) without string matching.
+		if !errors.Is(err, ErrSchemaMismatch) {
+			t.Errorf("mismatched %s: error %v is not ErrSchemaMismatch", name, err)
+		}
 	}
-	if _, err := Dial(addr, subscription.MustSchema(10, "volume")); err == nil {
-		t.Error("dial with mismatched attribute count should fail")
+	// A matching schema still dials fine after the failures.
+	c, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
 	}
+	c.Close()
 }
 
 // TestProtocolErrors speaks the wire protocol directly to exercise the
@@ -278,20 +297,17 @@ func TestProtocolErrors(t *testing.T) {
 		return resp
 	}
 
-	if resp := send(`{"id":1,"op":"warp"}`); resp.OK {
-		t.Error("unknown op must fail")
+	if resp := send(`{"id":1,"op":"warp"}`); resp.OK || resp.Code != CodeUnknownOp {
+		t.Errorf("unknown op must fail with %s, got %+v", CodeUnknownOp, resp)
 	}
-	if resp := send(`not json`); resp.OK {
-		t.Error("malformed request must fail")
-	}
-	if resp := send(`{"id":2,"op":"subscribe","payload":"!!!"}`); resp.OK {
-		t.Error("non-base64 payload must fail")
+	if resp := send(`{"id":2,"op":"subscribe","payload":"!!!"}`); resp.OK || resp.Code != CodeBadRequest {
+		t.Errorf("non-base64 payload must fail with %s, got %+v", CodeBadRequest, resp)
 	}
 	if resp := send(`{"id":3,"op":"subscribe","payload":"AAAA"}`); resp.OK {
 		t.Error("malformed wire payload must fail")
 	}
-	if resp := send(`{"id":4,"op":"unsubscribe","sid":999}`); resp.OK {
-		t.Error("unknown sid must fail")
+	if resp := send(`{"id":4,"op":"unsubscribe","sid":999}`); resp.OK || resp.Code != CodeOpFailed {
+		t.Errorf("unknown sid must fail with %s, got %+v", CodeOpFailed, resp)
 	}
 	// A batch with one bad payload still succeeds per item.
 	sub := subscription.MustParse(schema, "volume in [1,5]")
@@ -317,6 +333,45 @@ func TestProtocolErrors(t *testing.T) {
 	}
 }
 
+// TestConnectionLevelErrorFramesClose pins the fatal protocol failures:
+// a line the server cannot attribute to a request id — unparseable JSON,
+// or the reserved id 0 — gets one id-0 error frame and the connection is
+// closed, exactly as the protocol documents (a pipelining client must
+// treat stray id-0 frames as fatal, so the server must not keep serving
+// past one).
+func TestConnectionLevelErrorFramesClose(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	_, addr := startServer(t, schema, core.ModeExact)
+	for name, line := range map[string]string{
+		"malformed json": `not json`,
+		"reserved id 0":  `{"id":0,"op":"ping"}`,
+	} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(conn)
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("%s: no error frame (err: %v)", name, sc.Err())
+		}
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("%s: malformed frame %q: %v", name, sc.Text(), err)
+		}
+		if resp.OK || resp.ID != 0 || resp.Code != CodeBadRequest {
+			t.Fatalf("%s: frame = %+v, want a connection-level %s frame", name, resp, CodeBadRequest)
+		}
+		// The connection dies after the frame.
+		if sc.Scan() {
+			t.Fatalf("%s: connection still serving after a connection-level error: %q", name, sc.Text())
+		}
+		conn.Close()
+	}
+}
+
 func TestServerCloseIdempotent(t *testing.T) {
 	schema := subscription.MustSchema(10, "volume", "price")
 	srv, addr := startServer(t, schema, core.ModeExact)
@@ -331,7 +386,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Ping(); err == nil {
+	if err := c.Ping(bg); err == nil {
 		t.Error("ping after server close should fail")
 	}
 	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
@@ -360,10 +415,10 @@ func TestApproxDaemonSoundness(t *testing.T) {
 		parents[i] = p.Parent
 		children[i] = p.Child
 	}
-	if _, err := c.SubscribeBatch(parents); err != nil {
+	if _, err := c.SubscribeBatch(bg, parents); err != nil {
 		t.Fatal(err)
 	}
-	results, err := c.QueryBatch(children)
+	results, err := c.QueryBatch(bg, children)
 	if err != nil {
 		t.Fatal(err)
 	}

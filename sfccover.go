@@ -23,12 +23,17 @@
 //   - Engine: a sharded, concurrent detection engine that partitions the
 //     subscription set across N detectors (hash or curve-prefix
 //     partitioning) and serves batched operations from a worker pool.
-//   - DaemonServer / DaemonClient: the sfcd network protocol
-//     (newline-delimited JSON over TCP, binary wire payloads) that turns
-//     an Engine into a standalone service.
+//   - DaemonServer / DaemonClient / DaemonProvider: the sfcd network
+//     protocol (newline-delimited JSON over TCP, binary wire payloads)
+//     that turns an Engine into a standalone service. The client is
+//     pipelined and context-aware — concurrent callers share one
+//     connection without head-of-line blocking — and DaemonProvider
+//     serves the whole Provider interface over it, with isolated link
+//     namespaces so one daemon can back many routers.
 //   - Network: a deterministic simulation of a broker overlay that uses
 //     covering detection during subscription propagation — per-link
-//     providers selected by NetworkConfig.Backend, with the paper's
+//     providers selected by NetworkConfig.Backend (in-process detectors
+//     and engines, or namespaces on a shared daemon), with the paper's
 //     covered-set resubscription protocol at unsubscription time.
 //   - Schema / Subscription / Event: the multi-attribute data model, with
 //     a constraint parser and a float quantizer.
@@ -38,6 +43,8 @@
 package sfccover
 
 import (
+	"context"
+
 	"sfccover/internal/broker"
 	"sfccover/internal/core"
 	"sfccover/internal/dominance"
@@ -156,17 +163,48 @@ type EngineQueryResult = engine.QueryResult
 
 // DaemonServer serves the sfcd line protocol (newline-delimited JSON over
 // TCP, subscriptions and events in the binary wire format) on top of an
-// Engine.
+// Engine. Besides the shared engine it multiplexes isolated per-link
+// subscription namespaces, so one daemon can back every link of a broker
+// overlay.
 type DaemonServer = sfcd.Server
 
-// DaemonClient is a synchronous sfcd protocol client.
+// DaemonServerConfig carries the daemon's hardening knobs: a connection
+// limit and a per-request read timeout.
+type DaemonServerConfig = sfcd.ServerConfig
+
+// DaemonClient is a pipelined sfcd protocol client: any number of
+// goroutines share one TCP connection, every operation takes a
+// context.Context, and responses are demultiplexed by request id.
 type DaemonClient = sfcd.Client
+
+// DaemonDialConfig parameterizes DialDaemonContext (address, schema,
+// dial and per-request timeouts).
+type DaemonDialConfig = sfcd.DialConfig
+
+// DaemonProvider is a Provider over one link namespace of a dialed
+// daemon — the full covering-detection interface served remotely, so
+// anything that speaks Provider can run against a shared daemon.
+type DaemonProvider = sfcd.RemoteProvider
 
 // DaemonResult is one per-item outcome in a daemon batch response.
 type DaemonResult = sfcd.Result
 
 // DaemonStats is the counter snapshot served by the daemon's stats op.
 type DaemonStats = sfcd.Stats
+
+// DaemonServerError is an error frame a daemon answered a request with.
+type DaemonServerError = sfcd.ServerError
+
+// Typed errors of the daemon client surface, for errors.Is branching.
+var (
+	// ErrDaemonSchemaMismatch: the daemon's schema differs from the
+	// client's (returned by DialDaemon).
+	ErrDaemonSchemaMismatch = sfcd.ErrSchemaMismatch
+	// ErrDaemonConnectionLost: the connection failed; dial a fresh client.
+	ErrDaemonConnectionLost = sfcd.ErrConnectionLost
+	// ErrDaemonClientClosed: the operation ran after Close.
+	ErrDaemonClientClosed = sfcd.ErrClientClosed
+)
 
 // Network simulates a broker overlay with covering-based subscription
 // propagation.
@@ -193,6 +231,10 @@ const (
 	// NetworkBackendEnginePrefix backs each link with a curve-prefix
 	// sharded engine.
 	NetworkBackendEnginePrefix = broker.BackendEnginePrefix
+	// NetworkBackendRemote backs every link with an isolated namespace on
+	// one shared sfcd daemon (NetworkConfig.DaemonAddr), multiplexed over
+	// a single pipelined connection.
+	NetworkBackendRemote = broker.BackendRemote
 )
 
 // NetworkMetrics aggregates network-wide counters.
@@ -278,10 +320,23 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 // The server does not own the engine.
 func NewDaemonServer(e *Engine) *DaemonServer { return sfcd.NewServer(e) }
 
-// DialDaemon connects to an sfcd server, verifying that the server's
-// schema matches the given one.
+// NewDaemonServerWith is NewDaemonServer with hardening knobs (connection
+// limit, per-request read timeout).
+func NewDaemonServerWith(e *Engine, cfg DaemonServerConfig) *DaemonServer {
+	return sfcd.NewServerWith(e, cfg)
+}
+
+// DialDaemon connects to an sfcd server with default configuration,
+// verifying that the server's schema matches the given one (mismatches
+// fail with ErrDaemonSchemaMismatch).
 func DialDaemon(addr string, schema *Schema) (*DaemonClient, error) {
 	return sfcd.Dial(addr, schema)
+}
+
+// DialDaemonContext connects to an sfcd server per cfg; the context
+// bounds dialing and the schema handshake.
+func DialDaemonContext(ctx context.Context, cfg DaemonDialConfig) (*DaemonClient, error) {
+	return sfcd.DialContext(ctx, cfg)
 }
 
 // NewNetwork builds a broker overlay simulation.
