@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sfccover/internal/broker"
 	"sfccover/internal/core"
@@ -45,6 +46,9 @@ type params struct {
 	batch    int
 	churn    float64
 	daemon   string
+
+	rebalThreshold float64
+	rebalInterval  time.Duration
 }
 
 func main() {
@@ -58,13 +62,17 @@ func main() {
 	flag.Float64Var(&p.eps, "eps", 0.2, "approximation parameter for -mode approx")
 	flag.IntVar(&p.maxCubes, "cap", 10000, "per-query probe budget (0 = library default, -1 = unlimited)")
 	flag.Float64Var(&p.width, "width", 0.3, "mean subscription width as a fraction of the domain")
-	flag.StringVar(&p.dist, "dist", "uniform", "value distribution: uniform | zipf | clustered")
+	flag.StringVar(&p.dist, "dist", "uniform", "value distribution: uniform | zipf | clustered | hotspot")
 	flag.Int64Var(&p.seed, "seed", 1, "workload seed")
 	flag.StringVar(&p.backend, "backend", "detector", "per-link provider: detector | engine-hash | engine-prefix | remote")
 	flag.StringVar(&p.daemon, "daemon", "", "sfcd daemon address for -backend remote; \"local\" spins an in-process daemon so the whole overlay shares one index service")
 	flag.IntVar(&p.shards, "shards", 0, "per-link engine shard count (engine backends; 0 = default)")
 	flag.IntVar(&p.batch, "batch", 0, "covered-set re-forward probe batch size (0 = whole set)")
 	flag.Float64Var(&p.churn, "churn", 0.25, "fraction of subscriptions withdrawn again before publishing")
+	flag.Float64Var(&p.rebalThreshold, "rebalance-threshold", 0,
+		"occupancy skew ratio arming each engine-prefix link's online slice rebalancer (must exceed 1; 0 = off)")
+	flag.DurationVar(&p.rebalInterval, "rebalance-interval", 0,
+		"background rebalancer poll period (0 = engine default)")
 	flag.Parse()
 	if err := run(p); err != nil {
 		fmt.Fprintf(os.Stderr, "pubsubsim: %v\n", err)
@@ -91,12 +99,14 @@ func run(p params) error {
 		return fmt.Errorf("unknown topology %q", p.topology)
 	}
 	cfg := broker.Config{
-		Schema:    schema,
-		MaxCubes:  p.maxCubes,
-		Seed:      p.seed,
-		Backend:   broker.Backend(p.backend),
-		Shards:    p.shards,
-		BatchSize: p.batch,
+		Schema:             schema,
+		MaxCubes:           p.maxCubes,
+		Seed:               p.seed,
+		Backend:            broker.Backend(p.backend),
+		Shards:             p.shards,
+		BatchSize:          p.batch,
+		RebalanceThreshold: p.rebalThreshold,
+		RebalanceInterval:  p.rebalInterval,
 	}
 	switch p.mode {
 	case "off":

@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
@@ -40,19 +41,22 @@ const daemonMaxCubes = 50000
 // options mirrors the flag set; kept separate so tests can build engine
 // configurations without touching the global flag state.
 type options struct {
-	attrs        string
-	bits         int
-	mode         string
-	epsilon      float64
-	strategy     string
-	curve        string
-	array        string
-	maxCubes     int
-	shards       int
-	partition    string
-	workers      int
-	seed         int64
-	trackCovered bool
+	attrs             string
+	bits              int
+	mode              string
+	epsilon           float64
+	strategy          string
+	curve             string
+	array             string
+	maxCubes          int
+	shards            int
+	partition         string
+	workers           int
+	seed              int64
+	trackCovered      bool
+	rebalanceThresh   float64
+	rebalanceInterval time.Duration
+	rebalanceMaxMoves int
 }
 
 // buildConfig translates the flag values into an engine configuration.
@@ -83,9 +87,12 @@ func buildConfig(o options) (engine.Config, error) {
 			MaxCubes:     o.maxCubes,
 			TrackCovered: o.trackCovered,
 		},
-		Shards:    o.shards,
-		Partition: engine.Partition(o.partition),
-		Workers:   o.workers,
+		Shards:             o.shards,
+		Partition:          engine.Partition(o.partition),
+		Workers:            o.workers,
+		RebalanceThreshold: o.rebalanceThresh,
+		RebalanceInterval:  o.rebalanceInterval,
+		RebalanceMaxMoves:  o.rebalanceMaxMoves,
 	}, nil
 }
 
@@ -121,6 +128,12 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "index randomization seed")
 	flag.BoolVar(&o.trackCovered, "track-covered", false,
 		"maintain the mirrored index that serves the \"covered\" op in approx mode (exact mode serves it regardless)")
+	flag.Float64Var(&o.rebalanceThresh, "rebalance-threshold", 0,
+		"occupancy skew ratio arming the online slice rebalancer (must exceed 1; 0 = background rebalancing off; prefix partition only)")
+	flag.DurationVar(&o.rebalanceInterval, "rebalance-interval", 0,
+		"background rebalancer poll period (0 = engine default)")
+	flag.IntVar(&o.rebalanceMaxMoves, "rebalance-max-moves", 0,
+		"boundary moves allowed per rebalance pass, the migration-rate cap (0 = 2x shards)")
 	flag.Parse()
 
 	cfg, err := buildConfig(o)

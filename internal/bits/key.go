@@ -221,6 +221,27 @@ func (k Key) GrayInv() Key {
 // Gray returns the standard reflected Gray code of k: k XOR (k >> 1).
 func (k Key) Gray() Key { return k.Xor(k.Shr1()) }
 
+// ShlN returns k logically shifted left by n bits; bits shifted past
+// position KeyBits-1 are discarded.
+func (k Key) ShlN(n int) Key {
+	if n < 0 {
+		panic("bits: negative shift")
+	}
+	if n >= KeyBits {
+		return Key{}
+	}
+	wordShift, bitShift := n/64, uint(n%64)
+	var out Key
+	for i := 0; i < KeyWords-wordShift; i++ {
+		src := i + wordShift
+		out.w[i] = k.w[src] << bitShift
+		if bitShift > 0 && src < KeyWords-1 {
+			out.w[i] |= k.w[src+1] >> (64 - bitShift)
+		}
+	}
+	return out
+}
+
 // ShrN returns k logically shifted right by n bits.
 func (k Key) ShrN(n int) Key {
 	if n < 0 {

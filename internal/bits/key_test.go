@@ -181,6 +181,33 @@ func TestShrNAcrossWords(t *testing.T) {
 	}
 }
 
+func TestShlNInvertsShrN(t *testing.T) {
+	var k Key
+	k.w[KeyWords-1] = 0xdeadbeefcafef00d
+	// Round trips hold while n + k.Len() <= KeyBits (no bits pushed out).
+	for _, n := range []int{0, 1, 5, 63, 64, 65, 128, 64 * (KeyWords - 1)} {
+		if got := k.ShlN(n).ShrN(n); got != k {
+			t.Fatalf("ShlN(%d) then ShrN(%d) = %v, want %v", n, n, got, k)
+		}
+	}
+	nibble := KeyFromUint64(0xd)
+	if got := nibble.ShlN(KeyBits - 4).ShrN(KeyBits - 4); got != nibble {
+		t.Fatalf("top-nibble round trip = %v, want %v", got, nibble)
+	}
+	if !k.ShlN(KeyBits).IsZero() {
+		t.Fatal("ShlN(KeyBits) should be zero")
+	}
+	// Bits pushed past the top are discarded.
+	var top Key
+	top.w[0] = 1 << 63
+	if !top.ShlN(1).IsZero() {
+		t.Fatal("ShlN must discard overflow bits")
+	}
+	if got := KeyFromUint64(3).ShlN(64 * (KeyWords - 1)); got.w[0] != 3 {
+		t.Fatalf("ShlN whole words: w[0] = %x, want 3", got.w[0])
+	}
+}
+
 func TestKeyLen(t *testing.T) {
 	if got := (Key{}).Len(); got != 0 {
 		t.Fatalf("Len(0) = %d", got)

@@ -110,10 +110,12 @@ func (ps *providerSource) forwarded(brokerID, neighborID int, seed int64) (core.
 			part = engine.PartitionPrefix
 		}
 		return engine.New(engine.Config{
-			Detector:  dc,
-			Shards:    cfg.Shards,
-			Partition: part,
-			Workers:   brokerEngineWorkers,
+			Detector:           dc,
+			Shards:             cfg.Shards,
+			Partition:          part,
+			Workers:            brokerEngineWorkers,
+			RebalanceThreshold: cfg.RebalanceThreshold,
+			RebalanceInterval:  cfg.RebalanceInterval,
 		})
 	}
 }

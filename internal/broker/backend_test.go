@@ -3,6 +3,7 @@ package broker
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"sfccover/internal/core"
 	"sfccover/internal/subscription"
@@ -92,6 +93,42 @@ func TestBackendsDeliverIdentically(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestRebalancingBackendDeliversIdentically pins the acceptance property
+// for online rebalancing: an engine-prefix network whose per-link
+// background rebalancers are armed at the most aggressive legal settings
+// (so boundaries move while the workload runs) must deliver bit-identically
+// to the single-detector reference, in every mode.
+func TestRebalancingBackendDeliversIdentically(t *testing.T) {
+	schema := testSchema()
+	const nClients = 6
+	ops := genWorkload(schema, 505, 110, nClients)
+	configs := map[string]Config{
+		"exact":  {Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear},
+		"approx": {Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3, MaxCubes: 3000},
+	}
+	for cfgName, base := range configs {
+		t.Run(cfgName, func(t *testing.T) {
+			ref := base
+			ref.Backend = BackendDetector
+			want := runWorkload(t, ref, BalancedTree(7), ops, nClients)
+
+			cfg := base
+			cfg.Backend = BackendEnginePrefix
+			cfg.Shards = 4
+			cfg.BatchSize = 4
+			cfg.RebalanceThreshold = 1.01
+			cfg.RebalanceInterval = time.Millisecond
+			got := runWorkload(t, cfg, BalancedTree(7), ops, nClients)
+			for c := range want {
+				if !eventsEqual(got[c], want[c]) {
+					t.Fatalf("client %d deliveries differ under rebalancing (%d vs %d events)",
+						c, len(got[c]), len(want[c]))
+				}
+			}
+		})
 	}
 }
 

@@ -66,6 +66,15 @@ type Config struct {
 	// unsubscription time through the provider's batch interface
 	// (0 = the whole covered set in one batch).
 	BatchSize int
+	// RebalanceThreshold arms each engine-backed link's background slice
+	// rebalancer: when a link's curve-prefix occupancy skew reaches it,
+	// the engine moves slice boundaries back toward balance (must exceed
+	// 1 when set; 0 disables; inert on non-prefix backends, whose
+	// placement cannot skew by key locality).
+	RebalanceThreshold float64
+	// RebalanceInterval is the background rebalancer's poll period
+	// (0 = the engine default).
+	RebalanceInterval time.Duration
 }
 
 // Metrics aggregates network-wide counters. Subscription/unsubscription

@@ -296,13 +296,26 @@ func (d *Detector) InsertBatch(subs []*subscription.Subscription) ([]uint64, err
 		id := d.nextID
 		d.nextID++
 		d.subs[id] = s.Clone()
-		d.exact.Insert(points[i], id)
-		if d.mirror != nil {
-			d.mirror.Insert(mirrors[i], id)
-		}
 		ids[i] = id
 	}
+	insertAll(d.exact, points, ids)
+	if d.mirror != nil {
+		insertAll(d.mirror, mirrors, ids)
+	}
 	return ids, nil
+}
+
+// insertAll bulk-loads a point batch through the searcher's sorted
+// bulk-build path when it has one (the SFC index), falling back to
+// item-by-item inserts for the baselines.
+func insertAll(s dominance.Searcher, ps [][]uint32, ids []uint64) {
+	if bi, ok := s.(dominance.BatchInserter); ok {
+		bi.InsertBatch(ps, ids)
+		return
+	}
+	for i, p := range ps {
+		s.Insert(p, ids[i])
+	}
 }
 
 // Remove deletes a previously inserted subscription by id.

@@ -8,6 +8,7 @@
 package coretest
 
 import (
+	"errors"
 	"testing"
 
 	"sfccover/internal/core"
@@ -207,6 +208,82 @@ func RunProviderConformance(t *testing.T, schema *subscription.Schema, build fun
 		}
 		if total != ps.Subscriptions {
 			t.Errorf("ShardSizes sum %d != Subscriptions %d", total, ps.Subscriptions)
+		}
+	})
+
+	t.Run("batch-writer", func(t *testing.T) {
+		p := fresh(t)
+		bw, ok := p.(core.BatchWriter)
+		if !ok {
+			t.Skip("provider has no BatchWriter capability")
+		}
+		first := bw.AddBatch([]*subscription.Subscription{wide})
+		if len(first) != 1 || first[0].Err != nil || first[0].ID == 0 {
+			t.Fatalf("AddBatch([wide]) = %+v", first)
+		}
+		// Batch items are mutually unordered, so the cover must come from
+		// an EARLIER batch to be asserted.
+		res := bw.AddBatch([]*subscription.Subscription{narrow, uncovered})
+		if len(res) != 2 {
+			t.Fatalf("got %d results for 2 adds", len(res))
+		}
+		if res[0].Err != nil || !res[0].Covered || res[0].CoveredBy != first[0].ID {
+			t.Errorf("AddBatch narrow = %+v, want covered by %d", res[0], first[0].ID)
+		}
+		if res[1].Err != nil || res[1].Covered {
+			t.Errorf("AddBatch uncovered = %+v, want a clean miss", res[1])
+		}
+		if p.Len() != 3 {
+			t.Fatalf("Len = %d after batch adds, want 3", p.Len())
+		}
+		got, ok := p.Subscription(res[0].ID)
+		if !ok || !got.Equal(narrow) {
+			t.Fatalf("batch-assigned id %d does not round-trip", res[0].ID)
+		}
+		// Batch items are mutually unordered, so the failing id must be one
+		// that can never succeed (a duplicate of a valid id would race it).
+		bogus := first[0].ID + res[0].ID + res[1].ID + 1000
+		errs := bw.RemoveBatch([]uint64{res[0].ID, bogus})
+		if len(errs) != 2 || errs[0] != nil || errs[1] == nil {
+			t.Fatalf("RemoveBatch = %v, want [nil, error]", errs)
+		}
+		if p.Len() != 2 {
+			t.Fatalf("Len = %d after batch remove, want 2", p.Len())
+		}
+		// The helpers must route through the capability transparently.
+		if out := core.AddAll(p, nil); len(out) != 0 {
+			t.Fatalf("AddAll(nil) = %v", out)
+		}
+		if out := core.RemoveAll(p, []uint64{first[0].ID}); len(out) != 1 || out[0] != nil {
+			t.Fatalf("RemoveAll = %v", out)
+		}
+	})
+
+	t.Run("rebalancer", func(t *testing.T) {
+		p := fresh(t)
+		rb, ok := p.(core.Rebalancer)
+		if !ok {
+			t.Skip("provider has no Rebalancer capability")
+		}
+		wid, err := p.Insert(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Whether this configuration can rebalance or not, answers must be
+		// identical afterwards; unsupported configurations must say so.
+		res, err := rb.Rebalance()
+		if err != nil && !errors.Is(err, core.ErrRebalanceUnsupported) {
+			t.Fatalf("Rebalance: %v", err)
+		}
+		if err == nil && res.SkewAfter > res.SkewBefore {
+			t.Errorf("rebalance worsened skew: %+v", res)
+		}
+		id, found, _, err := p.FindCover(narrow)
+		if err != nil || !found || id != wid {
+			t.Fatalf("FindCover after rebalance = (%d,%v,%v), want (%d,true,nil)", id, found, err, wid)
+		}
+		if _, found, _, err := p.FindCover(uncovered); err != nil || found {
+			t.Fatalf("FindCover(uncovered) after rebalance = (%v,%v), want a clean miss", found, err)
 		}
 	})
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"sfccover/internal/dominance"
 	"sfccover/internal/subscription"
 )
@@ -50,6 +52,88 @@ type BatchQuerier interface {
 	// CoverQueryBatch runs FindCover for every subscription, returning
 	// results aligned with the input slice.
 	CoverQueryBatch(subs []*subscription.Subscription) []QueryResult
+}
+
+// AddResult is one BatchWriter.AddBatch outcome: the id assigned to the
+// inserted subscription plus the result of the pre-insert covering query.
+type AddResult struct {
+	// ID is the id assigned to the inserted subscription (0 if the insert
+	// failed).
+	ID uint64
+	QueryResult
+}
+
+// BatchWriter is the optional batch write capability of a Provider:
+// backends that can amortize per-item costs — the engine's shard-grouped
+// bulk loads, the remote provider's single-round-trip wire batches —
+// expose it; AddAll/RemoveAll use it when present.
+type BatchWriter interface {
+	// AddBatch runs the arrival path (covering query + insert) for every
+	// subscription. Results align with the input slice; per-item failures
+	// occupy their slots. Batch items are mutually unordered: no item's
+	// covering query is guaranteed to observe another batch item's insert.
+	AddBatch(subs []*subscription.Subscription) []AddResult
+	// RemoveBatch deletes the given ids. The returned slice aligns with
+	// the input; entries are nil on success.
+	RemoveBatch(ids []uint64) []error
+}
+
+// AddAll runs the arrival path for every subscription against p, through
+// the batch capability when p has one and one Add at a time otherwise.
+func AddAll(p Provider, subs []*subscription.Subscription) []AddResult {
+	if bw, ok := p.(BatchWriter); ok {
+		return bw.AddBatch(subs)
+	}
+	out := make([]AddResult, len(subs))
+	for i, s := range subs {
+		id, covered, coveredBy, err := p.Add(s)
+		out[i] = AddResult{ID: id, QueryResult: QueryResult{Covered: covered, CoveredBy: coveredBy, Err: err}}
+	}
+	return out
+}
+
+// RemoveAll deletes every id against p, through the batch capability when
+// p has one and one Remove at a time otherwise.
+func RemoveAll(p Provider, ids []uint64) []error {
+	if bw, ok := p.(BatchWriter); ok {
+		return bw.RemoveBatch(ids)
+	}
+	out := make([]error, len(ids))
+	for i, id := range ids {
+		out[i] = p.Remove(id)
+	}
+	return out
+}
+
+// Rebalancer is the optional load-rebalancing capability of a Provider:
+// backends whose partition can skew under clustered workloads (the
+// engine's curve-prefix slices) expose it to shift slice boundaries
+// toward balance at runtime. Implementations must preserve answer
+// semantics exactly: a rebalance may move where subscriptions are
+// indexed, never what any query returns.
+type Rebalancer interface {
+	// Rebalance runs one bounded rebalance pass and reports what moved.
+	// Providers whose current configuration cannot rebalance (hash
+	// partitions are balanced by construction) return
+	// ErrRebalanceUnsupported.
+	Rebalance() (RebalanceResult, error)
+}
+
+// ErrRebalanceUnsupported reports a provider (or provider configuration)
+// with no movable partition boundaries.
+var ErrRebalanceUnsupported = errors.New("core: provider does not support rebalancing")
+
+// RebalanceResult describes one rebalance pass.
+type RebalanceResult struct {
+	// Moves is the number of boundary moves performed.
+	Moves int
+	// Migrated is the number of index entries that crossed a boundary.
+	Migrated int
+	// SkewBefore and SkewAfter bracket the pass with the worst slice-
+	// occupancy ratio across the provider's rebalanceable indexes
+	// (primary and, when present, the mirror; min clamped to 1, like
+	// ProviderStats.SkewRatio).
+	SkewBefore, SkewAfter float64
 }
 
 // CoveredDrainer is the optional batch-drain capability of a Provider:
@@ -125,6 +209,13 @@ type ProviderStats struct {
 	// clamped to 1, so an empty slice under a hot one reads as the hot
 	// slice's absolute size. 1.0 means perfectly balanced.
 	SkewRatio float64
+	// Rebalances counts rebalance passes that moved at least one
+	// boundary; BoundaryMoves and MigratedEntries sum the per-pass moves
+	// and migrated index entries. All three stay zero on providers
+	// without the Rebalancer capability.
+	Rebalances      int
+	BoundaryMoves   int
+	MigratedEntries int
 }
 
 // SetShardSizes records the occupancy layout and derives Subscriptions,
@@ -143,11 +234,32 @@ func (ps *ProviderStats) SetShardSizes(sizes []int) {
 			ps.MinShardSize = n
 		}
 	}
-	den := ps.MinShardSize
-	if den < 1 {
-		den = 1
+	ps.SkewRatio = SkewOf(sizes)
+}
+
+// SkewOf is THE SkewRatio formula: max over min occupancy with the
+// denominator clamped to 1 (an empty slice under a hot one reads as the
+// hot slice's absolute size), 1 for an empty layout. Everything that
+// reasons about skew — stats reporting, the engine's rebalance trigger
+// and its hysteresis — derives the number from here, so operators and
+// the rebalancer always observe the same value.
+func SkewOf(sizes []int) float64 {
+	if len(sizes) == 0 {
+		return 1
 	}
-	ps.SkewRatio = float64(ps.MaxShardSize) / float64(den)
+	max, min := sizes[0], sizes[0]
+	for _, n := range sizes[1:] {
+		if n > max {
+			max = n
+		}
+		if n < min {
+			min = n
+		}
+	}
+	if min < 1 {
+		min = 1
+	}
+	return float64(max) / float64(min)
 }
 
 var _ Provider = (*Detector)(nil)

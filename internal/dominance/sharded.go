@@ -2,7 +2,9 @@ package dominance
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sfccover/internal/bits"
 	"sfccover/internal/geom"
@@ -11,8 +13,8 @@ import (
 )
 
 // ShardedIndex is the SFC dominance index partitioned by key range: shard
-// i owns the i-th contiguous slice of the curve's key space, each slice
-// backed by its own SFC array behind its own read-write lock.
+// i owns a contiguous slice of the curve's key space, each slice backed by
+// its own SFC array behind its own read-write lock.
 //
 // The layout exploits the same structural fact as the search itself: a
 // standard cube occupies one contiguous key range (Fact 2.1), so a query
@@ -24,28 +26,62 @@ import (
 // per-probe read locks of the shards they actually touch. Updates lock a
 // single shard for one ordered-structure operation.
 //
+// Slice boundaries are MOVABLE at runtime: routing goes through an
+// atomically swapped boundary table, and EqualizePair migrates a key
+// subrange between adjacent slices under a short write barrier (the two
+// slices' write locks). Readers never block on a migration that does not
+// touch the slices they probe; a probe that overlaps a boundary swap
+// detects the stale table and retries against the fresh one, so answers
+// are always consistent with some table the index actually published.
+//
 // Because a sharded query probes the same cube sequence as a single-array
 // query over the same point set, its hit/miss outcome (and approximation
 // guarantee) is identical to an unsharded Index — only the lock footprint
-// and per-probe tree sizes change.
+// and per-probe tree sizes change. Boundary moves relocate entries between
+// slices without ever dropping or duplicating one, so the equivalence
+// holds before, during and after a rebalance.
 type ShardedIndex struct {
-	cfg        Config
-	curve      sfc.Curve
-	keyLen     int // curve key width, Dims*Bits
-	prefixBits int // bits of key prefix used for routing
-	shards     []shardSlot
+	cfg    Config
+	curve  sfc.Curve
+	keyLen int // curve key width, Dims*Bits
+	shards []shardSlot
+
+	// table points at the current boundary table: table[i] is the first
+	// key slice i owns, table[0] is the zero key, and slice i ends where
+	// slice i+1 begins (the last slice is unbounded above). Swapped
+	// atomically — never mutated in place — so lock-free readers always
+	// observe a complete table.
+	table atomic.Pointer[[]bits.Key]
+	// moveMu serializes boundary movers: concurrent EqualizePair calls on
+	// disjoint pairs would otherwise lose each other's table swap.
+	moveMu sync.Mutex
 }
 
 type shardSlot struct {
-	mu  sync.RWMutex
-	arr sfcarray.Index
+	mu   sync.RWMutex
+	arr  sfcarray.Index
+	seed int64 // the slot's array seed, reused when a migration rebuilds it
 }
 
-// maxPrefixBits bounds the routing prefix; 16 bits ≫ any sane shard count
-// while keeping the prefix arithmetic in a uint64.
+// maxPrefixBits bounds the initial routing prefix; 16 bits ≫ any sane
+// shard count while keeping the prefix arithmetic in a uint64.
 const maxPrefixBits = 16
 
+// PrefixBits returns the routing-prefix width for a key of keyLen bits:
+// the full key when it is narrower than the 16-bit cap, the cap otherwise.
+// It is exported so placement layers that mirror the initial uniform
+// slice layout (the engine's curve-prefix fan-out plan) derive the same
+// prefix from the schema instead of hard-coding it.
+func PrefixBits(keyLen int) int {
+	if keyLen < maxPrefixBits {
+		return keyLen
+	}
+	return maxPrefixBits
+}
+
 // NewSharded builds a key-range sharded dominance index with n shards.
+// The initial boundaries split the key space uniformly by prefix; they
+// move when EqualizePair migrates load between neighbors.
 func NewSharded(cfg Config, n int) (*ShardedIndex, error) {
 	cfg = cfg.withDefaults()
 	if n < 1 {
@@ -56,44 +92,60 @@ func NewSharded(cfg Config, n int) (*ShardedIndex, error) {
 		return nil, fmt.Errorf("dominance: %w", err)
 	}
 	keyLen := cfg.Dims * cfg.Bits
-	prefixBits := maxPrefixBits
-	if keyLen < prefixBits {
-		prefixBits = keyLen
-	}
+	prefixBits := PrefixBits(keyLen)
 	if n > 1<<uint(prefixBits) {
 		return nil, fmt.Errorf("dominance: %d shards exceed the %d key-prefix slices", n, 1<<uint(prefixBits))
 	}
 	x := &ShardedIndex{
-		cfg:        cfg,
-		curve:      curve,
-		keyLen:     keyLen,
-		prefixBits: prefixBits,
-		shards:     make([]shardSlot, n),
+		cfg:    cfg,
+		curve:  curve,
+		keyLen: keyLen,
+		shards: make([]shardSlot, n),
 	}
 	for i := range x.shards {
-		arr, err := sfcarray.New(cfg.Array, cfg.Seed+int64(i))
+		x.shards[i].seed = cfg.Seed + int64(i)
+		arr, err := sfcarray.New(cfg.Array, x.shards[i].seed)
 		if err != nil {
 			return nil, fmt.Errorf("dominance: %w", err)
 		}
 		x.shards[i].arr = arr
 	}
+	// Slice i's first key is the smallest whose top prefixBits place it in
+	// slice i under the uniform arithmetic top*n >> prefixBits == i, i.e.
+	// ceil(i*2^p / n) shifted back up to key width.
+	starts := make([]bits.Key, n)
+	for i := 1; i < n; i++ {
+		top := (uint64(i)<<uint(prefixBits) + uint64(n) - 1) / uint64(n)
+		starts[i] = bits.KeyFromUint64(top).ShlN(keyLen - prefixBits)
+	}
+	x.table.Store(&starts)
 	return x, nil
 }
 
 // NumShards returns the shard count.
 func (x *ShardedIndex) NumShards() int { return len(x.shards) }
 
-// shardForKey maps a curve key to the shard owning its key slice.
-func (x *ShardedIndex) shardForKey(k bits.Key) int {
-	top, _ := k.ShrN(x.keyLen - x.prefixBits).Uint64()
-	return int(top * uint64(len(x.shards)) >> uint(x.prefixBits))
+// Boundaries returns a copy of the current boundary table: element i is
+// the first key slice i owns (element 0 is always the zero key).
+func (x *ShardedIndex) Boundaries() []bits.Key {
+	tab := *x.table.Load()
+	return append([]bits.Key(nil), tab...)
 }
 
-// ShardFor maps a point to its home shard. Callers that co-partition
-// their own per-point state (e.g. a subscription store) use this to keep
-// their partition aligned with the index's.
+// routeKey maps a curve key to the slice owning it under the given table:
+// the last slice whose start is <= k.
+func routeKey(tab []bits.Key, k bits.Key) int {
+	return sort.Search(len(tab), func(i int) bool { return k.Less(tab[i]) }) - 1
+}
+
+// ShardFor maps a point to its home shard under the current boundaries.
+// Callers that co-partition their own per-point state (e.g. a
+// subscription store) use this to keep their partition roughly aligned
+// with the index's; after a boundary move the index re-routes by key on
+// every operation, so a stale caller-side assignment only affects load
+// placement, never correctness.
 func (x *ShardedIndex) ShardFor(p []uint32) int {
-	return x.shardForKey(x.curve.Key(p))
+	return routeKey(*x.table.Load(), x.curve.Key(p))
 }
 
 // Len returns the number of indexed points.
@@ -120,63 +172,268 @@ func (x *ShardedIndex) ShardSizes() []int {
 	return sizes
 }
 
-// Insert indexes point p under the given id, locking only its home shard.
+// Insert indexes point p under the given id, locking only its home slice.
+// The route is validated after the lock is held: while a slice's write
+// lock is held its boundaries cannot move, so a route that still matches
+// is stable, and one invalidated by a concurrent boundary move retries.
 func (x *ShardedIndex) Insert(p []uint32, id uint64) {
 	k := x.curve.Key(p)
-	s := &x.shards[x.shardForKey(k)]
-	s.mu.Lock()
-	s.arr.Insert(k, id)
-	s.mu.Unlock()
+	for {
+		s := routeKey(*x.table.Load(), k)
+		slot := &x.shards[s]
+		slot.mu.Lock()
+		if routeKey(*x.table.Load(), k) == s {
+			slot.arr.Insert(k, id)
+			slot.mu.Unlock()
+			return
+		}
+		slot.mu.Unlock()
+	}
 }
 
 // InsertBatch indexes a group of points, aligned with ids, taking each
 // slice lock once per batch instead of once per point: keys are computed
 // and grouped by owning slice outside any lock, then each touched slice
-// is bulk-loaded under a single write-lock acquisition. Only one slice
-// lock is held at a time, so concurrent batches cannot deadlock.
+// is bulk-loaded — in sorted order, through the array's sorted-batch
+// path — under a single write-lock acquisition. Only one slice lock is
+// held at a time, so concurrent batches cannot deadlock; items whose
+// route a concurrent boundary move invalidates are regrouped and retried.
 func (x *ShardedIndex) InsertBatch(ps [][]uint32, ids []uint64) {
 	keys := make([]bits.Key, len(ps))
-	groups := make(map[int][]int, 1)
 	for i, p := range ps {
 		keys[i] = x.curve.Key(p)
-		shard := x.shardForKey(keys[i])
-		groups[shard] = append(groups[shard], i)
 	}
-	for shard, group := range groups {
-		s := &x.shards[shard]
-		s.mu.Lock()
-		for _, i := range group {
-			s.arr.Insert(keys[i], ids[i])
+	pending := make([]int, len(keys))
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		tabPtr := x.table.Load()
+		groups := make(map[int][]int, 1)
+		for _, i := range pending {
+			shard := routeKey(*tabPtr, keys[i])
+			groups[shard] = append(groups[shard], i)
 		}
-		s.mu.Unlock()
+		pending = pending[:0]
+		for shard, group := range groups {
+			// Sort and scatter outside the lock; only the (order-
+			// preserving) stale-route prune and the bulk load itself need
+			// the write lock.
+			gk, gi := sortedEntries(keys, ids, group)
+			slot := &x.shards[shard]
+			slot.mu.Lock()
+			if cur := x.table.Load(); cur != tabPtr {
+				// A boundary moved since grouping. Routes computed while
+				// holding this slice's write lock are stable for this
+				// slice, so keep the items it still owns and defer the
+				// rest to the next round. group was sorted in tandem with
+				// gk/gi, so deferred entries carry their original indices.
+				w := 0
+				for j, i := range group {
+					if routeKey(*cur, gk[j]) == shard {
+						gk[w], gi[w] = gk[j], gi[j]
+						w++
+					} else {
+						pending = append(pending, i)
+					}
+				}
+				gk, gi = gk[:w], gi[:w]
+			}
+			slot.arr.InsertSorted(gk, gi)
+			slot.mu.Unlock()
+		}
 	}
 }
 
-// Delete removes one (p, id) entry, reporting whether it existed.
+// Delete removes one (p, id) entry, reporting whether it existed. Routing
+// is validated under the slice lock exactly like Insert's.
 func (x *ShardedIndex) Delete(p []uint32, id uint64) bool {
 	k := x.curve.Key(p)
-	s := &x.shards[x.shardForKey(k)]
-	s.mu.Lock()
-	ok := s.arr.Delete(k, id)
-	s.mu.Unlock()
-	return ok
+	for {
+		s := routeKey(*x.table.Load(), k)
+		slot := &x.shards[s]
+		slot.mu.Lock()
+		if routeKey(*x.table.Load(), k) == s {
+			ok := slot.arr.Delete(k, id)
+			slot.mu.Unlock()
+			return ok
+		}
+		slot.mu.Unlock()
+	}
 }
 
 // probe answers one run probe by visiting only the shards whose key
 // slices intersect [lo, hi] — contiguous in shard order because the
-// partition follows key order.
+// partition follows key order. Any outcome is accepted only if the
+// boundary table did not change across the probe: a migration publishes
+// its new table before releasing the write barrier, so an unchanged
+// table proves the probed slices covered [lo, hi] in full and in order.
+// A changed table sends the probe back around: a miss could have skipped
+// migrated entries, and even a genuine hit could be non-minimal (a
+// migration can move the range's smallest entry into a slice this probe
+// had already passed), which would break the bit-identical-answers
+// guarantee the sharded index gives against the single-array one.
 func (x *ShardedIndex) probe(lo, hi bits.Key) (uint64, bool) {
-	first, last := x.shardForKey(lo), x.shardForKey(hi)
-	for i := first; i <= last; i++ {
-		s := &x.shards[i]
-		s.mu.RLock()
-		id, ok := s.arr.FirstInRange(lo, hi)
-		s.mu.RUnlock()
-		if ok {
-			return id, true
+	for {
+		tabPtr := x.table.Load()
+		first, last := routeKey(*tabPtr, lo), routeKey(*tabPtr, hi)
+		var id uint64
+		ok := false
+		for i := first; i <= last && !ok; i++ {
+			s := &x.shards[i]
+			s.mu.RLock()
+			id, ok = s.arr.FirstInRange(lo, hi)
+			s.mu.RUnlock()
+		}
+		if x.table.Load() == tabPtr {
+			return id, ok
 		}
 	}
-	return 0, false
+}
+
+// EqualizePair moves the boundary between adjacent slices i and i+1 so
+// the two populations end as close to equal as the key distribution
+// allows, migrating the entries of the shifted key subrange from the
+// shrinking slice into its neighbor. The whole move runs under the two
+// slices' write locks — the "short write barrier": the drained subrange
+// is bulk-loaded into the neighbor with the sorted-batch path, the
+// shrinking slice sheds it either by deleting the moved entries (small
+// nudges) or by a cold rebuild from its kept entries (large moves), and
+// the new boundary table is published before the barrier lifts. Entries
+// sharing
+// one key never split across a boundary (deletes route by key), so a
+// pair whose merged population is a single key cannot move.
+//
+// It returns the number of entries migrated; 0 means the pair is already
+// as balanced as its keys permit. It never blocks queries outside the
+// two slices and is safe to call concurrently with any other operation.
+func (x *ShardedIndex) EqualizePair(i int) (migrated int) {
+	if i < 0 || i+1 >= len(x.shards) {
+		return 0
+	}
+	x.moveMu.Lock()
+	defer x.moveMu.Unlock()
+	a, b := &x.shards[i], &x.shards[i+1]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	na := a.arr.Len()
+	nb := b.arr.Len()
+	total := na + nb
+	if total == 0 {
+		return 0
+	}
+	// A split's imbalance |2s−total| can never beat the current
+	// |na−nb| when the pair is already within one entry of even, so
+	// skip the O(na+nb) gather for pairs that cannot improve.
+	if abs(na-nb) <= 1 {
+		return 0
+	}
+	// Gather both populations. Each VisitRange ascends and every key in
+	// slice i precedes every key in slice i+1, so the concatenation is
+	// sorted — exactly what the bulk-load path needs.
+	keys := make([]bits.Key, 0, total)
+	ids := make([]uint64, 0, total)
+	full := bits.LowMask(bits.KeyBits)
+	gather := func(arr sfcarray.Index) {
+		arr.VisitRange(bits.Key{}, full, func(k bits.Key, id uint64) bool {
+			keys = append(keys, k)
+			ids = append(ids, id)
+			return true
+		})
+	}
+	gather(a.arr)
+	gather(b.arr)
+
+	split := splitPoint(keys, na)
+	if split < 0 || split == na {
+		return 0
+	}
+	if split < na {
+		// Slice i sheds its top subrange [keys[split], ...) rightward.
+		migrated = na - split
+		x.shrinkSlice(a, keys, ids, 0, split, split, na)
+		b.arr.InsertSorted(keys[split:na], ids[split:na])
+	} else {
+		// Slice i+1 sheds its bottom subrange leftward.
+		migrated = split - na
+		x.shrinkSlice(b, keys, ids, split, total, na, split)
+		a.arr.InsertSorted(keys[na:split], ids[na:split])
+	}
+	old := *x.table.Load()
+	starts := append([]bits.Key(nil), old...)
+	starts[i+1] = keys[split]
+	x.table.Store(&starts)
+	return migrated
+}
+
+// shrinkSlice removes a migrated subrange from a slice: kept entries are
+// keys[keptLo:keptHi], moved ones keys[movedLo:movedHi] (both windows
+// index the gathered pair population). A small nudge drains the moved
+// entries one delete at a time — O(m log n) — while a large move
+// rebuilds the structure cold from the kept entries with the sorted bulk
+// build, so the write barrier pays min(drain, rebuild). Both slice locks
+// are held by the caller.
+func (x *ShardedIndex) shrinkSlice(slot *shardSlot, keys []bits.Key, ids []uint64, keptLo, keptHi, movedLo, movedHi int) {
+	kept := keptHi - keptLo
+	moved := movedHi - movedLo
+	if moved*4 <= kept {
+		for j := movedLo; j < movedHi; j++ {
+			if !slot.arr.Delete(keys[j], ids[j]) {
+				panic("dominance: migration lost an entry")
+			}
+		}
+		return
+	}
+	newArr, err := sfcarray.New(x.cfg.Array, slot.seed)
+	if err != nil {
+		panic(fmt.Sprintf("dominance: rebuilding slice: %v", err)) // cfg.Array was validated at construction
+	}
+	newArr.InsertSorted(keys[keptLo:keptHi], ids[keptLo:keptHi])
+	slot.arr = newArr
+}
+
+// splitPoint picks the split index nearest total/2 that does not divide a
+// run of equal keys (entries at the boundary key must all land in the
+// right slice, where deletes will route them). Within each direction the
+// imbalance |2s−total| grows monotonically with distance from the middle,
+// so the best admissible split overall is the better of the first
+// admissible candidate below the middle and the first at or above it.
+// It returns -1 when no admissible split exists or the best one does not
+// strictly improve on the current division at na.
+func splitPoint(keys []bits.Key, na int) int {
+	total := len(keys)
+	admissible := func(s int) bool {
+		return s > 0 && s < total && keys[s-1].Less(keys[s])
+	}
+	best := -1
+	for s := total / 2; s > 0; s-- {
+		if admissible(s) {
+			best = s
+			break
+		}
+	}
+	for s := total/2 + 1; s < total; s++ {
+		if admissible(s) {
+			if best == -1 || abs(2*s-total) < abs(2*best-total) {
+				best = s
+			}
+			break
+		}
+	}
+	if best == -1 || abs(2*best-total) >= abs(2*na-total) {
+		return -1
+	}
+	return best
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // Query answers a point dominance query at q with the same semantics and

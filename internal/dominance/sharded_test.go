@@ -1,9 +1,12 @@
 package dominance
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
+
+	"sfccover/internal/bits"
 )
 
 func TestNewShardedValidation(t *testing.T) {
@@ -117,6 +120,239 @@ func TestShardedQueryValidation(t *testing.T) {
 	}
 	if _, _, _, err := x.Query([]uint32{1, 1}, 1.0); err == nil {
 		t.Error("eps=1 must fail")
+	}
+}
+
+// TestShardedInitialBoundaries pins the initial layout: routing through
+// the boundary table must match the historical uniform prefix arithmetic
+// top*n >> prefixBits, so seeds and co-partitioned stores stay stable.
+func TestShardedInitialBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{1, 3, 4, 16} {
+		cfg := Config{Dims: 3, Bits: 6}
+		x, err := NewSharded(cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(x.Boundaries()); got != n {
+			t.Fatalf("n=%d: %d boundaries", n, got)
+		}
+		keyLen := cfg.Dims * cfg.Bits
+		p := PrefixBits(keyLen)
+		for _, pt := range randomPoints(rng, 300, 3, 6) {
+			top, _ := x.curve.Key(pt).ShrN(keyLen - p).Uint64()
+			want := int(top * uint64(n) >> uint(p))
+			if got := x.ShardFor(pt); got != want {
+				t.Fatalf("n=%d: ShardFor = %d, want prefix-arithmetic %d", n, got, want)
+			}
+		}
+	}
+}
+
+// TestEqualizePairMigration loads one slice far heavier than the rest,
+// equalizes, and checks that no entry is lost, every entry remains
+// deletable (deletes route by the NEW boundaries), and queries answer
+// exactly as an unsharded oracle before and after each move.
+func TestEqualizePairMigration(t *testing.T) {
+	cfg := Config{Dims: 2, Bits: 8}
+	x, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := MustIndex(cfg)
+	rng := rand.New(rand.NewSource(72))
+	// A tight cluster near the origin lands in one curve-prefix slice.
+	pts := make([][]uint32, 0, 1200)
+	for i := 0; i < 1000; i++ {
+		pts = append(pts, []uint32{uint32(rng.Intn(16)), uint32(rng.Intn(16))})
+	}
+	for i := 0; i < 200; i++ {
+		pts = append(pts, []uint32{uint32(rng.Intn(256)), uint32(rng.Intn(256))})
+	}
+	for i, p := range pts {
+		x.Insert(p, uint64(i))
+		oracle.Insert(p, uint64(i))
+	}
+	check := func(stage string) {
+		t.Helper()
+		if x.Len() != len(pts) {
+			t.Fatalf("%s: Len = %d, want %d", stage, x.Len(), len(pts))
+		}
+		for qi := 0; qi < 120; qi++ {
+			q := randomPoints(rng, 1, 2, 8)[0]
+			_, wantOK, _, _ := oracle.Query(q, 0)
+			_, gotOK, _, err := x.Query(q, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOK != wantOK {
+				t.Fatalf("%s: query %d found=%v, oracle found=%v", stage, qi, gotOK, wantOK)
+			}
+		}
+	}
+	check("before")
+	// Adjacent equalization diffuses load one neighbor at a time; sweep
+	// until quiescent, checking answers after every sweep.
+	totalMigrated := 0
+	for sweep := 0; sweep < 12; sweep++ {
+		moved := 0
+		for pair := 0; pair < 3; pair++ {
+			moved += x.EqualizePair(pair)
+		}
+		totalMigrated += moved
+		check(fmt.Sprintf("after sweep %d", sweep))
+		if moved == 0 {
+			break
+		}
+	}
+	if totalMigrated == 0 {
+		t.Fatal("clustered load migrated nothing")
+	}
+	sizes := x.ShardSizes()
+	max, min := sizes[0], sizes[0]
+	for _, n := range sizes {
+		if n > max {
+			max = n
+		}
+		if n < min {
+			min = n
+		}
+	}
+	if max > 3*(min+1) {
+		t.Fatalf("sizes still badly skewed after equalization: %v", sizes)
+	}
+	// Every entry must remain deletable wherever it migrated to.
+	for i, p := range pts {
+		if !x.Delete(p, uint64(i)) {
+			t.Fatalf("entry %d lost after migration", i)
+		}
+	}
+	if x.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", x.Len())
+	}
+}
+
+// TestEqualizePairDegenerate: an all-one-key pair cannot split, and
+// out-of-range pairs are rejected quietly.
+func TestEqualizePairDegenerate(t *testing.T) {
+	x, err := NewSharded(Config{Dims: 2, Bits: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.EqualizePair(-1) != 0 || x.EqualizePair(1) != 0 {
+		t.Fatal("out-of-range pair must not migrate")
+	}
+	if x.EqualizePair(0) != 0 {
+		t.Fatal("empty pair must not migrate")
+	}
+	p := []uint32{1, 1}
+	for i := 0; i < 50; i++ {
+		x.Insert(p, uint64(i))
+	}
+	if x.EqualizePair(0) != 0 {
+		t.Fatal("a single-key population must never split across a boundary")
+	}
+	if x.Len() != 50 {
+		t.Fatalf("Len = %d after degenerate equalize", x.Len())
+	}
+}
+
+// TestSplitPoint pins the split chooser directly: candidates on BOTH
+// sides of the middle must be weighed (an inadmissible or non-improving
+// candidate below the middle must not mask a strictly improving one
+// above it), equal-key runs never split, and no-improvement pairs
+// report -1.
+func TestSplitPoint(t *testing.T) {
+	k := func(vs ...uint64) []bits.Key {
+		out := make([]bits.Key, len(vs))
+		for i, v := range vs {
+			out[i] = bits.KeyFromUint64(v)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		keys []bits.Key
+		na   int
+		want int
+	}{
+		// The middle (s=2) splits the 2,2 run; s=1 does not improve on
+		// |2*4-5|=3, but s=3 (imbalance 1) does — it must be found.
+		{"blocked-middle-right-wins", k(1, 2, 2, 3, 4), 4, 3},
+		{"blocked-middle-left-wins", k(1, 3, 3, 3, 4), 0, 1},
+		{"clean-median", k(1, 2, 3, 4), 4, 2},
+		{"already-even", k(1, 2, 3, 4), 2, -1},
+		{"single-key-run", k(7, 7, 7, 7), 4, -1},
+		{"off-by-one-cannot-improve", k(1, 2, 3, 4, 5), 3, -1},
+	}
+	for _, tc := range cases {
+		if got := splitPoint(tc.keys, tc.na); got != tc.want {
+			t.Errorf("%s: splitPoint = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestShardedConcurrentMigration hammers queries, inserts and deletes
+// while boundaries move; meaningful under -race. Queries run in exact
+// mode against a stable planted population, so every answer is checkable
+// mid-migration.
+func TestShardedConcurrentMigration(t *testing.T) {
+	cfg := Config{Dims: 2, Bits: 8, MaxCubes: 2000}
+	x, err := NewSharded(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(73))
+	// Stable planted points: never deleted, so a query dominated by one
+	// must find SOMETHING at every instant of the churn below.
+	planted := make([][]uint32, 400)
+	for i := range planted {
+		planted[i] = []uint32{uint32(rng.Intn(32)), uint32(rng.Intn(32))}
+	}
+	for i, p := range planted {
+		x.Insert(p, uint64(i))
+	}
+	stop := make(chan struct{})
+	moverDone := make(chan struct{})
+	go func() { // boundary mover
+		defer close(moverDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				x.EqualizePair(i % (x.NumShards() - 1))
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(80 + g)))
+			base := uint64(10_000 * (g + 1))
+			for i := 0; i < 300; i++ {
+				p := []uint32{uint32(rng.Intn(256)), uint32(rng.Intn(256))}
+				x.Insert(p, base+uint64(i))
+				// A query at the origin is dominated by every planted
+				// point; exact search must find one mid-migration.
+				if _, ok, _, err := x.Query([]uint32{0, 0}, 0); err != nil || !ok {
+					t.Errorf("goroutine %d op %d: origin query = (%v, %v), want a hit", g, i, ok, err)
+					return
+				}
+				if !x.Delete(p, base+uint64(i)) {
+					t.Errorf("goroutine %d op %d: delete of fresh insert failed", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-moverDone
+	if x.Len() != len(planted) {
+		t.Fatalf("Len = %d after churn, want %d", x.Len(), len(planted))
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sfccover/internal/core"
 	"sfccover/internal/dominance"
@@ -63,10 +64,29 @@ type Config struct {
 	Partition Partition
 	// Workers sizes the batch worker pool (default GOMAXPROCS).
 	Workers int
+	// RebalanceThreshold arms the background rebalancer: when the
+	// occupancy skew ratio (ProviderStats.SkewRatio) reaches it, the
+	// engine rebalances slice boundaries until skew falls to the
+	// hysteresis target 1 + (threshold-1)/2. Must exceed 1 when set;
+	// 0 disables the background trigger (manual Rebalance always works).
+	// Only the curve-prefix plan has movable boundaries; the setting is
+	// inert on hash partitions, which stay balanced by construction.
+	RebalanceThreshold float64
+	// RebalanceInterval is the background rebalancer's poll period
+	// (default DefaultRebalanceInterval when a threshold is set).
+	RebalanceInterval time.Duration
+	// RebalanceMaxMoves caps boundary moves per rebalance pass — the
+	// migration-rate cap bounding how much index churn one pass (or one
+	// background tick) may cause (default 2×Shards).
+	RebalanceMaxMoves int
 }
 
 // DefaultShards is the shard count used when Config leaves Shards zero.
 const DefaultShards = 8
+
+// DefaultRebalanceInterval is the background rebalancer's poll period
+// when Config sets a threshold but no interval.
+const DefaultRebalanceInterval = 2 * time.Second
 
 // Totals aggregates engine-level counters: logical engine operations, so
 // a single query that fanned out to four shards adds one to Queries and
@@ -97,12 +117,9 @@ type QueryResult = core.QueryResult
 // AddResult is one AddBatch outcome: the id assigned to the inserted
 // subscription plus the result of the pre-insert covering query. (The
 // single-item Add returns plain values instead, matching core.Provider.)
-type AddResult struct {
-	// ID is the engine-assigned id of the inserted subscription (0 if the
-	// insert failed).
-	ID uint64
-	QueryResult
-}
+// It is an alias of the core type so engine batches satisfy
+// core.BatchWriter directly.
+type AddResult = core.AddResult
 
 // backend is one of the two execution plans behind the Engine API.
 // findCover/findCovered return the result plus the number of per-shard
@@ -121,6 +138,18 @@ type backend interface {
 	shardSizes() []int
 }
 
+// rebalancer is the optional backend capability behind Engine.Rebalance:
+// only the routed plan has movable slice boundaries.
+type rebalancer interface {
+	// rebalance moves boundaries until occupancy skew falls to target or
+	// maxMoves boundary moves have run, and reports the pass.
+	rebalance(target float64, maxMoves int) core.RebalanceResult
+	// skew is the trigger signal: the worst occupancy skew across every
+	// index with movable boundaries (primary AND mirror — a balanced
+	// primary must not mask a hot mirror slice).
+	skew() float64
+}
+
 // Engine is a sharded, concurrent covering-detection engine. All methods
 // are safe for concurrent use; batch items are processed in parallel with
 // no ordering guarantee between items of the same batch.
@@ -133,11 +162,21 @@ type Engine struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
+	stopRebalance chan struct{}
+	rebalanceWG   sync.WaitGroup
+	// rebalanceMu serializes whole passes (manual calls racing the
+	// background loop), so per-pass counters and results stay coherent.
+	rebalanceMu sync.Mutex
+
 	queries       atomic.Int64
 	hits          atomic.Int64
 	runsProbed    atomic.Int64
 	cubes         atomic.Int64
 	shardSearches atomic.Int64
+
+	rebalances      atomic.Int64
+	boundaryMoves   atomic.Int64
+	migratedEntries atomic.Int64
 }
 
 // New builds an Engine.
@@ -162,6 +201,18 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("engine: invalid worker count %d", cfg.Workers)
+	}
+	if cfg.RebalanceThreshold != 0 && cfg.RebalanceThreshold <= 1 {
+		return nil, fmt.Errorf("engine: rebalance threshold %v must exceed 1 (a skew ratio)", cfg.RebalanceThreshold)
+	}
+	if cfg.RebalanceThreshold != 0 && cfg.RebalanceInterval == 0 {
+		cfg.RebalanceInterval = DefaultRebalanceInterval
+	}
+	if cfg.RebalanceMaxMoves < 0 {
+		return nil, fmt.Errorf("engine: invalid rebalance move cap %d", cfg.RebalanceMaxMoves)
+	}
+	if cfg.RebalanceMaxMoves == 0 {
+		cfg.RebalanceMaxMoves = 2 * cfg.Shards
 	}
 	// One template detector validates the config and resolves its defaults
 	// (strategy, MaxCubes) for both plans.
@@ -196,7 +247,69 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}()
 	}
+	if _, ok := e.be.(rebalancer); ok && cfg.RebalanceThreshold > 0 {
+		e.stopRebalance = make(chan struct{})
+		e.rebalanceWG.Add(1)
+		go e.rebalanceLoop()
+	}
 	return e, nil
+}
+
+// rebalanceLoop is the background trigger: every RebalanceInterval it
+// reads the occupancy skew and, once it crosses RebalanceThreshold, runs
+// one bounded rebalance pass down to the hysteresis target. The
+// threshold/target gap keeps the loop from oscillating around the
+// trigger, and RebalanceMaxMoves bounds the migration each tick may do.
+func (e *Engine) rebalanceLoop() {
+	defer e.rebalanceWG.Done()
+	ticker := time.NewTicker(e.cfg.RebalanceInterval)
+	defer ticker.Stop()
+	rb := e.be.(rebalancer) // vetted before the loop was started
+	for {
+		select {
+		case <-e.stopRebalance:
+			return
+		case <-ticker.C:
+			if rb.skew() >= e.cfg.RebalanceThreshold {
+				e.Rebalance() //nolint:errcheck // the backend was vetted at start
+			}
+		}
+	}
+}
+
+// rebalanceTarget is the hysteresis target a pass rebalances down to.
+func (e *Engine) rebalanceTarget() float64 {
+	if e.cfg.RebalanceThreshold > 1 {
+		return 1 + (e.cfg.RebalanceThreshold-1)/2
+	}
+	// Manual rebalancing with no configured threshold: drive as close to
+	// balanced as the key distribution allows.
+	return 1
+}
+
+// Rebalance runs one bounded rebalance pass: while occupancy skew exceeds
+// the hysteresis target, the most imbalanced adjacent slice pair is
+// equalized, up to Config.RebalanceMaxMoves boundary moves. Cover answers
+// are unaffected — a migration moves where entries are indexed, never
+// what a query returns — and queries keep running during the pass,
+// blocking only on the short per-pair write barriers. Engines on the
+// hash partition (or non-SFC strategies) return
+// core.ErrRebalanceUnsupported: their fan-out plan has no movable
+// boundaries (and hash placement cannot skew by key locality).
+func (e *Engine) Rebalance() (core.RebalanceResult, error) {
+	rb, ok := e.be.(rebalancer)
+	if !ok {
+		return core.RebalanceResult{}, core.ErrRebalanceUnsupported
+	}
+	e.rebalanceMu.Lock()
+	res := rb.rebalance(e.rebalanceTarget(), e.cfg.RebalanceMaxMoves)
+	e.rebalanceMu.Unlock()
+	if res.Moves > 0 {
+		e.rebalances.Add(1)
+		e.boundaryMoves.Add(int64(res.Moves))
+		e.migratedEntries.Add(int64(res.Migrated))
+	}
+	return res, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -208,9 +321,14 @@ func MustNew(cfg Config) *Engine {
 	return e
 }
 
-// Close stops the worker pool. The engine must not be used afterwards.
+// Close stops the worker pool and the background rebalancer. The engine
+// must not be used afterwards.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
+		if e.stopRebalance != nil {
+			close(e.stopRebalance)
+			e.rebalanceWG.Wait()
+		}
 		close(e.tasks)
 		e.wg.Wait()
 	})
@@ -347,11 +465,14 @@ func (e *Engine) Totals() Totals {
 func (e *Engine) Stats() core.ProviderStats {
 	tot := e.Totals()
 	ps := core.ProviderStats{
-		Queries:        tot.Queries,
-		Hits:           tot.Hits,
-		RunsProbed:     tot.RunsProbed,
-		CubesGenerated: tot.CubesGenerated,
-		ShardSearches:  tot.ShardSearches,
+		Queries:         tot.Queries,
+		Hits:            tot.Hits,
+		RunsProbed:      tot.RunsProbed,
+		CubesGenerated:  tot.CubesGenerated,
+		ShardSearches:   tot.ShardSearches,
+		Rebalances:      int(e.rebalances.Load()),
+		BoundaryMoves:   int(e.boundaryMoves.Load()),
+		MigratedEntries: int(e.migratedEntries.Load()),
 	}
 	ps.SetShardSizes(e.be.shardSizes())
 	return ps
@@ -359,6 +480,8 @@ func (e *Engine) Stats() core.ProviderStats {
 
 var _ core.Provider = (*Engine)(nil)
 var _ core.BatchQuerier = (*Engine)(nil)
+var _ core.BatchWriter = (*Engine)(nil)
+var _ core.Rebalancer = (*Engine)(nil)
 
 // run executes fn(0..n-1) on the worker pool, in contiguous chunks to
 // amortize dispatch, and waits for completion.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sfccover/internal/core"
+	"sfccover/internal/dominance"
 	"sfccover/internal/sfc"
 	"sfccover/internal/subscription"
 )
@@ -43,11 +44,10 @@ func newFanout(det core.Config, shards int, part Partition) (*fanout, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: partition curve: %w", err)
 		}
+		// The placement prefix mirrors the sharded index's initial layout,
+		// derived from the schema's key width rather than hard-coded.
 		keyLen := schema.Dims() * schema.Bits()
-		prefixBits := 16
-		if keyLen < prefixBits {
-			prefixBits = keyLen
-		}
+		prefixBits := dominance.PrefixBits(keyLen)
 		f.place = func(p []uint32) int {
 			top, _ := curve.Key(p).ShrN(keyLen - prefixBits).Uint64()
 			return int(top * uint64(shards) >> uint(prefixBits))

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"sfccover/internal/core"
@@ -88,15 +89,94 @@ func (r *routed) length() int {
 	return n
 }
 
+// shardSizes reports the INDEX slice occupancies, not the store stripe
+// sizes: the index slices are what queries probe and what rebalancing
+// moves, so they are the layout skew diagnostics must observe. (Store
+// stripes are assigned at insert time and never migrate — an id encodes
+// its stripe — so after a rebalance the two layouts diverge by design.)
 func (r *routed) shardSizes() []int {
-	sizes := make([]int, len(r.stores))
-	for i := range r.stores {
-		st := &r.stores[i]
-		st.mu.Lock()
-		sizes[i] = len(st.subs)
-		st.mu.Unlock()
+	return r.idx.ShardSizes()
+}
+
+// rebalance implements the engine's rebalancer capability: while the
+// primary index's occupancy skew exceeds target, equalize the most
+// imbalanced adjacent slice pair, spending at most maxMoves boundary
+// moves across the primary and (when present) the mirror index. The
+// mirror indexes reflected points, so its skew is independent and it is
+// rebalanced against its own occupancy.
+// skew reports the worst occupancy skew across the primary and (when
+// present) the mirror index — the background trigger's signal, so a
+// balanced primary cannot mask a hot mirror slice.
+func (r *routed) skew() float64 {
+	s := core.SkewOf(r.idx.ShardSizes())
+	if r.mirror != nil {
+		if m := core.SkewOf(r.mirror.ShardSizes()); m > s {
+			s = m
+		}
 	}
-	return sizes
+	return s
+}
+
+func (r *routed) rebalance(target float64, maxMoves int) core.RebalanceResult {
+	res := core.RebalanceResult{SkewBefore: r.skew()}
+	budget := maxMoves
+	rebalanceIndex(r.idx, target, &budget, &res)
+	if r.mirror != nil {
+		rebalanceIndex(r.mirror, target, &budget, &res)
+	}
+	// Like the trigger signal, the reported skews take the worst index:
+	// a pass driven by a hot mirror must not read as a no-op.
+	res.SkewAfter = r.skew()
+	return res
+}
+
+// rebalanceIndex drives one index toward target skew, decrementing budget
+// per boundary move and folding the moves into res.
+func rebalanceIndex(idx *dominance.ShardedIndex, target float64, budget *int, res *core.RebalanceResult) {
+	n := idx.NumShards()
+	if n < 2 {
+		return
+	}
+	for *budget > 0 {
+		sizes := idx.ShardSizes()
+		if core.SkewOf(sizes) <= target {
+			return
+		}
+		// Rank adjacent pairs by imbalance and equalize the worst one
+		// that can actually move; keys can pin a pair (a single hot key
+		// cannot split), in which case the next-worst pair gets its turn.
+		pairs := make([]int, n-1)
+		for i := range pairs {
+			pairs[i] = i
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			return pairDiff(sizes, pairs[a]) > pairDiff(sizes, pairs[b])
+		})
+		moved := 0
+		for _, i := range pairs {
+			if pairDiff(sizes, i) <= 1 {
+				break
+			}
+			if m := idx.EqualizePair(i); m > 0 {
+				moved = m
+				break
+			}
+		}
+		if moved == 0 {
+			return // as balanced as the key distribution allows
+		}
+		res.Moves++
+		res.Migrated += moved
+		*budget--
+	}
+}
+
+func pairDiff(sizes []int, i int) int {
+	d := sizes[i] - sizes[i+1]
+	if d < 0 {
+		return -d
+	}
+	return d
 }
 
 func (r *routed) insert(s *subscription.Subscription) (uint64, error) {

@@ -34,6 +34,13 @@ type Index interface {
 	// VisitRange calls visit for every entry with key in [lo, hi] in
 	// ascending (key, id) order, stopping early if visit returns false.
 	VisitRange(lo, hi bits.Key, visit func(k bits.Key, id uint64) bool)
+	// InsertSorted adds a batch of entries that the caller has already
+	// sorted in ascending (key, id) order, exploiting the order to beat
+	// len(keys) independent Inserts: a cold structure is built bottom-up
+	// and a warm one is merged in a single pass instead of one descent per
+	// entry. Passing an unsorted batch corrupts the structure. ids aligns
+	// with keys.
+	InsertSorted(keys []bits.Key, ids []uint64)
 	// Len returns the number of entries stored.
 	Len() int
 }
@@ -51,9 +58,9 @@ func New(impl string, seed int64) (Index, error) {
 	}
 }
 
-// entryLess orders entries by key, then id, giving a strict total order on
+// EntryLess orders entries by key, then id, giving a strict total order on
 // (key, id) pairs.
-func entryLess(k1 bits.Key, id1 uint64, k2 bits.Key, id2 uint64) bool {
+func EntryLess(k1 bits.Key, id1 uint64, k2 bits.Key, id2 uint64) bool {
 	switch k1.Cmp(k2) {
 	case -1:
 		return true

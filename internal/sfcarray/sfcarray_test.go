@@ -22,7 +22,7 @@ type refEntry struct {
 func (m *refModel) Insert(k bits.Key, id uint64) {
 	m.entries = append(m.entries, refEntry{k, id})
 	sort.Slice(m.entries, func(i, j int) bool {
-		return entryLess(m.entries[i].key, m.entries[i].id, m.entries[j].key, m.entries[j].id)
+		return EntryLess(m.entries[i].key, m.entries[i].id, m.entries[j].key, m.entries[j].id)
 	})
 }
 
@@ -197,6 +197,106 @@ func TestRandomOpsAgainstReference(t *testing.T) {
 	}
 }
 
+// dump collects the full (key, id) sequence of an index in visit order.
+func dump(idx Index) []refEntry {
+	var out []refEntry
+	idx.VisitRange(bits.Key{}, bits.LowMask(bits.KeyBits), func(k bits.Key, id uint64) bool {
+		out = append(out, refEntry{k, id})
+		return true
+	})
+	return out
+}
+
+func TestInsertSortedMatchesReference(t *testing.T) {
+	for name := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			idx, err := New(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := &refModel{}
+			rng := rand.New(rand.NewSource(5))
+			// Warm structure: random item-by-item inserts first, so the
+			// sorted batches below merge into existing content.
+			for i := 0; i < 300; i++ {
+				k := bits.KeyFromUint64(uint64(rng.Intn(1000)))
+				id := uint64(i)
+				idx.Insert(k, id)
+				ref.Insert(k, id)
+			}
+			// Several sorted batches: interleaved keys, duplicates of both
+			// keys and (key, id) pairs already present.
+			for batch := 0; batch < 5; batch++ {
+				n := 100 + rng.Intn(200)
+				entries := make([]refEntry, n)
+				for i := range entries {
+					entries[i] = refEntry{bits.KeyFromUint64(uint64(rng.Intn(1000))), uint64(rng.Intn(400))}
+				}
+				sort.Slice(entries, func(i, j int) bool {
+					return EntryLess(entries[i].key, entries[i].id, entries[j].key, entries[j].id)
+				})
+				keys := make([]bits.Key, n)
+				ids := make([]uint64, n)
+				for i, e := range entries {
+					keys[i], ids[i] = e.key, e.id
+					ref.Insert(e.key, e.id)
+				}
+				idx.InsertSorted(keys, ids)
+				if idx.Len() != ref.Len() {
+					t.Fatalf("batch %d: Len = %d, want %d", batch, idx.Len(), ref.Len())
+				}
+			}
+			got, want := dump(idx), ref.entries
+			if len(got) != len(want) {
+				t.Fatalf("dump has %d entries, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].key.Equal(want[i].key) || got[i].id != want[i].id {
+					t.Fatalf("entry %d: got %v, want %v", i, got[i], want[i])
+				}
+			}
+			// The merged structure must still answer range probes and
+			// support deletion of batch-loaded entries.
+			if !idx.Delete(want[0].key, want[0].id) {
+				t.Fatal("cannot delete a bulk-loaded entry")
+			}
+		})
+	}
+}
+
+func TestInsertSortedColdBuild(t *testing.T) {
+	for name := range implementations(t) {
+		t.Run(name, func(t *testing.T) {
+			idx, err := New(name, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx.InsertSorted(nil, nil) // empty batch is a no-op
+			n := 5000
+			keys := make([]bits.Key, n)
+			ids := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				keys[i] = bits.KeyFromUint64(uint64(i * 3))
+				ids[i] = uint64(i)
+			}
+			idx.InsertSorted(keys, ids)
+			if idx.Len() != n {
+				t.Fatalf("Len = %d, want %d", idx.Len(), n)
+			}
+			// Cold-built structures must stay efficiently searchable: probe
+			// every 97th key and a few misses.
+			for i := 0; i < n; i += 97 {
+				if id, ok := idx.FirstInRange(keys[i], keys[i]); !ok || id != ids[i] {
+					t.Fatalf("FirstInRange(key %d) = %d,%v", i, id, ok)
+				}
+			}
+			if _, ok := idx.FirstInRange(bits.KeyFromUint64(1), bits.KeyFromUint64(2)); ok {
+				t.Fatal("found an entry between the stride")
+			}
+		})
+	}
+}
+
 func TestVisitRangeOrderAndEarlyStop(t *testing.T) {
 	for name, idx := range implementations(t) {
 		t.Run(name, func(t *testing.T) {
@@ -209,7 +309,7 @@ func TestVisitRangeOrderAndEarlyStop(t *testing.T) {
 				inserted = append(inserted, refEntry{k, id})
 			}
 			sort.Slice(inserted, func(i, j int) bool {
-				return entryLess(inserted[i].key, inserted[i].id, inserted[j].key, inserted[j].id)
+				return EntryLess(inserted[i].key, inserted[i].id, inserted[j].key, inserted[j].id)
 			})
 			lo, hi := bits.KeyFromUint64(20), bits.KeyFromUint64(60)
 			var want []refEntry

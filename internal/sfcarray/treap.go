@@ -44,7 +44,7 @@ func (t *Treap) insert(n, nw *treapNode) *treapNode {
 	if n == nil {
 		return nw
 	}
-	if entryLess(nw.key, nw.id, n.key, n.id) {
+	if EntryLess(nw.key, nw.id, n.key, n.id) {
 		n.left = t.insert(n.left, nw)
 		if n.left.prio > n.prio {
 			n = rotateRight(n)
@@ -72,6 +72,76 @@ func rotateLeft(n *treapNode) *treapNode {
 	return r
 }
 
+// InsertSorted implements Index: the batch is assembled into a treap of
+// its own in O(len) time with the rightmost-spine construction (possible
+// only because the batch is sorted), then merged into the held treap with
+// a split-based union — O(m log(n/m)) when the batch occupies a key range
+// disjoint from most of the tree, which is the bulk-load and slice-
+// migration case.
+func (t *Treap) InsertSorted(keys []bits.Key, ids []uint64) {
+	t.root = unionTreap(t.root, t.buildSorted(keys, ids))
+	t.size += len(keys)
+}
+
+// buildSorted builds a treap from entries in ascending (key, id) order by
+// maintaining the rightmost spine as a stack of decreasing priorities:
+// each new node pops the spine's smaller-priority tail, adopts it as a
+// left subtree, and becomes the new spine tip. Every node is pushed and
+// popped at most once, so the build is O(len).
+func (t *Treap) buildSorted(keys []bits.Key, ids []uint64) *treapNode {
+	var spine []*treapNode
+	for i := range keys {
+		n := &treapNode{key: keys[i], id: ids[i], prio: t.rng.Uint64()}
+		var popped *treapNode
+		for len(spine) > 0 && spine[len(spine)-1].prio < n.prio {
+			popped = spine[len(spine)-1]
+			spine = spine[:len(spine)-1]
+		}
+		n.left = popped
+		if len(spine) > 0 {
+			spine[len(spine)-1].right = n
+		}
+		spine = append(spine, n)
+	}
+	if len(spine) == 0 {
+		return nil
+	}
+	return spine[0]
+}
+
+// splitTreap splits n into the entries sorting strictly before (k, id) and
+// the rest, preserving heap order in both halves.
+func splitTreap(n *treapNode, k bits.Key, id uint64) (l, r *treapNode) {
+	if n == nil {
+		return nil, nil
+	}
+	if EntryLess(n.key, n.id, k, id) {
+		n.right, r = splitTreap(n.right, k, id)
+		return n, r
+	}
+	l, n.left = splitTreap(n.left, k, id)
+	return l, n
+}
+
+// unionTreap merges two treaps over arbitrary (possibly interleaved) key
+// ranges: the higher-priority root wins, the other treap is split around
+// it, and the halves merge into its subtrees.
+func unionTreap(a, b *treapNode) *treapNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio < b.prio {
+		a, b = b, a
+	}
+	l, r := splitTreap(b, a.key, a.id)
+	a.left = unionTreap(a.left, l)
+	a.right = unionTreap(a.right, r)
+	return a
+}
+
 // Delete implements Index.
 func (t *Treap) Delete(k bits.Key, id uint64) bool {
 	var deleted bool
@@ -88,9 +158,9 @@ func (t *Treap) delete(n *treapNode, k bits.Key, id uint64) (*treapNode, bool) {
 	}
 	var deleted bool
 	switch {
-	case entryLess(k, id, n.key, n.id):
+	case EntryLess(k, id, n.key, n.id):
 		n.left, deleted = t.delete(n.left, k, id)
-	case entryLess(n.key, n.id, k, id):
+	case EntryLess(n.key, n.id, k, id):
 		n.right, deleted = t.delete(n.right, k, id)
 	default:
 		// Found: rotate down until a child slot frees up.

@@ -579,6 +579,22 @@ func (c *Client) Match(ctx context.Context, e subscription.Event) (matched bool,
 	return resp.Result.Covered, resp.Result.CoveredBy, nil
 }
 
+// Rebalance runs one bounded slice-rebalance pass on the daemon's shared
+// engine and reports the boundary moves, migrated entries and
+// before/after occupancy skew. Daemons whose engine has no movable
+// boundaries (hash partition, non-SFC strategies) answer with a
+// *ServerError carrying CodeUnsupported.
+func (c *Client) Rebalance(ctx context.Context) (RebalanceInfo, error) {
+	resp, err := c.do(ctx, &Request{Op: "rebalance"})
+	if err != nil {
+		return RebalanceInfo{}, err
+	}
+	if resp.Rebalance == nil {
+		return RebalanceInfo{}, errors.New("sfcd: response carries no rebalance outcome")
+	}
+	return *resp.Rebalance, nil
+}
+
 // Stats fetches the server's counter snapshot.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	resp, err := c.do(ctx, &Request{Op: "stats"})

@@ -24,6 +24,9 @@ var scalarMetrics = []metricDef{
 	{"sfcd_shard_size_max", "gauge", "Largest shard occupancy."},
 	{"sfcd_shard_size_min", "gauge", "Smallest shard occupancy."},
 	{"sfcd_shard_skew_ratio", "gauge", "Max/min shard occupancy ratio (min clamped to 1); 1.0 is balanced."},
+	{"sfcd_rebalances_total", "counter", "Rebalance passes that moved at least one slice boundary."},
+	{"sfcd_boundary_moves_total", "counter", "Slice boundary moves performed by the rebalancer."},
+	{"sfcd_migrated_entries_total", "counter", "Index entries migrated across slice boundaries."},
 }
 
 // RenderPrometheus renders a provider snapshot in the Prometheus text
@@ -43,6 +46,9 @@ func RenderPrometheus(ps core.ProviderStats) string {
 		float64(ps.MaxShardSize),
 		float64(ps.MinShardSize),
 		ps.SkewRatio,
+		float64(ps.Rebalances),
+		float64(ps.BoundaryMoves),
+		float64(ps.MigratedEntries),
 	}
 	for i, m := range scalarMetrics {
 		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",

@@ -25,7 +25,12 @@
 //
 // Operations: hello, ping, subscribe, subscribe_batch, insert,
 // unsubscribe, unsubscribe_batch, query, query_batch, covered, get,
-// match, stats, metrics, unlink.
+// match, stats, metrics, rebalance, unlink.
+//
+// "rebalance" runs one bounded slice-rebalance pass on the addressed
+// provider (engine curve-prefix plans only; other configurations answer
+// with code "unsupported") and reports the boundary moves, migrated
+// entries and before/after occupancy skew.
 //
 // "insert" stores a subscription without the pre-insert covering query
 // (the Provider.Insert path); "get" resolves a sid back to its stored
@@ -104,6 +109,23 @@ type Stats struct {
 	MaxShardSize int     `json:"maxShardSize"`
 	MinShardSize int     `json:"minShardSize"`
 	SkewRatio    float64 `json:"skewRatio"`
+	// Rebalances/BoundaryMoves/MigratedEntries count what the online
+	// rebalancer has done so far (always zero on providers without the
+	// capability).
+	Rebalances      int `json:"rebalances,omitempty"`
+	BoundaryMoves   int `json:"boundaryMoves,omitempty"`
+	MigratedEntries int `json:"migratedEntries,omitempty"`
+}
+
+// RebalanceInfo is the outcome of a rebalance operation.
+type RebalanceInfo struct {
+	// Moves is the number of boundary moves the pass performed; Migrated
+	// the number of index entries that crossed a boundary.
+	Moves    int `json:"moves"`
+	Migrated int `json:"migrated"`
+	// SkewBefore/SkewAfter bracket the pass with the occupancy skew ratio.
+	SkewBefore float64 `json:"skewBefore"`
+	SkewAfter  float64 `json:"skewAfter"`
 }
 
 // Error codes carried by error frames (Response.Code). The code
@@ -121,6 +143,10 @@ const (
 	// CodeOpFailed marks an operation the provider rejected (unknown sid,
 	// schema trouble, mode restrictions).
 	CodeOpFailed = "op_failed"
+	// CodeUnsupported marks an operation the addressed provider has no
+	// capability for (rebalance on a non-prefix or detector-backed
+	// namespace).
+	CodeUnsupported = "unsupported"
 )
 
 // Response is one protocol response line.
@@ -149,6 +175,8 @@ type Response struct {
 	Stats *Stats `json:"stats,omitempty"`
 	// Metrics is the Prometheus text exposition (metrics op).
 	Metrics string `json:"metrics,omitempty"`
+	// Rebalance is the rebalance operation's outcome.
+	Rebalance *RebalanceInfo `json:"rebalance,omitempty"`
 }
 
 // MaxLineBytes bounds one protocol line (a batch of ~64k subscriptions);

@@ -37,6 +37,8 @@ type RemoteProvider struct {
 
 var _ core.Provider = (*RemoteProvider)(nil)
 var _ core.BatchQuerier = (*RemoteProvider)(nil)
+var _ core.BatchWriter = (*RemoteProvider)(nil)
+var _ core.Rebalancer = (*RemoteProvider)(nil)
 
 // Provider returns a core.Provider over the given link namespace of the
 // daemon. The empty link is the daemon's shared engine; any other link
@@ -187,6 +189,97 @@ func (r *RemoteProvider) CoverQueryBatch(subs []*subscription.Subscription) []co
 	return out
 }
 
+// AddBatch implements core.BatchWriter: the whole arrival-path batch
+// (covering query + insert per item) rides one subscribe_batch request
+// line instead of one round trip per subscription — the churn-path
+// amortization the wire op existed for.
+func (r *RemoteProvider) AddBatch(subs []*subscription.Subscription) []core.AddResult {
+	out := make([]core.AddResult, len(subs))
+	payloads := make([]string, len(subs))
+	for i, s := range subs {
+		p, err := r.payload(s)
+		if err != nil {
+			// Per-item validation failures poison only their own slot.
+			out[i].Err = err
+			continue
+		}
+		payloads[i] = p
+	}
+	resp, err := r.c.do(r.ctx, &Request{Op: "subscribe_batch", Link: r.link, Payloads: payloads})
+	if err == nil && len(resp.Results) != len(subs) {
+		err = fmt.Errorf("sfcd: %d results for %d subscriptions", len(resp.Results), len(subs))
+	}
+	if err != nil {
+		for i := range out {
+			if out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+		return out
+	}
+	for i, res := range resp.Results {
+		if out[i].Err != nil {
+			continue
+		}
+		if res.Error != "" {
+			out[i].Err = &ServerError{Code: CodeOpFailed, Msg: res.Error}
+			continue
+		}
+		out[i] = core.AddResult{ID: res.SID, QueryResult: core.QueryResult{Covered: res.Covered, CoveredBy: res.CoveredBy}}
+	}
+	return out
+}
+
+// RemoveBatch implements core.BatchWriter over one unsubscribe_batch
+// round trip. The returned slice aligns with ids; entries are nil on
+// success.
+func (r *RemoteProvider) RemoveBatch(ids []uint64) []error {
+	out := make([]error, len(ids))
+	fail := func(err error) []error {
+		for i := range out {
+			out[i] = err
+		}
+		return out
+	}
+	resp, err := r.c.do(r.ctx, &Request{Op: "unsubscribe_batch", Link: r.link, SIDs: ids})
+	if err != nil {
+		return fail(err)
+	}
+	if len(resp.Results) != len(ids) {
+		return fail(fmt.Errorf("sfcd: %d results for %d ids", len(resp.Results), len(ids)))
+	}
+	for i, res := range resp.Results {
+		if res.Error != "" {
+			out[i] = &ServerError{Code: CodeOpFailed, Msg: res.Error}
+		}
+	}
+	return out
+}
+
+// Rebalance implements core.Rebalancer by forwarding to the daemon: the
+// addressed namespace rebalances server-side and reports the pass.
+// Namespaces without the capability surface core.ErrRebalanceUnsupported,
+// exactly like a local provider would.
+func (r *RemoteProvider) Rebalance() (core.RebalanceResult, error) {
+	resp, err := r.c.do(r.ctx, &Request{Op: "rebalance", Link: r.link})
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) && se.Code == CodeUnsupported {
+			return core.RebalanceResult{}, fmt.Errorf("%w: %s", core.ErrRebalanceUnsupported, se.Msg)
+		}
+		return core.RebalanceResult{}, err
+	}
+	if resp.Rebalance == nil {
+		return core.RebalanceResult{}, errors.New("sfcd: response carries no rebalance outcome")
+	}
+	return core.RebalanceResult{
+		Moves:      resp.Rebalance.Moves,
+		Migrated:   resp.Rebalance.Migrated,
+		SkewBefore: resp.Rebalance.SkewBefore,
+		SkewAfter:  resp.Rebalance.SkewAfter,
+	}, nil
+}
+
 // Subscription resolves an id to its held subscription. The Provider
 // signature has no error channel, so connection trouble reads as
 // not-found here and errors on the next operation that can report it.
@@ -220,11 +313,14 @@ func (r *RemoteProvider) Stats() core.ProviderStats {
 		return core.ProviderStats{}
 	}
 	ps := core.ProviderStats{
-		Queries:        ws.Queries,
-		Hits:           ws.Hits,
-		RunsProbed:     ws.RunsProbed,
-		CubesGenerated: ws.CubesGenerated,
-		ShardSearches:  ws.ShardSearches,
+		Queries:         ws.Queries,
+		Hits:            ws.Hits,
+		RunsProbed:      ws.RunsProbed,
+		CubesGenerated:  ws.CubesGenerated,
+		ShardSearches:   ws.ShardSearches,
+		Rebalances:      ws.Rebalances,
+		BoundaryMoves:   ws.BoundaryMoves,
+		MigratedEntries: ws.MigratedEntries,
 	}
 	ps.SetShardSizes(ws.ShardSizes)
 	return ps

@@ -503,16 +503,37 @@ func (s *Server) serve(req Request) *Response {
 	case "stats":
 		ps := prov.Stats()
 		return &Response{OK: true, Stats: &Stats{
-			Queries:        ps.Queries,
-			Hits:           ps.Hits,
-			RunsProbed:     ps.RunsProbed,
-			CubesGenerated: ps.CubesGenerated,
-			ShardSearches:  ps.ShardSearches,
-			Subscriptions:  ps.Subscriptions,
-			ShardSizes:     ps.ShardSizes,
-			MaxShardSize:   ps.MaxShardSize,
-			MinShardSize:   ps.MinShardSize,
-			SkewRatio:      ps.SkewRatio,
+			Queries:         ps.Queries,
+			Hits:            ps.Hits,
+			RunsProbed:      ps.RunsProbed,
+			CubesGenerated:  ps.CubesGenerated,
+			ShardSearches:   ps.ShardSearches,
+			Subscriptions:   ps.Subscriptions,
+			ShardSizes:      ps.ShardSizes,
+			MaxShardSize:    ps.MaxShardSize,
+			MinShardSize:    ps.MinShardSize,
+			SkewRatio:       ps.SkewRatio,
+			Rebalances:      ps.Rebalances,
+			BoundaryMoves:   ps.BoundaryMoves,
+			MigratedEntries: ps.MigratedEntries,
+		}}
+	case "rebalance":
+		rb, ok := prov.(core.Rebalancer)
+		if !ok {
+			return &Response{OK: false, Code: CodeUnsupported, Error: "provider does not support rebalancing"}
+		}
+		res, err := rb.Rebalance()
+		if err != nil {
+			if errors.Is(err, core.ErrRebalanceUnsupported) {
+				return &Response{OK: false, Code: CodeUnsupported, Error: err.Error()}
+			}
+			return errResponse(err)
+		}
+		return &Response{OK: true, Rebalance: &RebalanceInfo{
+			Moves:      res.Moves,
+			Migrated:   res.Migrated,
+			SkewBefore: res.SkewBefore,
+			SkewAfter:  res.SkewAfter,
 		}}
 	case "metrics":
 		return &Response{OK: true, Metrics: RenderPrometheus(prov.Stats())}
@@ -522,55 +543,34 @@ func (s *Server) serve(req Request) *Response {
 }
 
 // addBatch runs the arrival path for a decoded batch against any
-// provider: the engine's AddBatch when available (parallel queries,
-// shard-grouped bulk insert), a sequential loop otherwise. Results align
-// with the request payloads; decode failures occupy their slots.
+// provider, through the core.BatchWriter capability when the provider has
+// one (the engine's parallel queries and shard-grouped bulk insert) and
+// one Add at a time otherwise. Results align with the request payloads;
+// decode failures occupy their slots.
 func (s *Server) addBatch(prov core.Provider, subs []*subscription.Subscription, errs []error) []Result {
 	results := make([]Result, len(subs))
-	if eng, ok := prov.(*engine.Engine); ok {
-		added := eng.AddBatch(compact(subs))
-		j := 0
-		for i := range subs {
-			switch {
-			case errs[i] != nil:
-				results[i] = Result{Error: errs[i].Error()}
-			case added[j].Err != nil:
-				results[i] = Result{Error: added[j].Err.Error()}
-				j++
-			default:
-				r := added[j]
-				results[i] = Result{SID: r.ID, Covered: r.Covered, CoveredBy: r.CoveredBy}
-				j++
-			}
-		}
-		return results
-	}
+	added := core.AddAll(prov, compact(subs))
+	j := 0
 	for i := range subs {
-		if errs[i] != nil {
+		switch {
+		case errs[i] != nil:
 			results[i] = Result{Error: errs[i].Error()}
-			continue
+		case added[j].Err != nil:
+			results[i] = Result{Error: added[j].Err.Error()}
+			j++
+		default:
+			r := added[j]
+			results[i] = Result{SID: r.ID, Covered: r.Covered, CoveredBy: r.CoveredBy}
+			j++
 		}
-		sid, covered, coveredBy, err := prov.Add(subs[i])
-		if err != nil {
-			results[i] = Result{Error: err.Error()}
-			continue
-		}
-		results[i] = Result{SID: sid, Covered: covered, CoveredBy: coveredBy}
 	}
 	return results
 }
 
-// removeBatch deletes a batch of ids through the engine's parallel path
-// when available, one at a time otherwise.
+// removeBatch deletes a batch of ids through the provider's batch
+// capability when available, one at a time otherwise.
 func removeBatch(prov core.Provider, sids []uint64) []error {
-	if eng, ok := prov.(*engine.Engine); ok {
-		return eng.RemoveBatch(sids)
-	}
-	errs := make([]error, len(sids))
-	for i, sid := range sids {
-		errs[i] = prov.Remove(sid)
-	}
-	return errs
+	return core.RemoveAll(prov, sids)
 }
 
 func errResponse(err error) *Response {

@@ -20,7 +20,7 @@ type SubDist string
 
 func (d SubDist) validate() error {
 	switch d {
-	case DistUniform, DistZipf, DistClustered:
+	case DistUniform, DistZipf, DistClustered, DistHotspot:
 		return nil
 	default:
 		return fmt.Errorf("workload: unknown distribution %q", d)
@@ -36,6 +36,13 @@ const (
 	// DistClustered draws range centers from a few Gaussian clusters,
 	// modelling interest communities.
 	DistClustered SubDist = "clustered"
+	// DistHotspot drops a HotspotFrac share of the range centers into one
+	// tiny box and spreads the rest uniformly — the adversarial clustering
+	// for curve-prefix partitions: the box maps to one short stretch of
+	// the space filling curve, so one key slice absorbs almost the whole
+	// population (exactly the locality SFCs are chosen to preserve; cf.
+	// the Onion Curve's clustering analysis).
+	DistHotspot SubDist = "hotspot"
 )
 
 // SubSpec parameterizes a subscription population.
@@ -58,6 +65,12 @@ type SubSpec struct {
 	// Clusters is the number of Gaussian clusters for DistClustered
 	// (default 5).
 	Clusters int
+	// HotspotFrac is the share of subscriptions drawn inside the hotspot
+	// box for DistHotspot (default 0.9).
+	HotspotFrac float64
+	// HotspotWidthFrac is the hotspot box's side length as a fraction of
+	// the domain for DistHotspot (default 0.05).
+	HotspotWidthFrac float64
 }
 
 // Subscriptions generates a population per the spec.
@@ -83,6 +96,18 @@ func Subscriptions(spec SubSpec) ([]*subscription.Subscription, error) {
 	if spec.Clusters <= 0 {
 		spec.Clusters = 5
 	}
+	if spec.HotspotFrac == 0 {
+		spec.HotspotFrac = 0.9
+	}
+	if spec.HotspotFrac < 0 || spec.HotspotFrac > 1 {
+		return nil, fmt.Errorf("workload: hotspot fraction %v out of [0,1]", spec.HotspotFrac)
+	}
+	if spec.HotspotWidthFrac == 0 {
+		spec.HotspotWidthFrac = 0.05
+	}
+	if spec.HotspotWidthFrac < 0 || spec.HotspotWidthFrac > 1 {
+		return nil, fmt.Errorf("workload: hotspot width fraction %v out of (0,1]", spec.HotspotWidthFrac)
+	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	domain := float64(spec.Schema.MaxValue()) + 1
 
@@ -101,6 +126,13 @@ func Subscriptions(spec SubSpec) ([]*subscription.Subscription, error) {
 			centers[i] = c
 		}
 	}
+	var hotBase []float64
+	if spec.Dist == DistHotspot {
+		hotBase = make([]float64, spec.Schema.NumAttrs())
+		for j := range hotBase {
+			hotBase[j] = rng.Float64() * domain * (1 - spec.HotspotWidthFrac)
+		}
+	}
 
 	out := make([]*subscription.Subscription, 0, spec.N)
 	for i := 0; i < spec.N; i++ {
@@ -109,6 +141,7 @@ func Subscriptions(spec SubSpec) ([]*subscription.Subscription, error) {
 		if centers != nil {
 			cluster = centers[rng.Intn(len(centers))]
 		}
+		inHot := hotBase != nil && rng.Float64() < spec.HotspotFrac
 		for a, attr := range spec.Schema.Attrs() {
 			if rng.Float64() < spec.UnconstrainedProb {
 				continue
@@ -119,6 +152,12 @@ func Subscriptions(spec SubSpec) ([]*subscription.Subscription, error) {
 				center = float64(zipf.Uint64())
 			case DistClustered:
 				center = cluster[a] + rng.NormFloat64()*domain/12
+			case DistHotspot:
+				if inHot {
+					center = hotBase[a] + rng.Float64()*spec.HotspotWidthFrac*domain
+				} else {
+					center = rng.Float64() * domain
+				}
 			default:
 				center = rng.Float64() * domain
 			}

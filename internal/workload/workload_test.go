@@ -31,7 +31,7 @@ func TestSubscriptionsValidation(t *testing.T) {
 
 func TestSubscriptionsDeterministicAndInDomain(t *testing.T) {
 	schema := testSchema()
-	for _, dist := range []SubDist{DistUniform, DistZipf, DistClustered} {
+	for _, dist := range []SubDist{DistUniform, DistZipf, DistClustered, DistHotspot} {
 		spec := SubSpec{Schema: schema, N: 200, Dist: dist, Seed: 42, UnconstrainedProb: 0.2}
 		a, err := Subscriptions(spec)
 		if err != nil {
@@ -89,6 +89,55 @@ func TestZipfSkewsLow(t *testing.T) {
 	}
 	if frac := float64(lowCenters) / float64(len(subs)); frac < 0.6 {
 		t.Fatalf("zipf should concentrate low: only %.2f below first quartile", frac)
+	}
+}
+
+func TestHotspotConcentrates(t *testing.T) {
+	schema := testSchema()
+	spec := SubSpec{
+		Schema: schema, N: 600, Dist: DistHotspot, Seed: 9,
+		WidthFrac: 0.02, HotspotFrac: 0.8, HotspotWidthFrac: 0.05,
+	}
+	subs, err := Subscriptions(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least ~HotspotFrac of the centers must land in one box 1/8 of
+	// the domain wide on every attribute (the box plus range-width slop).
+	domain := float64(schema.MaxValue()) + 1
+	centers := make([][]float64, len(subs))
+	for i, s := range subs {
+		c := make([]float64, schema.NumAttrs())
+		for j := range c {
+			r := s.Range(j)
+			c[j] = (float64(r.Lo) + float64(r.Hi)) / 2
+		}
+		centers[i] = c
+	}
+	inBox := 0
+	for _, probe := range centers {
+		n := 0
+		for _, c := range centers {
+			ok := true
+			for j := range c {
+				if c[j] < probe[j]-domain/16 || c[j] > probe[j]+domain/16 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				n++
+			}
+		}
+		if n > inBox {
+			inBox = n
+		}
+	}
+	if frac := float64(inBox) / float64(len(subs)); frac < 0.7 {
+		t.Fatalf("hotspot should concentrate: densest box holds only %.2f of the population", frac)
+	}
+	if _, err := Subscriptions(SubSpec{Schema: schema, N: 1, Dist: DistHotspot, HotspotFrac: 2}); err == nil {
+		t.Error("hotspot fraction > 1 must fail")
 	}
 }
 
