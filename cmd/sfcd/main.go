@@ -6,7 +6,14 @@
 // Usage:
 //
 //	sfcd -addr :7421 -attrs volume,price -bits 10 \
-//	     -mode approx -epsilon 0.3 -shards 8 -partition prefix
+//	     -mode approx -epsilon 0.3 -shards 8 -partition prefix \
+//	     -data-dir /var/lib/sfcd -snapshot-interval 5m
+//
+// With -data-dir the daemon's subscription state (the shared engine and
+// every link namespace) is durable: adds and removes ride a write-ahead
+// log, -snapshot-interval compacts it periodically, and a restarted
+// daemon recovers its full pre-crash state before accepting the first
+// connection.
 //
 // A quick session with netcat:
 //
@@ -17,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -27,6 +35,7 @@ import (
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
+	"sfccover/internal/persist"
 	"sfccover/internal/sfcd"
 	"sfccover/internal/subscription"
 )
@@ -96,78 +105,162 @@ func buildConfig(o options) (engine.Config, error) {
 	}, nil
 }
 
-// metricsHandler serves the engine counters in the Prometheus text
-// exposition format — the same rendering as the protocol's "metrics" op,
-// on a scrape-friendly HTTP endpoint.
-func metricsHandler(eng *engine.Engine) http.Handler {
+// metricsHandler serves the shared provider's counters in the Prometheus
+// text exposition format — the same rendering as the protocol's
+// "metrics" op, on a scrape-friendly HTTP endpoint. The provider (not
+// the bare engine) is what carries the durability counters on a
+// persistent daemon.
+func metricsHandler(p core.Provider) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		fmt.Fprint(w, sfcd.RenderPrometheus(eng.Stats()))
+		fmt.Fprint(w, sfcd.RenderPrometheus(p.Stats()))
 	})
 }
 
-func main() {
-	var (
-		addr        = flag.String("addr", ":7421", "TCP listen address")
-		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for Prometheus /metrics (empty = disabled)")
-		maxConns    = flag.Int("max-conns", 0, "max concurrently open client connections (0 = unlimited); excess dials get a clean conn_limit error frame")
-		readTimeout = flag.Duration("read-timeout", 0, "per-request read timeout; idle/stalled connections past it are reaped (0 = none)")
-		o           options
-	)
-	flag.StringVar(&o.attrs, "attrs", "volume,price", "comma-separated attribute names")
-	flag.IntVar(&o.bits, "bits", 10, "per-attribute resolution in bits (1..16)")
-	flag.StringVar(&o.mode, "mode", "approx", "detection mode: off, exact or approx")
-	flag.Float64Var(&o.epsilon, "epsilon", 0.3, "approximation parameter (0 < eps < 1, approx mode)")
-	flag.StringVar(&o.strategy, "strategy", "sfc", "search backend: sfc, linear or kdtree")
-	flag.StringVar(&o.curve, "curve", "", "space filling curve: z (default), hilbert or gray")
-	flag.StringVar(&o.array, "array", "", "ordered structure: treap (default) or skiplist")
-	flag.IntVar(&o.maxCubes, "maxcubes", daemonMaxCubes, "per-query probe budget (-1 = unlimited)")
-	flag.IntVar(&o.shards, "shards", 0, "shard count (0 = default)")
-	flag.StringVar(&o.partition, "partition", "prefix", "partition strategy: prefix (shared-decomposition plan) or hash")
-	flag.IntVar(&o.workers, "workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
-	flag.Int64Var(&o.seed, "seed", 1, "index randomization seed")
-	flag.BoolVar(&o.trackCovered, "track-covered", false,
-		"maintain the mirrored index that serves the \"covered\" op in approx mode (exact mode serves it regardless)")
-	flag.Float64Var(&o.rebalanceThresh, "rebalance-threshold", 0,
-		"occupancy skew ratio arming the online slice rebalancer (must exceed 1; 0 = background rebalancing off; prefix partition only)")
-	flag.DurationVar(&o.rebalanceInterval, "rebalance-interval", 0,
-		"background rebalancer poll period (0 = engine default)")
-	flag.IntVar(&o.rebalanceMaxMoves, "rebalance-max-moves", 0,
-		"boundary moves allowed per rebalance pass, the migration-rate cap (0 = 2x shards)")
-	flag.Parse()
+// serveOptions carries the daemon-level (non-engine) flags.
+type serveOptions struct {
+	addr             string
+	metricsAddr      string
+	maxConns         int
+	readTimeout      time.Duration
+	dataDir          string
+	snapshotInterval time.Duration
+	walSync          bool
+}
 
+// validateServeOptions refuses nonsensical flag combinations with a
+// usage error before any resource is touched.
+func validateServeOptions(so serveOptions) error {
+	if so.maxConns < 0 {
+		return fmt.Errorf("-max-conns %d is negative (0 means unlimited)", so.maxConns)
+	}
+	if so.readTimeout < 0 {
+		return fmt.Errorf("-read-timeout %v is negative (0 means none)", so.readTimeout)
+	}
+	if so.snapshotInterval < 0 {
+		return fmt.Errorf("-snapshot-interval %v is negative (0 means no periodic snapshots)", so.snapshotInterval)
+	}
+	if so.dataDir == "" {
+		if so.snapshotInterval > 0 {
+			return fmt.Errorf("-snapshot-interval needs -data-dir (there is no durable state to snapshot)")
+		}
+		if so.walSync {
+			return fmt.Errorf("-wal-sync needs -data-dir (there is no write-ahead log to sync)")
+		}
+	}
+	return nil
+}
+
+// run is main minus the process: flags parse from args, diagnostics go to
+// stderr, and the exit code is returned instead of os.Exit'd, so tests
+// can drive every flag-validation path. Exit code 2 marks a usage error,
+// 1 a runtime failure.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfcd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var so serveOptions
+	var o options
+	fs.StringVar(&so.addr, "addr", ":7421", "TCP listen address")
+	fs.StringVar(&so.metricsAddr, "metrics-addr", "", "HTTP listen address for Prometheus /metrics (empty = disabled)")
+	fs.IntVar(&so.maxConns, "max-conns", 0, "max concurrently open client connections (0 = unlimited); excess dials get a clean conn_limit error frame")
+	fs.DurationVar(&so.readTimeout, "read-timeout", 0, "per-request read timeout; idle/stalled connections past it are reaped (0 = none)")
+	fs.StringVar(&so.dataDir, "data-dir", "", "directory for durable subscription state: WAL + snapshots; recovery runs at boot (empty = in-memory only)")
+	fs.DurationVar(&so.snapshotInterval, "snapshot-interval", 0, "period between automatic snapshots compacting the WAL (0 = only on shutdown; needs -data-dir)")
+	fs.BoolVar(&so.walSync, "wal-sync", false, "fsync the WAL after every append (bounds loss on power failure at a throughput cost; needs -data-dir)")
+	fs.StringVar(&o.attrs, "attrs", "volume,price", "comma-separated attribute names")
+	fs.IntVar(&o.bits, "bits", 10, "per-attribute resolution in bits (1..16)")
+	fs.StringVar(&o.mode, "mode", "approx", "detection mode: off, exact or approx")
+	fs.Float64Var(&o.epsilon, "epsilon", 0.3, "approximation parameter (0 < eps < 1, approx mode)")
+	fs.StringVar(&o.strategy, "strategy", "sfc", "search backend: sfc, linear or kdtree")
+	fs.StringVar(&o.curve, "curve", "", "space filling curve: z (default), hilbert or gray")
+	fs.StringVar(&o.array, "array", "", "ordered structure: treap (default) or skiplist")
+	fs.IntVar(&o.maxCubes, "maxcubes", daemonMaxCubes, "per-query probe budget (-1 = unlimited)")
+	fs.IntVar(&o.shards, "shards", 0, "shard count (0 = default)")
+	fs.StringVar(&o.partition, "partition", "prefix", "partition strategy: prefix (shared-decomposition plan) or hash")
+	fs.IntVar(&o.workers, "workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	fs.Int64Var(&o.seed, "seed", 1, "index randomization seed")
+	fs.BoolVar(&o.trackCovered, "track-covered", false,
+		"maintain the mirrored index that serves the \"covered\" op in approx mode (exact mode serves it regardless)")
+	fs.Float64Var(&o.rebalanceThresh, "rebalance-threshold", 0,
+		"occupancy skew ratio arming the online slice rebalancer (must exceed 1; 0 = background rebalancing off; prefix partition only)")
+	fs.DurationVar(&o.rebalanceInterval, "rebalance-interval", 0,
+		"background rebalancer poll period (0 = engine default)")
+	fs.IntVar(&o.rebalanceMaxMoves, "rebalance-max-moves", 0,
+		"boundary moves allowed per rebalance pass, the migration-rate cap (0 = 2x shards)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if err := validateServeOptions(so); err != nil {
+		fmt.Fprintf(stderr, "sfcd: %v\n", err)
+		return 2
+	}
 	cfg, err := buildConfig(o)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sfcd: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sfcd: %v\n", err)
+		return 2
 	}
 	eng, err := engine.New(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sfcd: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sfcd: %v\n", err)
+		return 2
 	}
 	defer eng.Close()
 
-	srv := sfcd.NewServerWith(eng, sfcd.ServerConfig{
-		MaxConns:    *maxConns,
-		ReadTimeout: *readTimeout,
-	})
-	bound, err := srv.Listen(*addr)
+	scfg := sfcd.ServerConfig{MaxConns: so.maxConns, ReadTimeout: so.readTimeout}
+	var srv *sfcd.Server
+	var store *persist.Store
+	if so.dataDir != "" {
+		store, err = persist.Open(so.dataDir, cfg.Detector.Schema, persist.Options{Sync: so.walSync})
+		if err != nil {
+			fmt.Fprintf(stderr, "sfcd: %v\n", err)
+			return 1
+		}
+		defer store.Close()
+		srv, err = sfcd.NewPersistentServer(eng, store, scfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "sfcd: %v\n", err)
+			return 1
+		}
+		ss := store.Stats()
+		log.Printf("sfcd: recovered %d subscriptions across %d link namespaces from %s", ss.Entries, ss.Links, so.dataDir)
+	} else {
+		srv = sfcd.NewServerWith(eng, scfg)
+	}
+	bound, err := srv.Listen(so.addr)
 	if err != nil {
 		// The server's errors already carry the "sfcd:" prefix.
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	log.Printf("sfcd: serving %d-bit schema %s on %s (%d shards, %s partition, %s mode)",
 		o.bits, o.attrs, bound, eng.NumShards(), eng.PartitionStrategy(), eng.Mode())
 
-	if *metricsAddr != "" {
+	if so.metricsAddr != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", metricsHandler(eng))
+		mux.Handle("/metrics", metricsHandler(srv.SharedProvider()))
 		go func() {
-			log.Printf("sfcd: metrics on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			log.Printf("sfcd: metrics on http://%s/metrics", so.metricsAddr)
+			if err := http.ListenAndServe(so.metricsAddr, mux); err != nil {
 				log.Printf("sfcd: metrics server: %v", err)
+			}
+		}()
+	}
+
+	stopSnapshots := make(chan struct{})
+	if store != nil && so.snapshotInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(so.snapshotInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopSnapshots:
+					return
+				case <-ticker.C:
+					if err := store.Snapshot(); err != nil {
+						log.Printf("sfcd: periodic snapshot: %v", err)
+					}
+				}
 			}
 		}()
 	}
@@ -176,5 +269,18 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Printf("sfcd: shutting down")
+	close(stopSnapshots)
 	srv.Close()
+	if store != nil {
+		// A final snapshot makes the next boot a pure snapshot load
+		// instead of a WAL replay.
+		if err := store.Snapshot(); err != nil {
+			log.Printf("sfcd: shutdown snapshot: %v", err)
+		}
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
 }

@@ -10,6 +10,7 @@ import (
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
+	"sfccover/internal/persist"
 	"sfccover/internal/sfcd"
 	"sfccover/internal/subscription"
 )
@@ -146,5 +147,117 @@ func TestDaemonRoundTrip(t *testing.T) {
 	}
 	if err := c.Unsubscribe(ctx, sid); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsBadFlagCombinations is the exit-code battery for flag
+// validation: every nonsensical combination must exit 2 (usage error)
+// with a diagnosis on stderr, before any socket or data dir is touched.
+func TestRunRejectsBadFlagCombinations(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"snapshot-interval-without-data-dir", []string{"-snapshot-interval", "5m"}},
+		{"wal-sync-without-data-dir", []string{"-wal-sync"}},
+		{"negative-max-conns", []string{"-max-conns", "-1"}},
+		{"negative-read-timeout", []string{"-read-timeout", "-2s"}},
+		{"negative-snapshot-interval", []string{"-data-dir", t.TempDir(), "-snapshot-interval", "-1s"}},
+		{"bad-bits", []string{"-bits", "99"}},
+		{"bad-mode", []string{"-mode", "psychic"}},
+		{"bad-epsilon", []string{"-epsilon", "1.5"}},
+		{"unknown-flag", []string{"-no-such-flag"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr strings.Builder
+			if code := run(tc.args, &stderr); code != 2 {
+				t.Fatalf("run(%v) = exit %d, want 2; stderr:\n%s", tc.args, code, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Fatal("usage error must explain itself on stderr")
+			}
+		})
+	}
+}
+
+// TestRunListenFailureExitsOne pins the runtime-failure exit code: a
+// valid configuration that cannot bind its address is 1, not 2.
+func TestRunListenFailureExitsOne(t *testing.T) {
+	var stderr strings.Builder
+	if code := run([]string{"-addr", "256.256.256.256:1"}, &stderr); code != 1 {
+		t.Fatalf("run with an unbindable address = exit %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+}
+
+// TestPersistentServerRoundTrip builds the persistent daemon exactly as
+// run does — store, recovery, final-snapshot shutdown — and verifies a
+// subscription survives a full stop/start cycle.
+func TestPersistentServerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	schema := subscription.MustSchema(10, "volume", "price")
+	sub := subscription.MustParse(schema, "volume in [0,1000] && price in [0,1000]")
+
+	boot := func() (*engine.Engine, *persist.Store, *sfcd.Server, *sfcd.Client) {
+		cfg, err := buildConfig(defaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := engine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := persist.Open(dir, cfg.Detector.Schema, persist.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := sfcd.NewPersistentServer(eng, store, sfcd.ServerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := sfcd.Dial(addr.String(), schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, store, srv, c
+	}
+
+	eng, store, srv, c := boot()
+	sid, _, _, err := c.Subscribe(ctx, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	srv.Close()
+	eng.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, store, srv, c = boot()
+	defer func() {
+		c.Close()
+		srv.Close()
+		eng.Close()
+		store.Close()
+	}()
+	got, err := c.Subscription(ctx, sid)
+	if err != nil || !got.Equal(sub) {
+		t.Fatalf("recovered Subscription(%d) = (%v, %v), want the pre-restart subscription", sid, got, err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Subscriptions != 1 {
+		t.Fatalf("recovered daemon holds %d subscriptions, want 1", st.Subscriptions)
 	}
 }

@@ -295,3 +295,56 @@ func TestRemoteDaemonFacade(t *testing.T) {
 		t.Fatalf("protocol errors: %d", m.ProtocolErrors)
 	}
 }
+
+// TestDurableProviderFacade exercises the persistence exports end to end:
+// open a store, wrap a detector, write, snapshot, restart, recover.
+func TestDurableProviderFacade(t *testing.T) {
+	schema := sfccover.MustSchema(8, "x", "y")
+	dir := t.TempDir()
+
+	store, err := sfccover.OpenPersistStore(dir, schema, sfccover.PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sfccover.NewDetector(sfccover.DetectorConfig{Schema: schema, Mode: sfccover.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.Durable("", det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p sfccover.Provider = d
+	sub := sfccover.MustParseSubscription(schema, "x >= 3 && y >= 5")
+	sid, err := p.Insert(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps sfccover.Persister = d
+	if err := ps.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := sfccover.OpenPersistStore(dir, schema, sfccover.PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	det2, err := sfccover.NewDetector(sfccover.DetectorConfig{Schema: schema, Mode: sfccover.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := store2.Durable("", det2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, ok := r.Subscription(sid)
+	if !ok || !got.Equal(sub) {
+		t.Fatalf("recovered Subscription(%d) does not round-trip", sid)
+	}
+}

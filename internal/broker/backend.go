@@ -6,6 +6,7 @@ import (
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
+	"sfccover/internal/persist"
 	"sfccover/internal/sfcd"
 )
 
@@ -44,23 +45,37 @@ const brokerEngineWorkers = 2
 const suppSeedOffset = int64(1) << 32
 
 // providerSource builds the per-link providers of one network. For the
-// in-process backends it is stateless; for BackendRemote it owns the
-// single pipelined daemon connection that every link's provider
-// multiplexes over.
+// in-process backends it is stateless unless Config.DataDir makes the
+// links durable, in which case it owns the persist.Store every link logs
+// to; for BackendRemote it owns the single pipelined daemon connection
+// that every link's provider multiplexes over.
 type providerSource struct {
 	cfg    Config
-	client *sfcd.Client // non-nil iff cfg.Backend == BackendRemote
+	client *sfcd.Client   // non-nil iff cfg.Backend == BackendRemote
+	store  *persist.Store // non-nil iff cfg.DataDir is set
 }
 
 // newProviderSource validates the backend choice and, for BackendRemote,
-// dials the shared daemon.
+// dials the shared daemon; Config.DataDir opens (and recovers) the
+// durable store behind the in-process backends.
 func newProviderSource(cfg Config) (*providerSource, error) {
 	switch cfg.Backend {
 	case "", BackendDetector, BackendEngineHash, BackendEnginePrefix:
-		return &providerSource{cfg: cfg}, nil
+		ps := &providerSource{cfg: cfg}
+		if cfg.DataDir != "" {
+			store, err := persist.Open(cfg.DataDir, cfg.Schema, persist.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("broker: opening data dir: %w", err)
+			}
+			ps.store = store
+		}
+		return ps, nil
 	case BackendRemote:
 		if cfg.DaemonAddr == "" {
 			return nil, fmt.Errorf("broker: backend %q needs Config.DaemonAddr", cfg.Backend)
+		}
+		if cfg.DataDir != "" {
+			return nil, fmt.Errorf("broker: backend %q persists on the daemon (-data-dir there), not through Config.DataDir", cfg.Backend)
 		}
 		client, err := sfcd.DialContext(context.Background(), sfcd.DialConfig{
 			Addr:           cfg.DaemonAddr,
@@ -76,13 +91,31 @@ func newProviderSource(cfg Config) (*providerSource, error) {
 	}
 }
 
-// Close releases the shared daemon connection, if any. Per-link providers
-// are closed by their owners first (remote ones unlink their namespaces
-// over this connection).
+// Close releases the shared daemon connection and the durable store, if
+// any. Per-link providers are closed by their owners first (remote ones
+// unlink their namespaces over this connection; durable ones release
+// their store links).
 func (ps *providerSource) Close() {
 	if ps.client != nil {
-		ps.client.Close()
+		ps.client.Close() //nolint:errcheck // single Close per source
 	}
+	if ps.store != nil {
+		ps.store.Close() //nolint:errcheck // single Close per source
+	}
+}
+
+// durable wraps a freshly built link provider with logging and recovery
+// under the given store link name; without a store it is the identity.
+func (ps *providerSource) durable(link string, p core.Provider, err error) (core.Provider, error) {
+	if err != nil || ps.store == nil {
+		return p, err
+	}
+	d, err := ps.store.Durable(link, p)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return d, nil
 }
 
 // forwarded builds the forwarded-set provider for the link broker->neighbor.
@@ -101,15 +134,17 @@ func (ps *providerSource) forwarded(brokerID, neighborID int, seed int64) (core.
 		MaxCubes: cfg.MaxCubes,
 		Seed:     seed,
 	}
+	link := fmt.Sprintf("fwd-b%d-n%d", brokerID, neighborID)
 	switch cfg.Backend {
 	case "", BackendDetector:
-		return core.New(dc)
+		p, err := core.New(dc)
+		return ps.durable(link, p, err)
 	default: // BackendEngineHash, BackendEnginePrefix (validated in newProviderSource)
 		part := engine.PartitionHash
 		if cfg.Backend == BackendEnginePrefix {
 			part = engine.PartitionPrefix
 		}
-		return engine.New(engine.Config{
+		p, err := engine.New(engine.Config{
 			Detector:           dc,
 			Shards:             cfg.Shards,
 			Partition:          part,
@@ -117,24 +152,29 @@ func (ps *providerSource) forwarded(brokerID, neighborID int, seed int64) (core.
 			RebalanceThreshold: cfg.RebalanceThreshold,
 			RebalanceInterval:  cfg.RebalanceInterval,
 		})
+		return ps.durable(link, p, err)
 	}
 }
 
-// suppressed builds the suppressed-set provider for one link: always a
-// local, single, exact-mode Detector, regardless of Config.Backend — even
-// BackendRemote. The covered set computed at unsubscription time must be
-// exact — a missed member would never be re-forwarded and events would be
-// lost, unlike covering misses, which only cost redundant traffic. Exact
-// FindCovered (and the one-scan DrainCovered the unsubscription path
-// prefers) is a plain scan, so an engine's worker pool, a sharded index,
-// or a network round trip would only add cost for identical answers.
-func (ps *providerSource) suppressed(seed int64) (core.Provider, error) {
+// suppressed builds the suppressed-set provider for the link
+// broker->neighbor: always a local, single, exact-mode Detector,
+// regardless of Config.Backend — even BackendRemote. The covered set
+// computed at unsubscription time must be exact — a missed member would
+// never be re-forwarded and events would be lost, unlike covering misses,
+// which only cost redundant traffic. Exact FindCovered (and the one-scan
+// DrainCovered the unsubscription path prefers) is a plain scan, so an
+// engine's worker pool, a sharded index, or a network round trip would
+// only add cost for identical answers. With Config.DataDir the suppressed
+// set is durable too: losing it across a restart would strand every
+// suppressed subscription when its cover is later retracted.
+func (ps *providerSource) suppressed(brokerID, neighborID int, seed int64) (core.Provider, error) {
 	cfg := ps.cfg
-	return core.New(core.Config{
+	p, err := core.New(core.Config{
 		Schema:   cfg.Schema,
 		Mode:     core.ModeExact,
 		Strategy: cfg.Strategy,
 		MaxCubes: cfg.MaxCubes,
 		Seed:     seed,
 	})
+	return ps.durable(fmt.Sprintf("supp-b%d-n%d", brokerID, neighborID), p, err)
 }

@@ -75,6 +75,15 @@ type Config struct {
 	// RebalanceInterval is the background rebalancer's poll period
 	// (0 = the engine default).
 	RebalanceInterval time.Duration
+	// DataDir makes every in-process link provider durable: forwarded and
+	// suppressed sets ride one persist.Store (WAL + snapshots) under this
+	// directory, and a network rebuilt over the same dir recovers them —
+	// including the per-link id maps, restored from the recovered
+	// providers — so a broker restart does not re-flood the overlay.
+	// In-process backends only; with BackendRemote the daemon's own
+	// -data-dir is the durability seam, and combining the two is refused.
+	// Snapshot compaction is explicit: call Network.Snapshot.
+	DataDir string
 }
 
 // Metrics aggregates network-wide counters. Subscription/unsubscription
@@ -272,19 +281,77 @@ func NewNetwork(topo Topology, cfg Config) (*Network, error) {
 				n.Close()
 				return nil, fmt.Errorf("broker: building provider %d->%d: %w", b.id, j, err)
 			}
-			supp, err := src.suppressed(seed + suppSeedOffset)
+			supp, err := src.suppressed(b.id, j, seed+suppSeedOffset)
 			if err != nil {
 				fwd.Close()
 				n.Close()
 				return nil, fmt.Errorf("broker: building suppressed-set provider %d->%d: %w", b.id, j, err)
 			}
-			b.out[j] = &neighborState{
+			st := &neighborState{
 				fwd: fwd, ids: make(map[string]uint64),
 				supp: supp, sups: make(map[string]uint64),
 			}
+			st.restoreIDMaps()
+			b.out[j] = st
 		}
 	}
+	n.restoreTables()
 	return n, nil
+}
+
+// restoreTables rebuilds neighbor routing-table rows from recovered link
+// state: the rows broker j holds for neighbor b are, by construction,
+// exactly the forwarded set of the link b->j — every subscribe message b
+// ever sent j that was not retracted. Client rows are not restored;
+// clients re-attach and re-subscribe after a restart, and the recovered
+// id maps absorb those re-subscriptions without new forwards.
+func (n *Network) restoreTables() {
+	for _, b := range n.brokers {
+		for _, j := range b.neighbors {
+			en, ok := b.out[j].fwd.(core.Enumerator)
+			if !ok {
+				continue
+			}
+			from := iface{kind: ifNeighbor, id: b.id}
+			peer := n.brokers[j]
+			for _, it := range en.Subscriptions() {
+				rowKey := subKey(it.Sub) + "@" + from.key()
+				if _, exists := peer.table[rowKey]; !exists {
+					peer.table[rowKey] = &tableRow{sub: it.Sub, from: from, count: 1}
+				}
+			}
+		}
+	}
+}
+
+// restoreIDMaps rebuilds the link's derived id maps from recovered
+// durable providers (the Enumerator capability): after a restart the
+// forwarded and suppressed sets come back populated, and the broker must
+// know which rectangle maps to which provider id — otherwise re-arriving
+// subscriptions would be re-forwarded (duplicate traffic) and retractions
+// could not find their entries. Providers without the capability (fresh
+// in-memory ones, remote namespaces) leave the maps empty, as before.
+func (st *neighborState) restoreIDMaps() {
+	if en, ok := st.fwd.(core.Enumerator); ok {
+		for _, it := range en.Subscriptions() {
+			st.ids[subKey(it.Sub)] = it.ID
+		}
+	}
+	if en, ok := st.supp.(core.Enumerator); ok {
+		for _, it := range en.Subscriptions() {
+			st.sups[subKey(it.Sub)] = it.ID
+		}
+	}
+}
+
+// Snapshot writes a point-in-time snapshot of the network's durable link
+// state and compacts the WAL behind it. It is a no-op error on networks
+// built without Config.DataDir.
+func (n *Network) Snapshot() error {
+	if n.src == nil || n.src.store == nil {
+		return fmt.Errorf("broker: network has no durable store (Config.DataDir unset)")
+	}
+	return n.src.store.Snapshot()
 }
 
 // Close releases every per-link provider and, for BackendRemote, the

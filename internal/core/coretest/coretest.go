@@ -287,9 +287,131 @@ func RunProviderConformance(t *testing.T, schema *subscription.Schema, build fun
 		}
 	})
 
+	t.Run("persister-snapshot", func(t *testing.T) {
+		p := fresh(t)
+		ps, ok := p.(core.Persister)
+		if !ok {
+			t.Skip("provider has no Persister capability")
+		}
+		wid, err := p.Insert(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.Snapshot(); err != nil {
+			if errors.Is(err, core.ErrSnapshotUnsupported) {
+				t.Skip("provider's backend runs without a durable store")
+			}
+			t.Fatalf("Snapshot: %v", err)
+		}
+		// A snapshot is pure bookkeeping: answers must be identical after.
+		id, found, _, err := p.FindCover(narrow)
+		if err != nil || !found || id != wid {
+			t.Fatalf("FindCover after snapshot = (%d,%v,%v), want (%d,true,nil)", id, found, err, wid)
+		}
+		if st := p.Stats(); st.Snapshots < 1 {
+			t.Errorf("Stats.Snapshots = %d after an explicit snapshot", st.Snapshots)
+		}
+	})
+
 	t.Run("close-idempotent", func(t *testing.T) {
 		p := build(t)
 		p.Close()
 		p.Close()
 	})
+}
+
+// RunPersistenceConformance exercises the durability contract shared by
+// every provider that advertises core.Persister: open must return a
+// provider backed by the same durable state each call (a fixed data dir,
+// a daemon with a fixed -data-dir). The suite opens a provider,
+// populates it, snapshots mid-stream, keeps writing, closes it, reopens
+// through the same factory, and demands that the recovered provider
+// answers identically — same durable sids included — then re-runs the
+// mutation battery on the recovered instance.
+//
+// open is called at least twice; each returned provider is closed by the
+// suite before the next is opened, so open owns any store restart a
+// reopen needs (a local persist.Store must be closed and reopened; a
+// daemon with a data dir may stay up or restart inside open).
+func RunPersistenceConformance(t *testing.T, schema *subscription.Schema, open func(t *testing.T) core.Provider) {
+	t.Helper()
+	wide := subscription.MustParse(schema, "volume <= 1020 && price <= 1020")
+	narrow := subscription.MustParse(schema, "volume in [5,1000] && price in [5,1000]")
+	uncovered := subscription.MustParse(schema, "volume in [7,1022] && price in [7,1022]")
+	// The probes are NOT stored, and each has exactly one stored answer
+	// once the set is {wide, narrow}: edgeProbe sits inside wide but
+	// outside narrow (unique cover), and midProbe covers narrow but not
+	// wide (unique covered). Unique answers let the suite demand exact
+	// ids; edge-hugging bounds keep exhaustive SFC search cheap.
+	edgeProbe := subscription.MustParse(schema, "volume in [2,1010] && price in [2,1010]")
+	midProbe := subscription.MustParse(schema, "volume in [4,1001] && price in [4,1001]")
+
+	p := open(t)
+	ps, ok := p.(core.Persister)
+	if !ok {
+		t.Fatal("persistence conformance needs a provider with the Persister capability")
+	}
+	if p.Mode() != core.ModeExact {
+		t.Fatalf("persistence conformance providers must run ModeExact, got %v", p.Mode())
+	}
+	wid, err := p.Insert(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uid, err := p.Insert(uncovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Post-snapshot mutations land in the WAL and must replay on top.
+	nid, err := p.Insert(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(uid); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	r := open(t)
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("recovered Len = %d, want 2", r.Len())
+	}
+	got, ok := r.Subscription(wid)
+	if !ok || !got.Equal(wide) {
+		t.Fatalf("recovered Subscription(%d) does not round-trip the pre-snapshot insert", wid)
+	}
+	got, ok = r.Subscription(nid)
+	if !ok || !got.Equal(narrow) {
+		t.Fatalf("recovered Subscription(%d) does not round-trip the post-snapshot insert", nid)
+	}
+	if _, ok := r.Subscription(uid); ok {
+		t.Fatalf("removed id %d resurrected across recovery", uid)
+	}
+	id, found, _, err := r.FindCover(edgeProbe)
+	if err != nil || !found || id != wid {
+		t.Fatalf("recovered FindCover(edgeProbe) = (%d,%v,%v), want (%d,true,nil)", id, found, err, wid)
+	}
+	id, found, _, err = r.FindCovered(midProbe)
+	if err != nil || !found || id != nid {
+		t.Fatalf("recovered FindCovered(midProbe) = (%d,%v,%v), want (%d,true,nil)", id, found, err, nid)
+	}
+	// The recovered provider stays fully mutable: new ids never collide
+	// with recovered ones, and removals of recovered ids stick.
+	fresh, err := r.Insert(uncovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == wid || fresh == nid || fresh == uid {
+		t.Fatalf("recovered provider reassigned id %d", fresh)
+	}
+	if err := r.Remove(wid); err != nil {
+		t.Fatalf("removing a recovered id: %v", err)
+	}
+	if _, found, _, _ := r.FindCover(edgeProbe); found {
+		t.Fatal("removed recovered cover still answers")
+	}
 }

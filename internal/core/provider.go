@@ -105,6 +105,50 @@ func RemoveAll(p Provider, ids []uint64) []error {
 	return out
 }
 
+// BulkInserter is the optional bulk-load capability of a Provider:
+// Insert without the pre-insert covering query, batched under one lock
+// acquisition (the Detector) or one lock per destination shard (the
+// Engine). Recovery paths use it to rebuild an index from a persisted
+// subscription dump without paying one covering query per entry.
+type BulkInserter interface {
+	// InsertBatch stores every subscription unconditionally and returns
+	// the assigned ids, aligned with the input.
+	InsertBatch(subs []*subscription.Subscription) ([]uint64, error)
+}
+
+// Persister is the optional durability capability of a Provider: backends
+// whose subscription set survives a process restart (persist.DurableProvider
+// locally, a remote daemon running with a data dir) expose it. The
+// persisted form is the subscription set itself, not the derived index —
+// recovery rebuilds the index from the dump via the bulk-load path.
+type Persister interface {
+	// Snapshot forces a point-in-time snapshot of the durable subscription
+	// state and compacts the write-ahead log behind it. Answers are
+	// unaffected; concurrent writes keep logging into fresh segments.
+	Snapshot() error
+}
+
+// ErrSnapshotUnsupported reports a Snapshot call on a provider (or
+// provider configuration) with no durable store behind it — a remote
+// provider whose daemon runs without a data dir, typically.
+var ErrSnapshotUnsupported = errors.New("core: provider has no durable store")
+
+// ErrProviderClosed reports an operation issued after Close. Close itself
+// stays idempotent; the typed error is how the batch paths reject use of a
+// torn-down worker pool instead of panicking on a closed channel.
+var ErrProviderClosed = errors.New("core: provider is closed")
+
+// Enumerator is the optional enumeration capability of a Provider:
+// backends that can list their held (id, subscription) pairs cheaply —
+// the durable wrapper keeps a compact mirror for its snapshots — expose
+// it. Routers use it after a restart to rebuild derived link state
+// (forwarded-set id maps) from recovered providers.
+type Enumerator interface {
+	// Subscriptions returns every held subscription with its id, sorted by
+	// id ascending.
+	Subscriptions() []Drained
+}
+
 // Rebalancer is the optional load-rebalancing capability of a Provider:
 // backends whose partition can skew under clustered workloads (the
 // engine's curve-prefix slices) expose it to shift slice boundaries
@@ -216,6 +260,13 @@ type ProviderStats struct {
 	Rebalances      int
 	BoundaryMoves   int
 	MigratedEntries int
+	// Snapshots counts point-in-time snapshots taken; WALRecords and
+	// WALBytes sum the write-ahead-log records and bytes appended over the
+	// provider's lifetime (compaction never decrements them). All three
+	// stay zero on providers without the Persister capability.
+	Snapshots  int
+	WALRecords int
+	WALBytes   int64
 }
 
 // SetShardSizes records the occupancy layout and derives Subscriptions,
@@ -264,6 +315,7 @@ func SkewOf(sizes []int) float64 {
 
 var _ Provider = (*Detector)(nil)
 var _ CoveredDrainer = (*Detector)(nil)
+var _ BulkInserter = (*Detector)(nil)
 
 // Stats implements Provider for the single detector: one shard holding
 // everything, so the occupancy fields are trivial and ShardSearches

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/subscription"
+)
+
+// TestDoubleCloseAndUseAfterClose is the regression for the recovery
+// paths that tear providers down: a second Close must be a specified
+// no-op, and batch operations issued after Close must report
+// core.ErrProviderClosed instead of panicking on the torn-down worker
+// pool (the pre-fix behavior was a send on a closed channel).
+func TestDoubleCloseAndUseAfterClose(t *testing.T) {
+	schema := subscription.MustSchema(8, "x", "y")
+	e := MustNew(Config{
+		Detector: core.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear},
+		Shards:   2,
+		Workers:  2,
+	})
+	s := subscription.MustParse(schema, "x >= 3")
+	id, err := e.Insert(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e.Close()
+	e.Close() // the regression: must not panic or hang
+
+	for _, r := range e.AddBatch([]*subscription.Subscription{s}) {
+		if !errors.Is(r.Err, core.ErrProviderClosed) {
+			t.Fatalf("AddBatch after Close = %v, want ErrProviderClosed", r.Err)
+		}
+	}
+	for _, r := range e.CoverQueryBatch([]*subscription.Subscription{s}) {
+		if !errors.Is(r.Err, core.ErrProviderClosed) {
+			t.Fatalf("CoverQueryBatch after Close = %v, want ErrProviderClosed", r.Err)
+		}
+	}
+	for _, err := range e.RemoveBatch([]uint64{id}) {
+		if !errors.Is(err, core.ErrProviderClosed) {
+			t.Fatalf("RemoveBatch after Close = %v, want ErrProviderClosed", err)
+		}
+	}
+	if _, err := e.InsertBatch([]*subscription.Subscription{s}); !errors.Is(err, core.ErrProviderClosed) {
+		t.Fatalf("InsertBatch after Close = %v, want ErrProviderClosed", err)
+	}
+}
+
+// TestCloseRacesBatches drives Close against in-flight batches: every
+// batch must either complete on the live pool or fail with the typed
+// error — never panic. Run with -race in CI's crash-recovery gate.
+func TestCloseRacesBatches(t *testing.T) {
+	schema := subscription.MustSchema(8, "x", "y")
+	e := MustNew(Config{
+		Detector: core.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear},
+		Shards:   2,
+		Workers:  2,
+	})
+	s := subscription.MustParse(schema, "x >= 3")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, r := range e.AddBatch([]*subscription.Subscription{s, s, s}) {
+					if r.Err != nil && !errors.Is(r.Err, core.ErrProviderClosed) {
+						t.Errorf("AddBatch mid-close: %v", r.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	e.Close()
+	wg.Wait()
+}

@@ -161,6 +161,13 @@ type Engine struct {
 	tasks     chan func()
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+	// closeMu guards the worker pool's lifetime: batch operations hold the
+	// read side for their whole run, Close takes the write side before
+	// tearing the pool down, and closed flips under it — so a batch op
+	// either completes on a live pool or observes closed and reports
+	// core.ErrProviderClosed, never a send on a closed channel.
+	closeMu sync.RWMutex
+	closed  bool
 
 	stopRebalance chan struct{}
 	rebalanceWG   sync.WaitGroup
@@ -321,17 +328,35 @@ func MustNew(cfg Config) *Engine {
 	return e
 }
 
-// Close stops the worker pool and the background rebalancer. The engine
-// must not be used afterwards.
+// Close stops the worker pool and the background rebalancer, waiting for
+// in-flight batches to drain first. Close is idempotent — a second call is
+// a specified no-op — and batch operations issued after it fail with
+// core.ErrProviderClosed instead of panicking on the torn-down pool.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		if e.stopRebalance != nil {
 			close(e.stopRebalance)
 			e.rebalanceWG.Wait()
 		}
+		e.closeMu.Lock()
+		e.closed = true
+		e.closeMu.Unlock()
 		close(e.tasks)
 		e.wg.Wait()
 	})
+}
+
+// guarded runs fn under the close guard: fn executes with the worker pool
+// pinned live, or not at all (returning core.ErrProviderClosed after
+// Close).
+func (e *Engine) guarded(fn func()) error {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return core.ErrProviderClosed
+	}
+	fn()
+	return nil
 }
 
 // NumShards returns the configured shard count.
@@ -482,6 +507,7 @@ var _ core.Provider = (*Engine)(nil)
 var _ core.BatchQuerier = (*Engine)(nil)
 var _ core.BatchWriter = (*Engine)(nil)
 var _ core.Rebalancer = (*Engine)(nil)
+var _ core.BulkInserter = (*Engine)(nil)
 
 // run executes fn(0..n-1) on the worker pool, in contiguous chunks to
 // amortize dispatch, and waits for completion.
@@ -522,31 +548,70 @@ func (e *Engine) run(n int, fn func(i int)) {
 // (covering misses are safe, so that is a correct outcome).
 func (e *Engine) AddBatch(subs []*subscription.Subscription) []AddResult {
 	out := make([]AddResult, len(subs))
-	e.run(len(subs), func(i int) { out[i].QueryResult = e.findCover(subs[i]) })
-	valid := make([]int, 0, len(subs))
-	batch := make([]*subscription.Subscription, 0, len(subs))
-	for i := range out {
-		if out[i].Err == nil {
-			valid = append(valid, i)
-			batch = append(batch, subs[i])
+	err := e.guarded(func() {
+		e.run(len(subs), func(i int) { out[i].QueryResult = e.findCover(subs[i]) })
+		valid := make([]int, 0, len(subs))
+		batch := make([]*subscription.Subscription, 0, len(subs))
+		for i := range out {
+			if out[i].Err == nil {
+				valid = append(valid, i)
+				batch = append(batch, subs[i])
+			}
 		}
-	}
-	ids, errs := e.be.insertBatch(batch, e.run)
-	for k, i := range valid {
-		if errs[k] != nil {
-			out[i].Err = errs[k]
-			continue
+		ids, errs := e.be.insertBatch(batch, e.run)
+		for k, i := range valid {
+			if errs[k] != nil {
+				out[i].Err = errs[k]
+				continue
+			}
+			out[i].ID = ids[k]
 		}
-		out[i].ID = ids[k]
+	})
+	if err != nil {
+		for i := range out {
+			out[i] = AddResult{QueryResult: QueryResult{Err: err}}
+		}
 	}
 	return out
+}
+
+// InsertBatch stores every subscription unconditionally — no pre-insert
+// covering queries — grouped by destination shard and bulk-loaded one
+// shard at a time, and returns the assigned ids aligned with the input.
+// This is the core.BulkInserter recovery path: rebuilding an engine from a
+// persisted subscription dump pays the sorted bulk-load cost, not one
+// covering query per entry.
+func (e *Engine) InsertBatch(subs []*subscription.Subscription) ([]uint64, error) {
+	for _, s := range subs {
+		if err := e.checkSchema(s); err != nil {
+			return nil, err
+		}
+	}
+	var ids []uint64
+	var errs []error
+	if err := e.guarded(func() { ids, errs = e.be.insertBatch(subs, e.run) }); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
 }
 
 // CoverQueryBatch runs FindCover for every subscription concurrently,
 // without inserting anything. Results align with the input slice.
 func (e *Engine) CoverQueryBatch(subs []*subscription.Subscription) []QueryResult {
 	out := make([]QueryResult, len(subs))
-	e.run(len(subs), func(i int) { out[i] = e.findCover(subs[i]) })
+	err := e.guarded(func() {
+		e.run(len(subs), func(i int) { out[i] = e.findCover(subs[i]) })
+	})
+	if err != nil {
+		for i := range out {
+			out[i] = QueryResult{Err: err}
+		}
+	}
 	return out
 }
 
@@ -554,7 +619,14 @@ func (e *Engine) CoverQueryBatch(subs []*subscription.Subscription) []QueryResul
 // aligns with the input; entries are nil on success.
 func (e *Engine) RemoveBatch(ids []uint64) []error {
 	out := make([]error, len(ids))
-	e.run(len(ids), func(i int) { out[i] = e.Remove(ids[i]) })
+	err := e.guarded(func() {
+		e.run(len(ids), func(i int) { out[i] = e.Remove(ids[i]) })
+	})
+	if err != nil {
+		for i := range out {
+			out[i] = err
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,176 @@
+package persist_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/engine"
+	"sfccover/internal/persist"
+	"sfccover/internal/subscription"
+	"sfccover/internal/workload"
+)
+
+// The cold-start benchmarks compare the two recovery sources: a data dir
+// holding one snapshot (the sorted dump feeds the engine's bulk-load
+// path directly) versus the same population as raw WAL records (replay
+// reconstructs the mirror map first, then bulk-loads). Run with -bench
+// Recover; the numbers are recorded in EXPERIMENTS.md.
+
+func benchSubs(b *testing.B, schema *subscription.Schema, n int) []*subscription.Subscription {
+	b.Helper()
+	subs, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: n, Dist: workload.DistUniform, WidthFrac: 0.05, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return subs
+}
+
+// seedDir populates a fresh data dir so that n subscriptions survive and
+// returns it. churn additionally writes (and removes) 2n transient
+// subscriptions first — dead log weight that only compaction can shed.
+// snapshotted selects whether the final state lands as one snapshot (WAL
+// compacted away) or stays as raw WAL records.
+func seedDir(b *testing.B, schema *subscription.Schema, subs []*subscription.Subscription, snapshotted, churn bool) string {
+	b.Helper()
+	dir := b.TempDir()
+	st, err := persist.Open(dir, schema, persist.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := core.MustNew(core.Config{Schema: schema, Mode: core.ModeOff})
+	d, err := st.Durable("", det)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if churn {
+		transient := benchSubs(b, schema, 2*len(subs))
+		var sids []uint64
+		for _, r := range d.AddBatch(transient) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			sids = append(sids, r.ID)
+		}
+		for _, err := range d.RemoveBatch(sids) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, r := range d.AddBatch(subs) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	if snapshotted {
+		if err := d.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d.Close()
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+func benchRecover(b *testing.B, snapshotted, churn bool) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	for _, n := range []int{10000, 50000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			subs := benchSubs(b, schema, n)
+			dir := seedDir(b, schema, subs, snapshotted, churn)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := persist.Open(dir, schema, persist.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := engine.MustNew(engine.Config{
+					Detector:  core.Config{Schema: schema, Mode: core.ModeOff},
+					Shards:    8,
+					Partition: engine.PartitionPrefix,
+				})
+				d, err := st.Durable("", eng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d.Len() != n {
+					b.Fatalf("recovered %d of %d", d.Len(), n)
+				}
+				b.StopTimer()
+				d.Close()
+				st.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkRecoverFromSnapshot measures boot from a compacted dir: one
+// snapshot file, no WAL replay.
+func BenchmarkRecoverFromSnapshot(b *testing.B) { benchRecover(b, true, false) }
+
+// BenchmarkRecoverFromWAL measures boot from raw log records: full
+// segment replay, then the same bulk load.
+func BenchmarkRecoverFromWAL(b *testing.B) { benchRecover(b, false, false) }
+
+// BenchmarkRecoverFromChurnedWAL measures boot from a log carrying 4n
+// dead records (2n transient adds + their removes) ahead of the n live
+// ones — the case periodic snapshots exist for.
+func BenchmarkRecoverFromChurnedWAL(b *testing.B) { benchRecover(b, false, true) }
+
+// BenchmarkRecoverFromChurnedSnapshot is the same churned history after
+// one snapshot compacted it away.
+func BenchmarkRecoverFromChurnedSnapshot(b *testing.B) { benchRecover(b, true, true) }
+
+// BenchmarkDurableAddBatch measures the write-path overhead the WAL adds
+// to the engine's batched arrival path.
+func BenchmarkDurableAddBatch(b *testing.B) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	subs := benchSubs(b, schema, 10000)
+	for _, durable := range []bool{false, true} {
+		name := "engine-bare"
+		if durable {
+			name = "engine-durable"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := engine.MustNew(engine.Config{
+					Detector:  core.Config{Schema: schema, Mode: core.ModeOff},
+					Shards:    8,
+					Partition: engine.PartitionPrefix,
+				})
+				var p core.Provider = eng
+				var st *persist.Store
+				if durable {
+					var err error
+					st, err = persist.Open(b.TempDir(), schema, persist.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					p, err = st.Durable("", eng)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				for _, r := range core.AddAll(p, subs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+				b.StopTimer()
+				p.Close()
+				if st != nil {
+					st.Close()
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

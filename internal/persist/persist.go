@@ -1,0 +1,403 @@
+// Package persist makes subscription state durable: a write-ahead log of
+// add/remove records riding the binary subscription wire encoding
+// (length-prefixed, CRC32-protected, segment-rotated) plus point-in-time
+// snapshots, with log compaction after each snapshot. What is persisted is
+// the subscription set itself — never the derived cube/curve index, which
+// recovery rebuilds through the engine's sorted bulk-load path — so the
+// durable form stays compact and survives index-layout changes.
+//
+// A Store owns one data dir and every link namespace inside it; a
+// DurableProvider wraps any core.Provider with logging and recovery for
+// one link. Crash tolerance is the package's contract: appends are
+// sequential, so a crash leaves at most a torn tail record in the newest
+// segment, which replay drops silently; any damage a crash cannot explain
+// (broken records mid-stream, checksum-failing snapshots) is refused with
+// ErrCorrupt instead of silently dropping subscriptions. Snapshots land
+// via temp-file + fsync + atomic rename, and old segments are deleted only
+// after the snapshot that supersedes them is durable, so recovery always
+// has a consistent base to start from.
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"sfccover/internal/subscription"
+)
+
+// DefaultSegmentBytes is the WAL rotation threshold when Options leaves
+// SegmentBytes zero.
+const DefaultSegmentBytes = 4 << 20
+
+// Options parameterizes a Store.
+type Options struct {
+	// SegmentBytes rotates the WAL to a fresh segment once the current one
+	// crosses this size (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+	// Sync fsyncs the segment after every append. Off by default: the
+	// process-crash guarantee (torn-tail tolerance) holds either way, Sync
+	// additionally bounds loss on power failure at a heavy throughput
+	// cost. Snapshots are always fsynced regardless.
+	Sync bool
+	// WriteHook, when non-nil, observes — and may veto — every WAL write
+	// before it reaches the file: the crash battery uses it to fail
+	// appends after a chosen byte. A vetoed write behaves like a crash at
+	// that byte: the record never lands and the append reports the hook's
+	// error. Production code leaves it nil.
+	WriteHook func(segment string, offset int64, p []byte) error
+}
+
+// StoreStats is the durability counter snapshot.
+type StoreStats struct {
+	// Snapshots counts snapshots taken over the store's lifetime.
+	Snapshots int
+	// WALRecords and WALBytes sum the records and bytes appended to the
+	// log over the store's lifetime (compaction never decrements them).
+	WALRecords int
+	WALBytes   int64
+	// Links is the number of link namespaces holding at least one
+	// subscription; Entries the total subscription count across them.
+	Links   int
+	Entries int
+}
+
+// Store is the durable home of every link namespace under one data dir.
+// It keeps an authoritative in-memory mirror of the persisted state (link
+// -> sid -> wire payload) so snapshots serialize without consulting the
+// wrapped providers, and serializes WAL appends from any number of
+// DurableProviders. All methods are safe for concurrent use.
+type Store struct {
+	dir    string
+	schema *subscription.Schema
+	opts   Options
+
+	mu      sync.Mutex
+	state   map[string]map[uint64][]byte
+	w       *walWriter
+	wrapped map[string]bool
+	lock    *os.File // flock'd LOCK file: one live store per data dir
+	closed  bool
+
+	snapshots  int
+	walRecords int
+	walBytes   int64
+	// dirtyRecords counts records not yet covered by a snapshot: appends
+	// since the last one, plus anything replayed from the WAL at Open.
+	// Snapshot early-returns at zero, so an idle daemon's periodic
+	// snapshots cost nothing instead of rewriting full state forever.
+	dirtyRecords int
+	hasSnapshot  bool
+}
+
+// Open recovers the durable state under dir (creating it when absent) and
+// readies the store for appends. Recovery loads the newest snapshot —
+// whose schema header must match schema, or ErrSchemaMismatch — and
+// replays every WAL segment from the snapshot's cutoff on, tolerating a
+// torn tail record in the newest segment and refusing anything worse with
+// ErrCorrupt. Appends after Open go to a fresh segment.
+func Open(dir string, schema *subscription.Schema, opts Options) (*Store, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("persist: open needs a schema")
+	}
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SegmentBytes < 0 {
+		return nil, fmt.Errorf("persist: invalid segment size %d", opts.SegmentBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	// One live store per data dir: a second opener (two daemons pointed
+	// at the same -data-dir) would recover a stale mirror, hand out
+	// overlapping sids and compact the first store's segments away. The
+	// flock turns that silent divergence into a clean refusal, and dies
+	// with the process, so a crash never wedges the dir.
+	lock, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening data dir lock: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("persist: data dir %s is held by another live store: %w", dir, err)
+	}
+	st := &Store{
+		dir:     dir,
+		schema:  schema,
+		opts:    opts,
+		state:   make(map[string]map[uint64][]byte),
+		wrapped: make(map[string]bool),
+		lock:    lock,
+	}
+	maxSeq, err := st.recover()
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	st.w = &walWriter{dir: dir, opts: opts}
+	if err := st.w.openSegment(maxSeq + 1); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// recover loads snapshot + WAL into st.state and returns the highest
+// sequence number seen in the dir.
+func (st *Store) recover() (uint64, error) {
+	snaps, err := listSeqs(st.dir, "snap-", ".snap")
+	if err != nil {
+		return 0, err
+	}
+	var cutoff, maxSeq uint64
+	if len(snaps) > 0 {
+		cutoff = snaps[len(snaps)-1]
+		maxSeq = cutoff
+		data, err := os.ReadFile(filepath.Join(st.dir, snapshotName(cutoff)))
+		if err != nil {
+			return 0, fmt.Errorf("persist: reading snapshot: %w", err)
+		}
+		st.state, err = decodeSnapshot(st.schema, data)
+		if err != nil {
+			return 0, err
+		}
+		st.hasSnapshot = true
+	}
+	segs, err := listSeqs(st.dir, "wal-", ".log")
+	if err != nil {
+		return 0, err
+	}
+	for i, seq := range segs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if seq < cutoff {
+			continue // compacted into the snapshot; a crash mid-compaction leaves these behind harmlessly
+		}
+		final := i == len(segs)-1
+		err := replaySegment(filepath.Join(st.dir, segmentName(seq)), final, func(r record) {
+			st.dirtyRecords++
+			switch r.op {
+			case opAdd:
+				link := st.state[r.link]
+				if link == nil {
+					link = make(map[uint64][]byte)
+					st.state[r.link] = link
+				}
+				link[r.sid] = r.payload
+			case opRem:
+				if link := st.state[r.link]; link != nil {
+					delete(link, r.sid)
+					if len(link) == 0 {
+						delete(st.state, r.link)
+					}
+				}
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return maxSeq, nil
+}
+
+// Dir returns the store's data dir.
+func (st *Store) Dir() string { return st.dir }
+
+// Schema returns the schema the data dir is bound to.
+func (st *Store) Schema() *subscription.Schema { return st.schema }
+
+// Links returns the names of every link namespace holding at least one
+// subscription, sorted.
+func (st *Store) Links() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	names := make([]string, 0, len(st.state))
+	for name, link := range st.state {
+		if len(link) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Entries returns the persisted subscriptions of one link, sorted by sid
+// ascending — the order the snapshot stores and the bulk-load path wants.
+func (st *Store) Entries(link string) []Entry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	state := st.state[link]
+	out := make([]Entry, 0, len(state))
+	for sid, payload := range state {
+		out = append(out, Entry{SID: sid, Payload: append([]byte(nil), payload...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SID < out[j].SID })
+	return out
+}
+
+// Stats returns the durability counters.
+func (st *Store) Stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss := StoreStats{
+		Snapshots:  st.snapshots,
+		WALRecords: st.walRecords,
+		WALBytes:   st.walBytes,
+	}
+	for _, link := range st.state {
+		if len(link) > 0 {
+			ss.Links++
+			ss.Entries += len(link)
+		}
+	}
+	return ss
+}
+
+// appendAdd logs one subscription arrival and mirrors it. The mirror is
+// updated only when the record landed, so the snapshot state never runs
+// ahead of the log.
+func (st *Store) appendAdd(link string, sid uint64, payload []byte) error {
+	return st.append(record{op: opAdd, link: link, sid: sid, payload: payload})
+}
+
+// appendRemove logs one subscription removal and mirrors it.
+func (st *Store) appendRemove(link string, sid uint64) error {
+	return st.append(record{op: opRem, link: link, sid: sid})
+}
+
+func (st *Store) append(r record) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	n, err := st.w.append(r)
+	if err != nil {
+		return err
+	}
+	st.walRecords++
+	st.walBytes += int64(n)
+	st.dirtyRecords++
+	st.mirror(r)
+	return nil
+}
+
+// appendBatch logs a whole batch of records under one lock acquisition
+// and one segment write — the batch write paths' amortization (one
+// syscall per batch, not per record). All-or-nothing: either every
+// record lands or none does.
+func (st *Store) appendBatch(rs []record) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	n, err := st.w.appendBatch(rs)
+	if err != nil {
+		return err
+	}
+	st.walRecords += len(rs)
+	st.walBytes += int64(n)
+	st.dirtyRecords += len(rs)
+	for _, r := range rs {
+		st.mirror(r)
+	}
+	return nil
+}
+
+// mirror folds one landed record into the in-memory state. Called with
+// st.mu held, after the record is on disk.
+func (st *Store) mirror(r record) {
+	switch r.op {
+	case opAdd:
+		link := st.state[r.link]
+		if link == nil {
+			link = make(map[uint64][]byte)
+			st.state[r.link] = link
+		}
+		link[r.sid] = append([]byte(nil), r.payload...)
+	case opRem:
+		if link := st.state[r.link]; link != nil {
+			delete(link, r.sid)
+			if len(link) == 0 {
+				delete(st.state, r.link)
+			}
+		}
+	}
+}
+
+// Snapshot writes a point-in-time snapshot of every link namespace and
+// compacts the log behind it: the WAL rotates to a fresh segment, the
+// snapshot (covering everything before the rotation) lands durably, and
+// only then are the superseded segments and older snapshots deleted — so
+// a crash at any point leaves a recoverable dir. Appends block for the
+// duration; answers served by wrapped providers do not.
+func (st *Store) Snapshot() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if st.dirtyRecords == 0 && st.hasSnapshot {
+		// Nothing logged since the last snapshot already covered
+		// everything: rewriting identical full state would cost disk I/O
+		// per periodic tick on an idle daemon for nothing.
+		return nil
+	}
+	if err := st.w.rotate(); err != nil {
+		return err
+	}
+	cutoff := st.w.seq
+	if err := writeSnapshot(st.dir, cutoff, encodeSnapshot(st.schema, st.state)); err != nil {
+		return err
+	}
+	st.snapshots++
+	st.dirtyRecords = 0
+	st.hasSnapshot = true
+	st.compact(cutoff)
+	return nil
+}
+
+// compact deletes WAL segments and snapshots superseded by the snapshot
+// at cutoff. Best effort: leftovers are skipped by sequence on recovery.
+func (st *Store) compact(cutoff uint64) {
+	if segs, err := listSeqs(st.dir, "wal-", ".log"); err == nil {
+		for _, seq := range segs {
+			if seq < cutoff {
+				os.Remove(filepath.Join(st.dir, segmentName(seq)))
+			}
+		}
+	}
+	if snaps, err := listSeqs(st.dir, "snap-", ".snap"); err == nil {
+		for _, seq := range snaps {
+			if seq < cutoff {
+				os.Remove(filepath.Join(st.dir, snapshotName(seq)))
+			}
+		}
+	}
+}
+
+// Close flushes and closes the log and releases the data-dir lock.
+// Wrapped providers must not log afterwards; a second Close (and any
+// later append) reports ErrClosed.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	st.closed = true
+	err := st.w.close()
+	if cerr := st.lock.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("persist: releasing data dir lock: %w", cerr)
+	}
+	return err
+}

@@ -1,0 +1,152 @@
+package persist_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sfccover/internal/core"
+	"sfccover/internal/engine"
+	"sfccover/internal/persist"
+	"sfccover/internal/subscription"
+	"sfccover/internal/workload"
+)
+
+// TestSnapshotMidRebalanceRecovery pins the rebalancing × persistence
+// interaction: a snapshot races an in-flight Rebalance on a curve-prefix
+// engine, and recovery from that data dir must be indistinguishable from
+// a clean rebuild of the same subscription set — identical
+// FindCover/FindCovered answers, identical occupancy skew, and zero
+// rebalance counters (persistence stores the subscription set, never the
+// slice layout, so a recovered engine starts from the clean-build
+// boundaries no matter what the rebalancer was doing when the snapshot
+// was cut).
+func TestSnapshotMidRebalanceRecovery(t *testing.T) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	mkEngine := func() *engine.Engine {
+		return engine.MustNew(engine.Config{
+			Detector: core.Config{
+				Schema: schema, Mode: core.ModeApprox, Epsilon: 0.3,
+				MaxCubes: 5000, TrackCovered: true, Seed: 3,
+			},
+			Shards:    8,
+			Partition: engine.PartitionPrefix,
+			Workers:   4,
+		})
+	}
+	subs, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: 2000, Dist: workload.DistHotspot,
+		WidthFrac: 0.02, HotspotFrac: 0.9, HotspotWidthFrac: 0.04, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, err := workload.Subscriptions(workload.SubSpec{
+		Schema: schema, N: 200, Dist: workload.DistHotspot,
+		WidthFrac: 0.01, HotspotFrac: 0.9, HotspotWidthFrac: 0.04, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The answer fingerprint records only (found, stats-free) outcomes:
+	// hotspot probes can have many covers, so the id is pinned only
+	// through Subscription round-trips below, not in the fingerprint.
+	fingerprint := func(p core.Provider) string {
+		out := ""
+		for i, q := range probes {
+			_, found, _, err := p.FindCover(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out += fmt.Sprintf("c%d:%v;", i, found)
+			_, found, _, err = p.FindCovered(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out += fmt.Sprintf("r%d:%v;", i, found)
+		}
+		return out
+	}
+
+	dir := t.TempDir()
+	st, err := persist.Open(dir, schema, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := st.Durable("", mkEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sids []uint64
+	for _, r := range d.AddBatch(subs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		sids = append(sids, r.ID)
+	}
+	// Race the snapshot against a rebalance pass of the skewed engine:
+	// the snapshot must cut a consistent subscription image regardless of
+	// which entries are mid-migration.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := d.Rebalance(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	d.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean rebuild: the same subscriptions bulk-loaded into a fresh
+	// engine of the same configuration, never rebalanced, never crashed.
+	clean := mkEngine()
+	defer clean.Close()
+	if _, err := clean.InsertBatch(subs); err != nil {
+		t.Fatal(err)
+	}
+	cleanStats := clean.Stats()
+
+	st2, err := persist.Open(dir, schema, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec, err := st2.Durable("", mkEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	if rec.Len() != len(subs) {
+		t.Fatalf("recovered Len = %d, want %d", rec.Len(), len(subs))
+	}
+	if got, want := fingerprint(rec), fingerprint(clean); got != want {
+		t.Fatalf("recovered answers diverge from the clean rebuild:\n got %.120s…\nwant %.120s…", got, want)
+	}
+	recStats := rec.Stats()
+	if recStats.SkewRatio != cleanStats.SkewRatio {
+		t.Fatalf("recovered SkewRatio %.3f != clean rebuild %.3f (layout must come from the clean build, not the mid-flight one)",
+			recStats.SkewRatio, cleanStats.SkewRatio)
+	}
+	if recStats.Rebalances != 0 || recStats.BoundaryMoves != 0 || recStats.MigratedEntries != 0 {
+		t.Fatalf("recovered engine carries rebalance history: %+v", recStats)
+	}
+	if recStats.Rebalances != cleanStats.Rebalances || recStats.BoundaryMoves != cleanStats.BoundaryMoves {
+		t.Fatalf("recovered rebalance counters diverge from clean rebuild: %+v vs %+v", recStats, cleanStats)
+	}
+	// Durable sids survive: every stored sid round-trips on the recovered
+	// provider to the same rectangle it was assigned for.
+	for i, sid := range sids {
+		got, ok := rec.Subscription(sid)
+		if !ok || !got.Equal(subs[i]) {
+			t.Fatalf("sid %d does not round-trip after mid-rebalance snapshot recovery", sid)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sfccover/internal/subscription"
+)
+
+// A snapshot is one self-validating file, snap-<seq>.snap, holding the
+// full subscription state of every link namespace at a point in time. The
+// seq names the first WAL segment whose records post-date the snapshot:
+// recovery loads the newest valid snapshot and replays only segments with
+// seq >= it.
+//
+//	snapshot: "SFCS1\n"
+//	          | uvarint bits | uvarint numAttrs | (uvarint len | name)*
+//	          | uvarint numLinks
+//	          | link*                      (sorted by name)
+//	          | crc32(everything above) (4 bytes LE)
+//	link:     uvarint len(name) | name
+//	          | uvarint numEntries
+//	          | (uvarint sid | uvarint len(payload) | payload)*   (sid ascending)
+//
+// The schema header makes a data dir self-describing: opening it under a
+// different schema fails with ErrSchemaMismatch instead of misdecoding
+// payloads. Entries are sorted by sid so recovery can feed the engine's
+// sorted bulk-load path directly, and the decoder enforces the order (a
+// violation is ErrCorrupt, not a silent reorder).
+const snapMagic = "SFCS1\n"
+
+// Entry is one persisted subscription: its durable sid and its binary
+// wire payload.
+type Entry struct {
+	SID     uint64
+	Payload []byte
+}
+
+// encodeSnapshot serializes the per-link state. links maps link name to
+// sid -> payload.
+func encodeSnapshot(schema *subscription.Schema, links map[string]map[uint64][]byte) []byte {
+	buf := append([]byte(nil), snapMagic...)
+	buf = binary.AppendUvarint(buf, uint64(schema.Bits()))
+	attrs := schema.Attrs()
+	buf = binary.AppendUvarint(buf, uint64(len(attrs)))
+	for _, a := range attrs {
+		buf = binary.AppendUvarint(buf, uint64(len(a)))
+		buf = append(buf, a...)
+	}
+	names := make([]string, 0, len(links))
+	for name := range links {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		state := links[name]
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		sids := make([]uint64, 0, len(state))
+		for sid := range state {
+			sids = append(sids, sid)
+		}
+		sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+		buf = binary.AppendUvarint(buf, uint64(len(sids)))
+		for _, sid := range sids {
+			buf = binary.AppendUvarint(buf, sid)
+			buf = binary.AppendUvarint(buf, uint64(len(state[sid])))
+			buf = append(buf, state[sid]...)
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	return append(buf, crc[:]...)
+}
+
+// snapCursor tracks a decode position with uniform truncation errors.
+type snapCursor struct {
+	rest []byte
+}
+
+func (c *snapCursor) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(c.rest)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: snapshot truncated at %s", ErrCorrupt, what)
+	}
+	c.rest = c.rest[n:]
+	return v, nil
+}
+
+func (c *snapCursor) bytes(n uint64, what string) ([]byte, error) {
+	if n > uint64(len(c.rest)) {
+		return nil, fmt.Errorf("%w: snapshot truncated at %s", ErrCorrupt, what)
+	}
+	out := c.rest[:n]
+	c.rest = c.rest[n:]
+	return out, nil
+}
+
+// decodeSnapshot parses and checksum-verifies a snapshot file's bytes.
+// A nil schema skips the schema check (the fuzz target's mode); otherwise
+// bits and attribute names must match exactly.
+func decodeSnapshot(schema *subscription.Schema, data []byte) (map[string]map[uint64][]byte, error) {
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: snapshot has bad magic", ErrCorrupt)
+	}
+	body, crc := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crc) {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	c := &snapCursor{rest: body[len(snapMagic):]}
+	bits, err := c.uvarint("schema bits")
+	if err != nil {
+		return nil, err
+	}
+	numAttrs, err := c.uvarint("attr count")
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]string, 0, numAttrs)
+	for i := uint64(0); i < numAttrs; i++ {
+		n, err := c.uvarint("attr name length")
+		if err != nil {
+			return nil, err
+		}
+		name, err := c.bytes(n, "attr name")
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, string(name))
+	}
+	if schema != nil {
+		if int(bits) != schema.Bits() || len(attrs) != schema.NumAttrs() {
+			return nil, fmt.Errorf("%w: snapshot has %d bits and %d attrs, schema has %d and %d",
+				ErrSchemaMismatch, bits, len(attrs), schema.Bits(), schema.NumAttrs())
+		}
+		for i, a := range schema.Attrs() {
+			if attrs[i] != a {
+				return nil, fmt.Errorf("%w: snapshot attribute %d is %q, schema says %q", ErrSchemaMismatch, i, attrs[i], a)
+			}
+		}
+	}
+	numLinks, err := c.uvarint("link count")
+	if err != nil {
+		return nil, err
+	}
+	links := make(map[string]map[uint64][]byte)
+	for i := uint64(0); i < numLinks; i++ {
+		n, err := c.uvarint("link name length")
+		if err != nil {
+			return nil, err
+		}
+		nameB, err := c.bytes(n, "link name")
+		if err != nil {
+			return nil, err
+		}
+		name := string(nameB)
+		if _, dup := links[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate link %q in snapshot", ErrCorrupt, name)
+		}
+		count, err := c.uvarint("entry count")
+		if err != nil {
+			return nil, err
+		}
+		state := make(map[uint64][]byte)
+		prev, first := uint64(0), true
+		for j := uint64(0); j < count; j++ {
+			sid, err := c.uvarint("entry sid")
+			if err != nil {
+				return nil, err
+			}
+			if !first && sid <= prev {
+				return nil, fmt.Errorf("%w: snapshot entries out of order in link %q", ErrCorrupt, name)
+			}
+			prev, first = sid, false
+			plen, err := c.uvarint("payload length")
+			if err != nil {
+				return nil, err
+			}
+			payload, err := c.bytes(plen, "payload")
+			if err != nil {
+				return nil, err
+			}
+			state[sid] = append([]byte(nil), payload...)
+		}
+		links[name] = state
+	}
+	if len(c.rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(c.rest))
+	}
+	return links, nil
+}
+
+// writeSnapshot durably lands encoded snapshot bytes under seq: temp
+// file, fsync, atomic rename, directory sync. A crash at any point leaves
+// either no snap-<seq>.snap or a complete one — never a torn snapshot
+// under the final name.
+func writeSnapshot(dir string, seq uint64, data []byte) error {
+	tmp := filepath.Join(dir, snapshotName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName(seq))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sfccover/internal/subscription"
@@ -85,6 +86,7 @@ type Client struct {
 
 	writeCh chan []byte
 	done    chan struct{} // closed on terminal failure or Close
+	closed  atomic.Bool   // flipped by the first Close call
 	wg      sync.WaitGroup
 
 	mu      sync.Mutex
@@ -173,8 +175,15 @@ func checkSchema(schema *subscription.Schema, resp *Response) error {
 }
 
 // Close shuts the connection down. In-flight operations fail with
-// ErrClientClosed. Close is idempotent.
+// ErrClientClosed. The first call returns nil (even on a client whose
+// connection already failed); every later call is rejected with
+// ErrClientClosed — a specified, typed outcome instead of silently
+// re-tearing-down, so recovery code that double-closes by accident gets a
+// diagnosis rather than unspecified behavior.
 func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return ErrClientClosed
+	}
 	c.fail(ErrClientClosed)
 	c.wg.Wait()
 	return nil
@@ -593,6 +602,15 @@ func (c *Client) Rebalance(ctx context.Context) (RebalanceInfo, error) {
 		return RebalanceInfo{}, errors.New("sfcd: response carries no rebalance outcome")
 	}
 	return *resp.Rebalance, nil
+}
+
+// Snapshot forces a point-in-time snapshot of the daemon's durable
+// subscription state (every link namespace — the write-ahead log is
+// shared) and compacts the log behind it. Daemons running without a data
+// dir answer with a *ServerError carrying CodeUnsupported.
+func (c *Client) Snapshot(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: "snapshot"})
+	return err
 }
 
 // Stats fetches the server's counter snapshot.

@@ -175,3 +175,25 @@ func TestDialTimeoutAgainstMuteEndpoint(t *testing.T) {
 		t.Fatalf("dial took %v, timeout did not bound it", elapsed)
 	}
 }
+
+// TestClientDoubleClose pins the specified double-Close outcome: the
+// first Close returns nil, every later one is rejected with the typed
+// ErrClientClosed — recovery code that tears a client down twice gets a
+// diagnosis, not unspecified behavior.
+func TestClientDoubleClose(t *testing.T) {
+	schema := subscription.MustSchema(8, "x", "y")
+	addr := startHardenedServer(t, schema, ServerConfig{})
+	c, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("first Close = %v, want nil", err)
+	}
+	if err := c.Close(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("second Close = %v, want ErrClientClosed", err)
+	}
+	if err := c.Ping(context.Background()); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("Ping after Close = %v, want ErrClientClosed", err)
+	}
+}

@@ -27,6 +27,9 @@ var scalarMetrics = []metricDef{
 	{"sfcd_rebalances_total", "counter", "Rebalance passes that moved at least one slice boundary."},
 	{"sfcd_boundary_moves_total", "counter", "Slice boundary moves performed by the rebalancer."},
 	{"sfcd_migrated_entries_total", "counter", "Index entries migrated across slice boundaries."},
+	{"sfcd_snapshots_total", "counter", "Durable-state snapshots taken (store-wide)."},
+	{"sfcd_wal_records_total", "counter", "Write-ahead-log records appended over the store's lifetime."},
+	{"sfcd_wal_bytes_total", "counter", "Write-ahead-log bytes appended over the store's lifetime."},
 }
 
 // RenderPrometheus renders a provider snapshot in the Prometheus text
@@ -49,6 +52,9 @@ func RenderPrometheus(ps core.ProviderStats) string {
 		float64(ps.Rebalances),
 		float64(ps.BoundaryMoves),
 		float64(ps.MigratedEntries),
+		float64(ps.Snapshots),
+		float64(ps.WALRecords),
+		float64(ps.WALBytes),
 	}
 	for i, m := range scalarMetrics {
 		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",

@@ -25,7 +25,12 @@
 //
 // Operations: hello, ping, subscribe, subscribe_batch, insert,
 // unsubscribe, unsubscribe_batch, query, query_batch, covered, get,
-// match, stats, metrics, rebalance, unlink.
+// match, stats, metrics, rebalance, snapshot, unlink.
+//
+// "snapshot" forces a point-in-time snapshot of the daemon's durable
+// subscription state (all link namespaces — the write-ahead log is
+// shared) and compacts the log behind it. Daemons running without a data
+// dir answer with code "unsupported".
 //
 // "rebalance" runs one bounded slice-rebalance pass on the addressed
 // provider (engine curve-prefix plans only; other configurations answer
@@ -115,6 +120,12 @@ type Stats struct {
 	Rebalances      int `json:"rebalances,omitempty"`
 	BoundaryMoves   int `json:"boundaryMoves,omitempty"`
 	MigratedEntries int `json:"migratedEntries,omitempty"`
+	// Snapshots/WALRecords/WALBytes describe the durability layer: store-
+	// wide snapshot count and lifetime log appends (always zero on daemons
+	// running without a data dir).
+	Snapshots  int   `json:"snapshots,omitempty"`
+	WALRecords int   `json:"walRecords,omitempty"`
+	WALBytes   int64 `json:"walBytes,omitempty"`
 }
 
 // RebalanceInfo is the outcome of a rebalance operation.

@@ -39,6 +39,7 @@ var _ core.Provider = (*RemoteProvider)(nil)
 var _ core.BatchQuerier = (*RemoteProvider)(nil)
 var _ core.BatchWriter = (*RemoteProvider)(nil)
 var _ core.Rebalancer = (*RemoteProvider)(nil)
+var _ core.Persister = (*RemoteProvider)(nil)
 
 // Provider returns a core.Provider over the given link namespace of the
 // daemon. The empty link is the daemon's shared engine; any other link
@@ -280,6 +281,23 @@ func (r *RemoteProvider) Rebalance() (core.RebalanceResult, error) {
 	}, nil
 }
 
+// Snapshot implements core.Persister by forwarding to the daemon: its
+// whole durable store (all links — the log is shared) snapshots and
+// compacts. Daemons running without a data dir surface
+// core.ErrSnapshotUnsupported, exactly like a local provider without a
+// store would.
+func (r *RemoteProvider) Snapshot() error {
+	_, err := r.c.do(r.ctx, &Request{Op: "snapshot", Link: r.link})
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) && se.Code == CodeUnsupported {
+			return fmt.Errorf("%w: %s", core.ErrSnapshotUnsupported, se.Msg)
+		}
+		return err
+	}
+	return nil
+}
+
 // Subscription resolves an id to its held subscription. The Provider
 // signature has no error channel, so connection trouble reads as
 // not-found here and errors on the next operation that can report it.
@@ -321,6 +339,9 @@ func (r *RemoteProvider) Stats() core.ProviderStats {
 		Rebalances:      ws.Rebalances,
 		BoundaryMoves:   ws.BoundaryMoves,
 		MigratedEntries: ws.MigratedEntries,
+		Snapshots:       ws.Snapshots,
+		WALRecords:      ws.WALRecords,
+		WALBytes:        ws.WALBytes,
 	}
 	ps.SetShardSizes(ws.ShardSizes)
 	return ps

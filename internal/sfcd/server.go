@@ -14,6 +14,7 @@ import (
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
+	"sfccover/internal/persist"
 	"sfccover/internal/subscription"
 )
 
@@ -49,6 +50,10 @@ type Server struct {
 	eng    *engine.Engine
 	schema *subscription.Schema
 	scfg   ServerConfig
+	// shared answers the empty-link namespace: the engine itself, or its
+	// durable wrapper when the server runs with a store.
+	shared core.Provider
+	store  *persist.Store
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -74,10 +79,57 @@ func NewServerWith(eng *engine.Engine, cfg ServerConfig) *Server {
 		eng:    eng,
 		schema: eng.Schema(),
 		scfg:   cfg,
+		shared: eng,
 		conns:  make(map[net.Conn]struct{}),
 		links:  make(map[string]core.Provider),
 	}
 }
+
+// NewPersistentServer wraps an engine in a protocol server whose
+// subscription state is durable under the store: the shared engine is
+// recovered from (and logs to) the store's empty link, every named link
+// namespace recorded in the store is rebuilt eagerly at boot — so a
+// restarted daemon serves its full pre-crash state before the first
+// request — and links created later log from their first subscription.
+// The engine must be freshly built (recovery bulk-loads into it); the
+// store must be freshly opened and outlive the server. The caller still
+// owns both: Close stops serving without closing engine or store, but it
+// does close the recovered link namespaces.
+func NewPersistentServer(eng *engine.Engine, store *persist.Store, cfg ServerConfig) (*Server, error) {
+	if store.Schema() != eng.Schema() {
+		return nil, fmt.Errorf("sfcd: store schema differs from engine schema")
+	}
+	s := NewServerWith(eng, cfg)
+	s.store = store
+	shared, err := store.Durable("", eng)
+	if err != nil {
+		return nil, fmt.Errorf("sfcd: recovering shared engine: %w", err)
+	}
+	s.shared = shared
+	for _, link := range store.Links() {
+		if link == "" {
+			continue
+		}
+		p, err := s.buildLink(link)
+		if err != nil {
+			// Unwind what recovery built so far: the store links must be
+			// released (a retry over the same open store would otherwise
+			// hit "already wrapped") and the orphaned detectors closed.
+			for _, built := range s.links {
+				built.Close()
+			}
+			shared.Release()
+			return nil, fmt.Errorf("sfcd: recovering link %q: %w", link, err)
+		}
+		s.links[link] = p
+	}
+	return s, nil
+}
+
+// SharedProvider returns the provider behind the empty-link namespace:
+// the engine itself, or its durable wrapper on a persistent server.
+// Metrics endpoints render from it so durability counters are visible.
+func (s *Server) SharedProvider() core.Provider { return s.shared }
 
 // Listen binds addr (e.g. "127.0.0.1:7421", ":0" for an ephemeral port)
 // and starts accepting connections in the background. It returns the bound
@@ -211,6 +263,11 @@ func (s *Server) Close() error {
 	for _, p := range links {
 		p.Close()
 	}
+	if d, ok := s.shared.(*persist.DurableProvider); ok {
+		// The engine is not ours to close, but the store link must be
+		// released so a successor server can re-wrap it.
+		d.Release()
+	}
 	return nil
 }
 
@@ -343,21 +400,39 @@ func linkSeed(base int64, link string) int64 {
 	return base ^ int64(h.Sum64())
 }
 
+// buildLink constructs one named link namespace from the engine's
+// detector template, durably wrapped when the server runs with a store.
+func (s *Server) buildLink(link string) (core.Provider, error) {
+	dc := s.eng.Config().Detector
+	dc.Seed = linkSeed(dc.Seed, link)
+	p, err := core.New(dc)
+	if err != nil {
+		return nil, err
+	}
+	if s.store == nil {
+		return p, nil
+	}
+	d, err := s.store.Durable(link, p)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
 // provider resolves the namespace a request addresses: the shared engine
 // for the empty link, a lazily created detector — cloned from the
 // engine's template configuration — for any other.
 func (s *Server) provider(link string) (core.Provider, error) {
 	if link == "" {
-		return s.eng, nil
+		return s.shared, nil
 	}
 	s.linkMu.Lock()
 	defer s.linkMu.Unlock()
 	if p, ok := s.links[link]; ok {
 		return p, nil
 	}
-	dc := s.eng.Config().Detector
-	dc.Seed = linkSeed(dc.Seed, link)
-	p, err := core.New(dc)
+	p, err := s.buildLink(link)
 	if err != nil {
 		return nil, fmt.Errorf("building link %q: %w", link, err)
 	}
@@ -366,6 +441,12 @@ func (s *Server) provider(link string) (core.Provider, error) {
 }
 
 // unlink tears a link namespace down; unknown links succeed (idempotent).
+// On a persistent server unlink releases only the in-memory index: the
+// namespace's durable state survives and the link rematerializes from it
+// — subscriptions included — on its next use, which is what lets clients
+// release runtime resources without forfeiting durability. (Destroying
+// durable state is persist.DurableProvider.Purge, a store-owner
+// decision, not a wire operation.)
 func (s *Server) unlink(link string) *Response {
 	if link == "" {
 		return &Response{OK: false, Code: CodeBadRequest, Error: "cannot unlink the shared engine"}
@@ -516,6 +597,9 @@ func (s *Server) serve(req Request) *Response {
 			Rebalances:      ps.Rebalances,
 			BoundaryMoves:   ps.BoundaryMoves,
 			MigratedEntries: ps.MigratedEntries,
+			Snapshots:       ps.Snapshots,
+			WALRecords:      ps.WALRecords,
+			WALBytes:        ps.WALBytes,
 		}}
 	case "rebalance":
 		rb, ok := prov.(core.Rebalancer)
@@ -535,6 +619,15 @@ func (s *Server) serve(req Request) *Response {
 			SkewBefore: res.SkewBefore,
 			SkewAfter:  res.SkewAfter,
 		}}
+	case "snapshot":
+		ps, ok := prov.(core.Persister)
+		if !ok {
+			return &Response{OK: false, Code: CodeUnsupported, Error: "daemon runs without a data dir"}
+		}
+		if err := ps.Snapshot(); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true}
 	case "metrics":
 		return &Response{OK: true, Metrics: RenderPrometheus(prov.Stats())}
 	default:

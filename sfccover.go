@@ -37,6 +37,12 @@
 //     covered-set resubscription protocol at unsubscription time.
 //   - Schema / Subscription / Event: the multi-attribute data model, with
 //     a constraint parser and a float quantizer.
+//   - PersistStore / DurableProvider: durable subscription state — a
+//     write-ahead log riding the binary wire encoding plus point-in-time
+//     snapshots with compaction. Any Provider becomes durable by
+//     wrapping; the daemon recovers engine and link namespaces at boot
+//     (cmd/sfcd -data-dir), and broker overlays persist their link state
+//     through NetworkConfig.DataDir.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's analytical results.
@@ -49,6 +55,7 @@ import (
 	"sfccover/internal/core"
 	"sfccover/internal/dominance"
 	"sfccover/internal/engine"
+	"sfccover/internal/persist"
 	"sfccover/internal/sfcd"
 	"sfccover/internal/subscription"
 )
@@ -206,6 +213,49 @@ var (
 	ErrDaemonClientClosed = sfcd.ErrClientClosed
 )
 
+// Persister is the optional durability capability of a Provider: backends
+// whose subscription set survives a restart (a DurableProvider, a daemon
+// running with -data-dir) expose Snapshot, which compacts the write-ahead
+// log behind a point-in-time snapshot.
+type Persister = core.Persister
+
+// PersistStore is the durable home of subscription state under one data
+// dir: a write-ahead log of add/remove records (binary wire payloads,
+// length-prefixed + CRC32, segment-rotated) plus point-in-time snapshots
+// with log compaction. One store backs any number of link namespaces.
+type PersistStore = persist.Store
+
+// PersistOptions parameterizes a PersistStore (segment rotation size,
+// per-append fsync).
+type PersistOptions = persist.Options
+
+// DurableProvider wraps any Provider with write-ahead logging and
+// recovery for one link namespace of a PersistStore. Its ids are durable:
+// a recovered provider answers with the same sids the pre-crash one
+// assigned.
+type DurableProvider = persist.DurableProvider
+
+// Typed errors of the persistence layer, for errors.Is branching.
+var (
+	// ErrPersistCorrupt: durable state damaged in a way a crash cannot
+	// explain; recovery refuses to guess.
+	ErrPersistCorrupt = persist.ErrCorrupt
+	// ErrPersistSchemaMismatch: the data dir was written under a
+	// different schema.
+	ErrPersistSchemaMismatch = persist.ErrSchemaMismatch
+	// ErrSnapshotUnsupported: Snapshot on a provider with no durable
+	// store behind it.
+	ErrSnapshotUnsupported = core.ErrSnapshotUnsupported
+	// ErrProviderClosed: a batch operation issued after Close.
+	ErrProviderClosed = core.ErrProviderClosed
+)
+
+// OpenPersistStore recovers (or creates) the durable state under dir.
+// Wrap providers with (*PersistStore).Durable to make them log to it.
+func OpenPersistStore(dir string, schema *Schema, opts PersistOptions) (*PersistStore, error) {
+	return persist.Open(dir, schema, opts)
+}
+
 // Network simulates a broker overlay with covering-based subscription
 // propagation.
 type Network = broker.Network
@@ -324,6 +374,16 @@ func NewDaemonServer(e *Engine) *DaemonServer { return sfcd.NewServer(e) }
 // limit, per-request read timeout).
 func NewDaemonServerWith(e *Engine, cfg DaemonServerConfig) *DaemonServer {
 	return sfcd.NewServerWith(e, cfg)
+}
+
+// NewPersistentDaemonServer wraps an engine in a protocol server whose
+// subscription state — the shared engine and every link namespace — is
+// durable under the store: recovery runs at construction, adds and
+// removes are write-ahead logged from then on. The engine must be
+// freshly built and the store freshly opened; the caller closes both
+// after the server.
+func NewPersistentDaemonServer(e *Engine, store *PersistStore, cfg DaemonServerConfig) (*DaemonServer, error) {
+	return sfcd.NewPersistentServer(e, store, cfg)
 }
 
 // DialDaemon connects to an sfcd server with default configuration,
