@@ -13,10 +13,12 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sfccover/internal/bits"
 	"sfccover/internal/broker"
@@ -235,7 +237,7 @@ var engineBenchCfg = core.Config{
 
 // engineBenchWorkload plants parent/child covers: parents are stored, the
 // children are the queries (mostly hits, the router's steady state).
-func engineBenchWorkload(b *testing.B) (parents, queries []*subscription.Subscription) {
+func engineBenchWorkload(b testing.TB) (parents, queries []*subscription.Subscription) {
 	b.Helper()
 	schema := subscription.MustSchema(10, "volume", "price")
 	pairs, err := workload.Covers(workload.CoverSpec{
@@ -271,15 +273,16 @@ func BenchmarkCoverQueryDetectorSingleThread(b *testing.B) {
 	}
 }
 
-func benchEngineCoverQueryBatch(b *testing.B, shards int) {
+func benchEngineCoverQueryBatch(b *testing.B, shards int, telemetryOff bool) {
 	parents, queries := engineBenchWorkload(b)
 	cfg := engineBenchCfg
 	cfg.Schema = parents[0].Schema()
 	e := engine.MustNew(engine.Config{
-		Detector:  cfg,
-		Shards:    shards,
-		Partition: engine.PartitionPrefix,
-		Workers:   max(8, runtime.GOMAXPROCS(0)),
+		Detector:     cfg,
+		Shards:       shards,
+		Partition:    engine.PartitionPrefix,
+		Workers:      max(8, runtime.GOMAXPROCS(0)),
+		TelemetryOff: telemetryOff,
 	})
 	defer e.Close()
 	for _, p := range parents {
@@ -323,9 +326,79 @@ func benchEngineCoverQueryBatch(b *testing.B, shards int) {
 	})
 }
 
-func BenchmarkCoverQueryEngine1Shard(b *testing.B)   { benchEngineCoverQueryBatch(b, 1) }
-func BenchmarkCoverQueryEngine4Shards(b *testing.B)  { benchEngineCoverQueryBatch(b, 4) }
-func BenchmarkCoverQueryEngine16Shards(b *testing.B) { benchEngineCoverQueryBatch(b, 16) }
+func BenchmarkCoverQueryEngine1Shard(b *testing.B)   { benchEngineCoverQueryBatch(b, 1, false) }
+func BenchmarkCoverQueryEngine4Shards(b *testing.B)  { benchEngineCoverQueryBatch(b, 4, false) }
+func BenchmarkCoverQueryEngine16Shards(b *testing.B) { benchEngineCoverQueryBatch(b, 16, false) }
+
+// --- Telemetry overhead -----------------------------------------------
+//
+// BenchmarkCoverQueryTelemetry{On,Off} rerun the hit-heavy 4-shard batch
+// benchmark with histogram recording and trace sampling enabled (the
+// default) versus disabled (EngineConfig.TelemetryOff), so benchstat puts
+// a number on what always-on telemetry costs the hot path. EXPERIMENTS.md
+// records the measured delta.
+
+func BenchmarkCoverQueryTelemetryOn(b *testing.B)  { benchEngineCoverQueryBatch(b, 4, false) }
+func BenchmarkCoverQueryTelemetryOff(b *testing.B) { benchEngineCoverQueryBatch(b, 4, true) }
+
+// TestTelemetryOverheadSmoke pins always-on telemetry's cost on the hot
+// covering-query path — CoverQueryBatch, the router's steady state — via
+// a fixed-iteration min-of-3 comparison between a default engine and one
+// built with TelemetryOff. Timing comparisons are inherently noisy on
+// shared workers, so the test only runs when SFCCOVER_TELEMETRY_SMOKE=1
+// (CI sets it) and the bound is deliberately loose: it exists to catch a
+// recording path accidentally growing a lock, a per-query clock read or
+// an allocation, not to measure the steady-state overhead
+// (EXPERIMENTS.md records that).
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	if os.Getenv("SFCCOVER_TELEMETRY_SMOKE") == "" {
+		t.Skip("set SFCCOVER_TELEMETRY_SMOKE=1 to run the timing comparison")
+	}
+	parents, queries := engineBenchWorkload(t)
+	cfg := engineBenchCfg
+	cfg.Schema = parents[0].Schema()
+	run := func(telemetryOff bool) time.Duration {
+		e := engine.MustNew(engine.Config{
+			Detector:     cfg,
+			Shards:       4,
+			Partition:    engine.PartitionPrefix,
+			TelemetryOff: telemetryOff,
+		})
+		defer e.Close()
+		for _, p := range parents {
+			if _, err := e.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const iters = 20000
+		best := time.Duration(1<<63 - 1)
+		for round := 0; round < 3; round++ {
+			t0 := time.Now()
+			for i := 0; i < iters; i += engineBenchBatch {
+				n := min(engineBenchBatch, iters-i)
+				batch := make([]*subscription.Subscription, n)
+				for j := range batch {
+					batch[j] = queries[(i+j)%len(queries)]
+				}
+				for _, r := range e.CoverQueryBatch(batch) {
+					if r.Err != nil {
+						t.Fatal(r.Err)
+					}
+				}
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	on, off := run(false), run(true)
+	ratio := float64(on) / float64(off)
+	t.Logf("telemetry on %v, off %v (%.3fx)", on, off, ratio)
+	if ratio > 1.5 {
+		t.Errorf("telemetry overhead %.2fx exceeds the 1.5x smoke bound (on %v, off %v)", ratio, on, off)
+	}
+}
 
 // BenchmarkEngineAddBatch measures the router arrival path (query +
 // insert) through the batch API at the default shard count. The engine is

@@ -45,6 +45,7 @@ type params struct {
 	shards   int
 	batch    int
 	churn    float64
+	rounds   int
 	daemon   string
 
 	rebalThreshold float64
@@ -68,7 +69,8 @@ func main() {
 	flag.StringVar(&p.daemon, "daemon", "", "sfcd daemon address for -backend remote; \"local\" spins an in-process daemon so the whole overlay shares one index service")
 	flag.IntVar(&p.shards, "shards", 0, "per-link engine shard count (engine backends; 0 = default)")
 	flag.IntVar(&p.batch, "batch", 0, "covered-set re-forward probe batch size (0 = whole set)")
-	flag.Float64Var(&p.churn, "churn", 0.25, "fraction of subscriptions withdrawn again before publishing")
+	flag.Float64Var(&p.churn, "churn", 0.25, "fraction of the remaining subscriptions withdrawn per churn round")
+	flag.IntVar(&p.rounds, "churn-rounds", 1, "churn+publish rounds; each withdraws -churn of the remaining subscriptions, republishes the event batch and reports delivery-latency percentiles")
 	flag.Float64Var(&p.rebalThreshold, "rebalance-threshold", 0,
 		"occupancy skew ratio arming each engine-prefix link's online slice rebalancer (must exceed 1; 0 = off)")
 	flag.DurationVar(&p.rebalInterval, "rebalance-interval", 0,
@@ -122,6 +124,9 @@ func run(p params) error {
 	}
 	if p.churn < 0 || p.churn > 1 {
 		return fmt.Errorf("churn fraction %v out of [0,1]", p.churn)
+	}
+	if p.rounds < 1 {
+		return fmt.Errorf("churn rounds %d must be positive", p.rounds)
 	}
 	if cfg.Backend == broker.BackendRemote {
 		switch p.daemon {
@@ -189,22 +194,39 @@ func run(p params) error {
 		}
 	}
 	net.Drain()
-	// Withdraw a slice of the population again: unsubscription drives the
-	// covered-set resubscription path, the part of the protocol the
-	// covering optimization makes delicate.
-	nChurn := int(p.churn * float64(len(subs)))
-	for i := 0; i < nChurn; i++ {
-		if err := net.Unsubscribe(clients[i%p.nClients].ID, subs[i]); err != nil {
-			return err
-		}
+	// Withdraw a slice of the population per round: unsubscription drives
+	// the covered-set resubscription path, the part of the protocol the
+	// covering optimization makes delicate. Each round publishes the full
+	// event batch and reports delivery latency percentiles from the
+	// overlay's histogram, as an interval delta so rounds don't blur.
+	live := make([]int, len(subs))
+	for i := range live {
+		live[i] = i
 	}
-	net.Drain()
-	for i, ev := range events {
-		if err := net.Publish(clients[i%p.nClients].ID, ev); err != nil {
-			return err
+	nChurn := 0
+	lt := stats.NewTable("round", "churned", "deliveries", "p50", "p95", "p99")
+	prev := net.DeliveryLatency()
+	for r := 1; r <= p.rounds; r++ {
+		k := int(p.churn * float64(len(live)))
+		for _, i := range live[:k] {
+			if err := net.Unsubscribe(clients[i%p.nClients].ID, subs[i]); err != nil {
+				return err
+			}
 		}
+		live = live[k:]
+		nChurn += k
+		net.Drain()
+		for i, ev := range events {
+			if err := net.Publish(clients[i%p.nClients].ID, ev); err != nil {
+				return err
+			}
+		}
+		net.Drain()
+		cur := net.DeliveryLatency()
+		d := cur.Sub(prev)
+		prev = cur
+		lt.AddRow(r, k, d.Count, d.Quantile(0.50), d.Quantile(0.95), d.Quantile(0.99))
 	}
-	net.Drain()
 
 	m := net.Metrics()
 	tot := net.CoverTotals()
@@ -231,6 +253,8 @@ func run(p params) error {
 	}
 	tb.AddRow("protocol errors", m.ProtocolErrors)
 	fmt.Println(tb)
+	fmt.Println("delivery latency per churn round (publish to client hand-off):")
+	fmt.Println(lt)
 	if m.ProtocolErrors != 0 {
 		return fmt.Errorf("simulation reported %d protocol errors", m.ProtocolErrors)
 	}

@@ -7,7 +7,7 @@ func base() params {
 	return params{
 		brokers: 7, topology: "tree", nSubs: 40, nClients: 6, nEvents: 10,
 		mode: "exact", width: 0.3, dist: "uniform", seed: 1, backend: "detector",
-		churn: 0.25,
+		churn: 0.25, rounds: 1,
 	}
 }
 
@@ -43,7 +43,7 @@ func TestRunEngineBackends(t *testing.T) {
 		p.brokers, p.nSubs = 5, 30
 		p.mode, p.eps, p.maxCubes = "approx", 0.3, 2000
 		p.backend, p.shards, p.batch = backend, 2, 8
-		p.churn = 0.5
+		p.churn, p.rounds = 0.5, 3
 		if err := run(p); err != nil {
 			t.Errorf("backend %s: %v", backend, err)
 		}
@@ -71,6 +71,7 @@ func TestRunRejectsBadArguments(t *testing.T) {
 		"unknown backend":      func(p *params) { p.backend = "quantum" },
 		"remote sans daemon":   func(p *params) { p.backend = "remote" },
 		"churn out of range":   func(p *params) { p.churn = 1.5 },
+		"zero churn rounds":    func(p *params) { p.rounds = 0 },
 	}
 	for name, mutate := range mutations {
 		p := base()

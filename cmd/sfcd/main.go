@@ -25,8 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +35,7 @@ import (
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
+	"sfccover/internal/obs"
 	"sfccover/internal/persist"
 	"sfccover/internal/sfcd"
 	"sfccover/internal/subscription"
@@ -105,16 +106,26 @@ func buildConfig(o options) (engine.Config, error) {
 	}, nil
 }
 
-// metricsHandler serves the shared provider's counters in the Prometheus
-// text exposition format — the same rendering as the protocol's
-// "metrics" op, on a scrape-friendly HTTP endpoint. The provider (not
-// the bare engine) is what carries the durability counters on a
-// persistent daemon.
-func metricsHandler(p core.Provider) http.Handler {
+// metricsHandler serves the daemon's full Prometheus page — scalar
+// counters, op/stage latency histograms and per-link gauges, the same
+// rendering as the protocol's "metrics" op — on a scrape-friendly HTTP
+// endpoint.
+func metricsHandler(srv *sfcd.Server) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		fmt.Fprint(w, sfcd.RenderPrometheus(p.Stats()))
+		io.WriteString(w, srv.MetricsText()) //nolint:errcheck // best-effort scrape
 	})
+}
+
+// registerPprof mounts the net/http/pprof handlers on the metrics mux —
+// explicitly, instead of importing the package for its DefaultServeMux
+// side effect, so the daemon's main listener never exposes profiling.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // serveOptions carries the daemon-level (non-engine) flags.
@@ -126,6 +137,9 @@ type serveOptions struct {
 	dataDir          string
 	snapshotInterval time.Duration
 	walSync          bool
+	logLevel         string
+	slowQuery        time.Duration
+	slowLogSize      int
 }
 
 // validateServeOptions refuses nonsensical flag combinations with a
@@ -148,6 +162,12 @@ func validateServeOptions(so serveOptions) error {
 			return fmt.Errorf("-wal-sync needs -data-dir (there is no write-ahead log to sync)")
 		}
 	}
+	if _, err := obs.ParseLevel(so.logLevel); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	if so.slowLogSize < 0 {
+		return fmt.Errorf("-slow-log-size %d is negative (0 means the default %d)", so.slowLogSize, obs.DefaultSlowLogSize)
+	}
 	return nil
 }
 
@@ -167,6 +187,9 @@ func run(args []string, stderr io.Writer) int {
 	fs.StringVar(&so.dataDir, "data-dir", "", "directory for durable subscription state: WAL + snapshots; recovery runs at boot (empty = in-memory only)")
 	fs.DurationVar(&so.snapshotInterval, "snapshot-interval", 0, "period between automatic snapshots compacting the WAL (0 = only on shutdown; needs -data-dir)")
 	fs.BoolVar(&so.walSync, "wal-sync", false, "fsync the WAL after every append (bounds loss on power failure at a throughput cost; needs -data-dir)")
+	fs.StringVar(&so.logLevel, "log-level", "info", "daemon log threshold: debug, info, warn or error")
+	fs.DurationVar(&so.slowQuery, "slow-query", 0, "queries at least this slow enter the slow-query log (0 = default 10ms, negative = log every traced query)")
+	fs.IntVar(&so.slowLogSize, "slow-log-size", 0, "slow-query ring capacity (0 = default 128)")
 	fs.StringVar(&o.attrs, "attrs", "volume,price", "comma-separated attribute names")
 	fs.IntVar(&o.bits, "bits", 10, "per-attribute resolution in bits (1..16)")
 	fs.StringVar(&o.mode, "mode", "approx", "detection mode: off, exact or approx")
@@ -195,11 +218,17 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sfcd: %v\n", err)
 		return 2
 	}
+	level, _ := obs.ParseLevel(so.logLevel) // validated above
+	lg := obs.NewLogger(stderr, level)
 	cfg, err := buildConfig(o)
 	if err != nil {
 		fmt.Fprintf(stderr, "sfcd: %v\n", err)
 		return 2
 	}
+	cfg.Obs = obs.New(obs.Config{
+		SlowThreshold: so.slowQuery,
+		SlowLogSize:   so.slowLogSize,
+	})
 	eng, err := engine.New(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "sfcd: %v\n", err)
@@ -223,7 +252,7 @@ func run(args []string, stderr io.Writer) int {
 			return 1
 		}
 		ss := store.Stats()
-		log.Printf("sfcd: recovered %d subscriptions across %d link namespaces from %s", ss.Entries, ss.Links, so.dataDir)
+		lg.Info("recovered durable state", "entries", ss.Entries, "links", ss.Links, "dir", so.dataDir)
 	} else {
 		srv = sfcd.NewServerWith(eng, scfg)
 	}
@@ -233,16 +262,17 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	log.Printf("sfcd: serving %d-bit schema %s on %s (%d shards, %s partition, %s mode)",
-		o.bits, o.attrs, bound, eng.NumShards(), eng.PartitionStrategy(), eng.Mode())
+	lg.Info("serving", "addr", bound.String(), "bits", o.bits, "attrs", o.attrs,
+		"shards", eng.NumShards(), "partition", string(eng.PartitionStrategy()), "mode", eng.Mode().String())
 
 	if so.metricsAddr != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", metricsHandler(srv.SharedProvider()))
+		mux.Handle("/metrics", metricsHandler(srv))
+		registerPprof(mux)
 		go func() {
-			log.Printf("sfcd: metrics on http://%s/metrics", so.metricsAddr)
+			lg.Info("metrics listener up", "metrics", "http://"+so.metricsAddr+"/metrics", "pprof", "http://"+so.metricsAddr+"/debug/pprof/")
 			if err := http.ListenAndServe(so.metricsAddr, mux); err != nil {
-				log.Printf("sfcd: metrics server: %v", err)
+				lg.Error("metrics server failed", "err", err)
 			}
 		}()
 	}
@@ -258,7 +288,9 @@ func run(args []string, stderr io.Writer) int {
 					return
 				case <-ticker.C:
 					if err := store.Snapshot(); err != nil {
-						log.Printf("sfcd: periodic snapshot: %v", err)
+						lg.Warn("periodic snapshot failed", "err", err)
+					} else {
+						lg.Debug("periodic snapshot taken")
 					}
 				}
 			}
@@ -268,14 +300,14 @@ func run(args []string, stderr io.Writer) int {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("sfcd: shutting down")
+	lg.Info("shutting down")
 	close(stopSnapshots)
 	srv.Close()
 	if store != nil {
 		// A final snapshot makes the next boot a pure snapshot load
 		// instead of a WAL replay.
 		if err := store.Snapshot(); err != nil {
-			log.Printf("sfcd: shutdown snapshot: %v", err)
+			lg.Error("shutdown snapshot failed", "err", err)
 		}
 	}
 	return 0

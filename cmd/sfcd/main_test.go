@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -92,8 +93,9 @@ func TestMetricsHandler(t *testing.T) {
 	if _, err := eng.Insert(subscription.MustParse(cfg.Detector.Schema, "volume in [1,5]")); err != nil {
 		t.Fatal(err)
 	}
+	srv := sfcd.NewServer(eng)
 
-	ts := httptest.NewServer(metricsHandler(eng))
+	ts := httptest.NewServer(metricsHandler(srv))
 	defer ts.Close()
 	resp, err := ts.Client().Get(ts.URL)
 	if err != nil {
@@ -109,6 +111,58 @@ func TestMetricsHandler(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "sfcd_subscriptions 1\n") {
 		t.Fatalf("exposition missing subscription gauge:\n%s", body)
+	}
+	// The same page carries the daemon's latency histograms: the insert
+	// above went through the engine's instrumented single-op path.
+	if !strings.Contains(string(body), `sfcd_op_latency_seconds_count{op="engine_insert"}`) {
+		t.Fatalf("exposition missing op latency histograms:\n%s", body)
+	}
+}
+
+// TestPprofEndpoint checks the profiling handlers mount on the metrics
+// mux (and only there).
+func TestPprofEndpoint(t *testing.T) {
+	mux := http.NewServeMux()
+	registerPprof(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index lacks profile listing:\n%.400s", body)
+	}
+}
+
+// TestValidateServeOptionsObservability covers the new telemetry flags.
+func TestValidateServeOptionsObservability(t *testing.T) {
+	base := serveOptions{logLevel: "info"}
+	if err := validateServeOptions(base); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	bad := base
+	bad.logLevel = "loud"
+	if err := validateServeOptions(bad); err == nil {
+		t.Fatal("bogus -log-level accepted")
+	}
+	bad = base
+	bad.slowLogSize = -1
+	if err := validateServeOptions(bad); err == nil {
+		t.Fatal("negative -slow-log-size accepted")
+	}
+	neg := base
+	neg.slowQuery = -1 // log every traced query: explicitly allowed
+	if err := validateServeOptions(neg); err != nil {
+		t.Fatalf("negative -slow-query rejected: %v", err)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sfccover/internal/core"
+	"sfccover/internal/obs"
 	"sfccover/internal/subscription"
 )
 
@@ -137,6 +138,11 @@ type message struct {
 	sub   *subscription.Subscription // subscribe/unsubscribe payload
 	event subscription.Event         // event payload
 	kind  msgKind
+	// at is the event's origin timestamp, stamped at Publish and
+	// propagated unchanged through every forwarding hop, so delivery
+	// latency measures publish-to-client end to end. Zero on
+	// subscribe/unsubscribe messages.
+	at time.Time
 }
 
 type msgKind int
@@ -177,6 +183,17 @@ type Network struct {
 	nextCli int
 	queue   []message
 	metrics Metrics
+	lat     *linkLatency
+}
+
+// linkLatency holds the overlay's latency histograms, shared by every
+// broker (and by both runtimes — the Concurrent wrapper reuses the
+// Network's). delivery measures publish to client hand-off, end to end
+// across hops; forward measures the covering query a subscription
+// forward waits on (the paper's per-link detection cost, as latency).
+type linkLatency struct {
+	delivery *obs.Histogram
+	forward  *obs.Histogram
 }
 
 // environment is the world a broker's state machine acts on: it sends
@@ -211,6 +228,7 @@ type Broker struct {
 	out       map[int]*neighborState // per neighbor
 	clients   []int                  // sorted attachment order
 	batch     int                    // covered-set re-probe chunk size (0 = all)
+	lat       *linkLatency           // overlay-shared latency histograms
 }
 
 // tableRow is one routing-table entry: a subscription together with the
@@ -257,12 +275,16 @@ func NewNetwork(topo Topology, cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, src: src, clients: make(map[int]*Client)}
+	n := &Network{
+		cfg: cfg, src: src, clients: make(map[int]*Client),
+		lat: &linkLatency{delivery: obs.NewHistogram(), forward: obs.NewHistogram()},
+	}
 	n.brokers = make([]*Broker, topo.N)
 	for i := range n.brokers {
 		n.brokers[i] = &Broker{
 			id:    i,
 			env:   n,
+			lat:   n.lat,
 			table: make(map[string]*tableRow),
 			out:   make(map[int]*neighborState),
 		}
@@ -498,6 +520,7 @@ func (n *Network) Publish(clientID int, e subscription.Event) error {
 	n.queue = append(n.queue, message{
 		to: c.Broker, from: iface{kind: ifClient, id: clientID},
 		event: append(subscription.Event(nil), e...), kind: msgEvent,
+		at: time.Now(),
 	})
 	return nil
 }
@@ -517,7 +540,7 @@ func (n *Network) Drain() int {
 		case msgUnsubscribe:
 			b.handleUnsubscribe(m.from, m.sub)
 		case msgEvent:
-			b.handleEvent(m.from, m.event)
+			b.handleEvent(m.from, m.event, m.at)
 		}
 	}
 	return processed
@@ -569,7 +592,9 @@ func (b *Broker) forwardIfUncovered(j int, s *subscription.Subscription) {
 		b.forward(j, st, key, s)
 		return
 	}
+	t0 := time.Now()
 	_, covered, _, err := st.fwd.FindCover(s)
+	b.lat.forward.Observe(time.Since(t0))
 	if err != nil {
 		// Covering detection is unavailable (a remote provider's daemon
 		// may be unreachable): degrade to flooding. Forwarding costs only
@@ -842,7 +867,7 @@ func (b *Broker) sortedRows() []*tableRow {
 	return rows
 }
 
-func (b *Broker) handleEvent(from iface, e subscription.Event) {
+func (b *Broker) handleEvent(from iface, e subscription.Event, at time.Time) {
 	delivered := make(map[int]bool)
 	forward := make(map[int]bool)
 	for _, r := range b.sortedRows() {
@@ -853,6 +878,9 @@ func (b *Broker) handleEvent(from iface, e subscription.Event) {
 		case ifClient:
 			if !delivered[r.from.id] {
 				delivered[r.from.id] = true
+				if !at.IsZero() {
+					b.lat.delivery.Observe(time.Since(at))
+				}
 				b.env.deliver(r.from.id, e)
 			}
 		case ifNeighbor:
@@ -871,9 +899,20 @@ func (b *Broker) handleEvent(from iface, e subscription.Event) {
 		b.env.enqueue(message{
 			to: j, from: iface{kind: ifNeighbor, id: b.id},
 			event: append(subscription.Event(nil), e...), kind: msgEvent,
+			at: at,
 		})
 	}
 }
+
+// DeliveryLatency returns a snapshot of the overlay's end-to-end event
+// delivery latency histogram (publish to client hand-off, across hops).
+// Use obs.Snapshot.Quantile for percentiles and Sub for interval deltas.
+func (n *Network) DeliveryLatency() obs.Snapshot { return n.lat.delivery.Snapshot() }
+
+// ForwardLatency returns a snapshot of the per-link covering-query
+// latency histogram: the time subscription forwards spend waiting on
+// FindCover against the link's forwarded set.
+func (n *Network) ForwardLatency() obs.Snapshot { return n.lat.forward.Snapshot() }
 
 // enqueue implements environment for the sequential Network.
 func (n *Network) enqueue(m message) { n.queue = append(n.queue, m) }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"sfccover/internal/obs"
 	"sfccover/internal/subscription"
 )
 
@@ -131,7 +133,7 @@ func (c *Concurrent) run(b *Broker, inbox chan message) {
 			case msgUnsubscribe:
 				b.handleUnsubscribe(m.from, m.sub)
 			case msgEvent:
-				b.handleEvent(m.from, m.event)
+				b.handleEvent(m.from, m.event, m.at)
 			}
 			c.inflight.Done()
 		}
@@ -234,6 +236,7 @@ func (c *Concurrent) Publish(clientID int, e subscription.Event) error {
 	c.enqueue(message{
 		to: cl.Broker, from: iface{kind: ifClient, id: clientID},
 		event: append(subscription.Event(nil), e...), kind: msgEvent,
+		at: time.Now(),
 	})
 	return nil
 }
@@ -276,6 +279,15 @@ func (c *Concurrent) Metrics() Metrics {
 		ProtocolErrors:     int(c.protocolErrors.Load()),
 	}
 }
+
+// DeliveryLatency returns a snapshot of the overlay's end-to-end event
+// delivery latency histogram. The histograms are lock-free, so the
+// snapshot is safe (and meaningful) even while traffic is in flight.
+func (c *Concurrent) DeliveryLatency() obs.Snapshot { return c.net.DeliveryLatency() }
+
+// ForwardLatency returns a snapshot of the per-link covering-query
+// latency histogram.
+func (c *Concurrent) ForwardLatency() obs.Snapshot { return c.net.ForwardLatency() }
 
 // TableRows reports the total routing-table rows. Only stable at
 // quiescence.

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"sfccover/internal/dominance"
+	"sfccover/internal/obs"
 	"sfccover/internal/subscription"
 )
 
@@ -351,6 +352,13 @@ func (d *Detector) Subscription(id uint64) (*subscription.Subscription, bool) {
 // configured mode. The returned stats are zero-valued for non-SFC
 // strategies and for ModeOff.
 func (d *Detector) FindCover(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error) {
+	return d.FindCoverTraced(s, nil)
+}
+
+// FindCoverTraced is FindCover with an optional trace record threaded
+// into the index search, which then appends its stage timings and
+// samples probe latencies. tr may be nil (the hot path).
+func (d *Detector) FindCoverTraced(s *subscription.Subscription, tr *obs.QueryTrace) (id uint64, found bool, stats dominance.Stats, err error) {
 	if s.Schema() != d.cfg.Schema {
 		return 0, false, stats, fmt.Errorf("core: subscription schema differs from detector schema")
 	}
@@ -360,10 +368,10 @@ func (d *Detector) FindCover(s *subscription.Subscription) (id uint64, found boo
 	case ModeOff:
 		return 0, false, stats, nil
 	case ModeApprox:
-		id, found, stats, err = d.sfc.Query(s.Point(), d.cfg.Epsilon)
+		id, found, stats, err = d.sfc.QueryTraced(s.Point(), d.cfg.Epsilon, tr)
 	default: // ModeExact
 		if d.sfc != nil {
-			id, found, stats, err = d.sfc.Query(s.Point(), 0)
+			id, found, stats, err = d.sfc.QueryTraced(s.Point(), 0, tr)
 		} else {
 			id, found = d.exact.QueryDominating(s.Point())
 		}
@@ -388,6 +396,12 @@ func (d *Detector) FindCover(s *subscription.Subscription) (id uint64, found boo
 // guarantee applies: a reported subscription is genuinely covered, misses
 // are possible.
 func (d *Detector) FindCovered(s *subscription.Subscription) (id uint64, found bool, stats dominance.Stats, err error) {
+	return d.FindCoveredTraced(s, nil)
+}
+
+// FindCoveredTraced is FindCovered with an optional trace record; see
+// FindCoverTraced. tr may be nil.
+func (d *Detector) FindCoveredTraced(s *subscription.Subscription, tr *obs.QueryTrace) (id uint64, found bool, stats dominance.Stats, err error) {
 	if s.Schema() != d.cfg.Schema {
 		return 0, false, stats, fmt.Errorf("core: subscription schema differs from detector schema")
 	}
@@ -411,7 +425,7 @@ func (d *Detector) FindCovered(s *subscription.Subscription) (id uint64, found b
 	if d.mirror == nil {
 		return 0, false, stats, fmt.Errorf("core: approximate FindCovered requires Config.TrackCovered")
 	}
-	id, found, stats, err = d.mirror.Query(d.mirrorPoint(s.Point()), d.cfg.Epsilon)
+	id, found, stats, err = d.mirror.QueryTraced(d.mirrorPoint(s.Point()), d.cfg.Epsilon, tr)
 	if err != nil {
 		return 0, false, stats, err
 	}

@@ -1,0 +1,19 @@
+package core
+
+import "sfccover/internal/obs"
+
+// SetObserver attaches a latency observer to the detector's SFC indexes:
+// run probes issued by its queries are sampled into the observer's
+// "run_probe" histogram. It must be called before the detector serves
+// concurrent traffic — the underlying index fields are read without
+// synchronization on the probe path. Detectors without the SFC strategy
+// (linear/kd-tree baselines) have no probes to meter; the call is then a
+// no-op.
+func (d *Detector) SetObserver(o *obs.Observer) {
+	if d.sfc != nil {
+		d.sfc.SetObserver(o)
+	}
+	if d.mirror != nil {
+		d.mirror.SetObserver(o)
+	}
+}

@@ -22,7 +22,7 @@ import (
 	"sort"
 
 	"sfccover/internal/bits"
-	"sfccover/internal/geom"
+	"sfccover/internal/obs"
 	"sfccover/internal/sfc"
 	"sfccover/internal/sfcarray"
 )
@@ -102,6 +102,9 @@ type Index struct {
 	cfg   Config
 	curve sfc.Curve
 	arr   sfcarray.Index
+	// probeHist, when set via SetObserver, receives sampled run-probe
+	// latencies.
+	probeHist *obs.Histogram
 }
 
 // NewIndex builds an SFC dominance index.
@@ -193,38 +196,5 @@ func (x *Index) QueryDominating(q []uint32) (uint64, bool) {
 	return id, ok
 }
 
-// Query answers a point dominance query at q. eps == 0 requests an
-// exhaustive search (Problem 1); 0 < eps < 1 requests an ε-approximate
-// search (Problem 2) that truncates the query region per Lemma 3.2 and
-// probes cubes largest-first, stopping as soon as a point is found or the
-// searched volume reaches (1−ε) of the query region.
-func (x *Index) Query(q []uint32, eps float64) (uint64, bool, Stats, error) {
-	var stats Stats
-	if len(q) != x.cfg.Dims {
-		return 0, false, stats, fmt.Errorf("dominance: query has %d dims, index has %d", len(q), x.cfg.Dims)
-	}
-	if eps < 0 || eps >= 1 {
-		return 0, false, stats, fmt.Errorf("dominance: epsilon %v out of range [0,1)", eps)
-	}
-	region := geom.QueryRegion(q, x.cfg.Bits)
-	stats.AspectRatio = region.AspectRatio()
-
-	if eps == 0 {
-		return x.queryExhaustive(region, &stats)
-	}
-	return x.queryApprox(region, eps, &stats)
-}
-
-// queryExhaustive runs the exhaustive search (see searchExhaustive)
-// against the index's single array.
-func (x *Index) queryExhaustive(region geom.Extremal, stats *Stats) (uint64, bool, Stats, error) {
-	id, ok, err := searchExhaustive(x.curve, x.cfg.Bits, x.arr.FirstInRange, region, stats)
-	return id, ok, *stats, err
-}
-
-// queryApprox runs the Section 5 ε-approximate search (see searchApprox)
-// against the index's single array.
-func (x *Index) queryApprox(region geom.Extremal, eps float64, stats *Stats) (uint64, bool, Stats, error) {
-	id, ok, err := searchApprox(x.curve, x.cfg.Bits, x.cfg.MaxCubes, x.arr.FirstInRange, region, eps, stats)
-	return id, ok, *stats, err
-}
+// Query is defined in traced.go: it delegates to QueryTraced with a
+// nil trace record.

@@ -1,9 +1,12 @@
 package dominance
 
 import (
+	"time"
+
 	"sfccover/internal/bits"
 	"sfccover/internal/cubes"
 	"sfccover/internal/geom"
+	"sfccover/internal/obs"
 	"sfccover/internal/sfc"
 )
 
@@ -16,16 +19,28 @@ type probeFn func(lo, hi bits.Key) (id uint64, ok bool)
 
 // searchExhaustive decomposes the whole query region, merges the
 // partition into maximal runs — the probe count is runs(R(ℓ)), the paper's
-// exhaustive cost — and probes every run until a point turns up.
-func searchExhaustive(curve sfc.Curve, k int, probe probeFn, region geom.Extremal, stats *Stats) (uint64, bool, error) {
+// exhaustive cost — and probes every run until a point turns up. A
+// non-nil tr collects stage timings: "decompose" covers the partition and
+// run merge, "probes" the probe loop.
+func searchExhaustive(curve sfc.Curve, k int, probe probeFn, region geom.Extremal, stats *Stats, tr *obs.QueryTrace) (uint64, bool, error) {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	partition, err := cubes.Decompose(region.Rect(), k)
 	if err != nil {
 		return 0, false, err
 	}
+	runs := cubes.Runs(curve, partition)
+	if tr != nil {
+		tr.AddStage("decompose", time.Since(t0), len(partition))
+		pt := time.Now()
+		defer func() { tr.AddStage("probes", time.Since(pt), stats.RunsProbed) }()
+	}
 	stats.CubesGenerated = len(partition)
 	stats.VolumeFraction = 1
 	stats.SearchedLen = append([]uint64(nil), region.Len...)
-	for _, r := range cubes.Runs(curve, partition) {
+	for _, r := range runs {
 		stats.RunsProbed++
 		if id, ok := probe(r.Lo, r.Hi); ok {
 			stats.Found = true
@@ -40,12 +55,23 @@ func searchExhaustive(curve sfc.Curve, k int, probe probeFn, region geom.Extrema
 // cubes first) with the Appendix-A algorithm, probing each cube's key
 // range as it is produced. The search ends at the first hit, at the level
 // boundary where the searched volume reaches (1−ε) of the query region, or
-// at the maxCubes cap.
-func searchApprox(curve sfc.Curve, k, maxCubes int, probe probeFn, region geom.Extremal, eps float64, stats *Stats) (uint64, bool, error) {
+// at the maxCubes cap. A non-nil tr collects stage timings: "truncate"
+// covers the Lemma 3.2 truncation, "enumerate_probes" the interleaved
+// cube enumeration and probe loop.
+func searchApprox(curve sfc.Curve, k, maxCubes int, probe probeFn, region geom.Extremal, eps float64, stats *Stats, tr *obs.QueryTrace) (uint64, bool, error) {
 	fullVol := region.Volume()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	target, m, err := cubes.TruncateExtremal(region, eps)
 	if err != nil {
 		return 0, false, err
+	}
+	if tr != nil {
+		tr.AddStage("truncate", time.Since(t0), m)
+		pt := time.Now()
+		defer func() { tr.AddStage("enumerate_probes", time.Since(pt), stats.RunsProbed) }()
 	}
 	stats.M = m
 	targetVol := (1 - eps) * fullVol

@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 
 	"sfccover/internal/bits"
-	"sfccover/internal/geom"
+	"sfccover/internal/obs"
 	"sfccover/internal/sfc"
 	"sfccover/internal/sfcarray"
 )
@@ -45,6 +45,9 @@ type ShardedIndex struct {
 	curve  sfc.Curve
 	keyLen int // curve key width, Dims*Bits
 	shards []shardSlot
+	// probeHist, when set via SetObserver, receives sampled run-probe
+	// latencies.
+	probeHist *obs.Histogram
 
 	// table points at the current boundary table: table[i] is the first
 	// key slice i owns, table[0] is the zero key, and slice i ends where
@@ -443,24 +446,5 @@ func abs(v int) int {
 // straddling a slice boundary costs one probe per shard touched but is
 // counted once).
 func (x *ShardedIndex) Query(q []uint32, eps float64) (uint64, bool, Stats, error) {
-	var stats Stats
-	if len(q) != x.cfg.Dims {
-		return 0, false, stats, errDims(len(q), x.cfg.Dims)
-	}
-	if eps < 0 || eps >= 1 {
-		return 0, false, stats, errEps(eps)
-	}
-	region := geom.QueryRegion(q, x.cfg.Bits)
-	stats.AspectRatio = region.AspectRatio()
-	var (
-		id  uint64
-		ok  bool
-		err error
-	)
-	if eps == 0 {
-		id, ok, err = searchExhaustive(x.curve, x.cfg.Bits, x.probe, region, &stats)
-	} else {
-		id, ok, err = searchApprox(x.curve, x.cfg.Bits, x.cfg.MaxCubes, x.probe, region, eps, &stats)
-	}
-	return id, ok, stats, err
+	return x.QueryTraced(q, eps, nil)
 }

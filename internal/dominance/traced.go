@@ -1,0 +1,173 @@
+package dominance
+
+import (
+	"time"
+
+	"sfccover/internal/bits"
+	"sfccover/internal/geom"
+	"sfccover/internal/obs"
+)
+
+// probeSampleMask times one run probe in 8 within a traced query: a
+// probe is a short ordered-structure search, so reading the clock
+// around every one would meter the clock, not the probe. Combined with
+// query-level trace sampling, the "run_probe" histogram holds a
+// uniform sample of probe latencies — the distribution is unbiased,
+// only the _count is scaled — and untraced queries pay nothing.
+const probeSampleMask = 7
+
+// SetObserver attaches a latency observer: run probes issued by traced
+// queries are recorded (sampled) into the observer's "run_probe"
+// histogram. Must be called before the index serves concurrent queries
+// — the field is read without synchronization on the probe path.
+func (x *Index) SetObserver(o *obs.Observer) { x.probeHist = o.Hist("run_probe") }
+
+// SetObserver attaches a latency observer to the sharded index; see
+// (*Index).SetObserver.
+func (x *ShardedIndex) SetObserver(o *obs.Observer) { x.probeHist = o.Hist("run_probe") }
+
+// Query answers a point dominance query at q. eps == 0 requests an
+// exhaustive search (Problem 1); 0 < eps < 1 requests an ε-approximate
+// search (Problem 2) that truncates the query region per Lemma 3.2 and
+// probes cubes largest-first, stopping as soon as a point is found or
+// the searched volume reaches (1−ε) of the query region.
+func (x *Index) Query(q []uint32, eps float64) (uint64, bool, Stats, error) {
+	return x.QueryTraced(q, eps, nil)
+}
+
+// QueryTraced is Query with an optional trace record: when tr is
+// non-nil the search appends its stage timings (decomposition or
+// truncation, then the probe loop) to it. tr may be nil.
+func (x *Index) QueryTraced(q []uint32, eps float64, tr *obs.QueryTrace) (uint64, bool, Stats, error) {
+	var stats Stats
+	if len(q) != x.cfg.Dims {
+		return 0, false, stats, errDims(len(q), x.cfg.Dims)
+	}
+	if eps < 0 || eps >= 1 {
+		return 0, false, stats, errEps(eps)
+	}
+	region := geom.QueryRegion(q, x.cfg.Bits)
+	stats.AspectRatio = region.AspectRatio()
+	// Probe metering rides the trace sample: untraced queries — the vast
+	// majority — run the raw probe with no wrapper, no counter and no
+	// clock reads.
+	probe := probeFn(x.arr.FirstInRange)
+	if tr != nil {
+		probe = sampledProbe(probe, x.probeHist)
+	}
+	var (
+		id  uint64
+		ok  bool
+		err error
+	)
+	if eps == 0 {
+		id, ok, err = searchExhaustive(x.curve, x.cfg.Bits, probe, region, &stats, tr)
+	} else {
+		id, ok, err = searchApprox(x.curve, x.cfg.Bits, x.cfg.MaxCubes, probe, region, eps, &stats, tr)
+	}
+	return id, ok, stats, err
+}
+
+// QueryTraced is Query with an optional trace record: stage timings
+// plus per-slice probe counts (tr.Slices) showing how the probe traffic
+// spread over the key slices. tr may be nil.
+func (x *ShardedIndex) QueryTraced(q []uint32, eps float64, tr *obs.QueryTrace) (uint64, bool, Stats, error) {
+	var stats Stats
+	if len(q) != x.cfg.Dims {
+		return 0, false, stats, errDims(len(q), x.cfg.Dims)
+	}
+	if eps < 0 || eps >= 1 {
+		return 0, false, stats, errEps(eps)
+	}
+	region := geom.QueryRegion(q, x.cfg.Bits)
+	stats.AspectRatio = region.AspectRatio()
+	probe := x.tracedProbe(tr)
+	var (
+		id  uint64
+		ok  bool
+		err error
+	)
+	if eps == 0 {
+		id, ok, err = searchExhaustive(x.curve, x.cfg.Bits, probe, region, &stats, tr)
+	} else {
+		id, ok, err = searchApprox(x.curve, x.cfg.Bits, x.cfg.MaxCubes, probe, region, eps, &stats, tr)
+	}
+	return id, ok, stats, err
+}
+
+// tracedProbe picks the probe implementation for one query: the plain
+// routed probe for untraced queries (no wrapper, no clock reads), else
+// a wrapper that counts probes per slice into tr and samples probe
+// latency into the histogram. The counter lives in the closure — each
+// traced query owns its own — so traced probing adds no shared state
+// to the lock-free probe path.
+func (x *ShardedIndex) tracedProbe(tr *obs.QueryTrace) probeFn {
+	if tr == nil {
+		return x.probe
+	}
+	hist := x.probeHist
+	n := 0
+	return func(lo, hi bits.Key) (uint64, bool) {
+		n++
+		if hist != nil && n&probeSampleMask == 1 {
+			t0 := time.Now()
+			id, ok := x.probeTouched(lo, hi, tr)
+			hist.Observe(time.Since(t0))
+			return id, ok
+		}
+		return x.probeTouched(lo, hi, tr)
+	}
+}
+
+// probeTouched is probe with per-slice trace accounting: identical
+// retry-validated routing, but every slice visited is counted against
+// tr. tr may be nil (TouchSlice is nil-safe).
+func (x *ShardedIndex) probeTouched(lo, hi bits.Key, tr *obs.QueryTrace) (uint64, bool) {
+	for {
+		tabPtr := x.table.Load()
+		first, last := routeKey(*tabPtr, lo), routeKey(*tabPtr, hi)
+		var id uint64
+		ok := false
+		for i := first; i <= last && !ok; i++ {
+			tr.TouchSlice(i)
+			s := &x.shards[i]
+			s.mu.RLock()
+			id, ok = s.arr.FirstInRange(lo, hi)
+			s.mu.RUnlock()
+		}
+		if x.table.Load() == tabPtr {
+			return id, ok
+		}
+	}
+}
+
+// sampledProbe wraps a raw probe with 1-in-8 latency sampling; it
+// returns the probe unchanged when no histogram is attached.
+func sampledProbe(raw probeFn, hist *obs.Histogram) probeFn {
+	if hist == nil {
+		return raw
+	}
+	n := 0
+	return func(lo, hi bits.Key) (uint64, bool) {
+		n++
+		if n&probeSampleMask == 1 {
+			t0 := time.Now()
+			id, ok := raw(lo, hi)
+			hist.Observe(time.Since(t0))
+			return id, ok
+		}
+		return raw(lo, hi)
+	}
+}
+
+// CostOf copies a Stats into the dependency-free trace cost record.
+func CostOf(s Stats) obs.QueryCost {
+	return obs.QueryCost{
+		M:              s.M,
+		CubesGenerated: s.CubesGenerated,
+		RunsProbed:     s.RunsProbed,
+		VolumeFraction: s.VolumeFraction,
+		AspectRatio:    s.AspectRatio,
+		Found:          s.Found,
+	}
+}

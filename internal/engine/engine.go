@@ -34,6 +34,7 @@ import (
 
 	"sfccover/internal/core"
 	"sfccover/internal/dominance"
+	"sfccover/internal/obs"
 	"sfccover/internal/subscription"
 )
 
@@ -79,6 +80,16 @@ type Config struct {
 	// migration-rate cap bounding how much index churn one pass (or one
 	// background tick) may cause (default 2×Shards).
 	RebalanceMaxMoves int
+	// Obs is the engine's observer: latency histograms at every tier,
+	// sampled query traces and the slow-query log. Leave nil to have the
+	// engine build one with default settings; telemetry is on by default
+	// and cheap enough to stay on (set TelemetryOff to disable it
+	// entirely).
+	Obs *obs.Observer
+	// TelemetryOff disables all latency recording and tracing. The
+	// benchmark suite uses it to pin the telemetry overhead bound; it is
+	// not meant for production configurations.
+	TelemetryOff bool
 }
 
 // DefaultShards is the shard count used when Config leaves Shards zero.
@@ -131,11 +142,15 @@ type backend interface {
 	insertBatch(subs []*subscription.Subscription, par func(n int, fn func(i int))) ([]uint64, []error)
 	remove(id uint64) error
 	subscription(id uint64) (*subscription.Subscription, bool)
-	findCover(s *subscription.Subscription) (QueryResult, int)
-	findCovered(s *subscription.Subscription) (QueryResult, int)
+	findCover(s *subscription.Subscription, tr *obs.QueryTrace) (QueryResult, int)
+	findCovered(s *subscription.Subscription, tr *obs.QueryTrace) (QueryResult, int)
 	shardFor(p []uint32) int
 	length() int
 	shardSizes() []int
+	// setObserver attaches latency histograms to the plan's search
+	// internals (shard searches, run probes). Called once at
+	// construction, before the engine serves traffic.
+	setObserver(o *obs.Observer)
 }
 
 // rebalancer is the optional backend capability behind Engine.Rebalance:
@@ -184,6 +199,19 @@ type Engine struct {
 	rebalances      atomic.Int64
 	boundaryMoves   atomic.Int64
 	migratedEntries atomic.Int64
+
+	// obs is the engine's observer; nil when Config.TelemetryOff. The
+	// histogram pointers below are resolved once at construction so the
+	// hot paths never touch the registry lock.
+	obs          *obs.Observer
+	hQuery       *obs.Histogram
+	hCovered     *obs.Histogram
+	hInsert      *obs.Histogram
+	hRemove      *obs.Histogram
+	hAddBatch    *obs.Histogram
+	hInsertBatch *obs.Histogram
+	hQueryBatch  *obs.Histogram
+	hRemoveBatch *obs.Histogram
 }
 
 // New builds an Engine.
@@ -244,6 +272,22 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if !cfg.TelemetryOff {
+		if cfg.Obs == nil {
+			cfg.Obs = obs.New(obs.Config{})
+			e.cfg.Obs = cfg.Obs
+		}
+		e.obs = cfg.Obs
+		e.hQuery = e.obs.Hist("engine_query")
+		e.hCovered = e.obs.Hist("engine_covered")
+		e.hInsert = e.obs.Hist("engine_insert")
+		e.hRemove = e.obs.Hist("engine_remove")
+		e.hAddBatch = e.obs.Hist("engine_add_batch")
+		e.hInsertBatch = e.obs.Hist("engine_insert_batch")
+		e.hQueryBatch = e.obs.Hist("engine_query_batch")
+		e.hRemoveBatch = e.obs.Hist("engine_remove_batch")
+		e.be.setObserver(e.obs)
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -405,17 +449,80 @@ func (e *Engine) checkSchema(s *subscription.Subscription) error {
 	return nil
 }
 
-// findCover runs one logical covering query and records it.
+// findCover runs one logical covering query and records it: counters
+// always, latency when telemetry is on, and a full trace record for the
+// 1-in-TraceSample queries the observer elects (slow ones land in the
+// slow-query log).
 func (e *Engine) findCover(s *subscription.Subscription) QueryResult {
+	return e.findCoverTraced(s, e.obs.SampleTrace("query"))
+}
+
+// findCoverHot is findCover for batch items. On machines without a fast
+// clock path a time.Now pair costs a measurable slice of a hot covering
+// query, so batch items skip per-item timing unless the observer elects
+// them for tracing: the engine_query histogram then holds every
+// single-op call exactly plus a 1-in-TraceSample sample of batch
+// traffic (unbiased, only the count is scaled), while the batch-level
+// histogram still times every batch call.
+func (e *Engine) findCoverHot(s *subscription.Subscription) QueryResult {
+	tr := e.obs.SampleTrace("query")
+	if tr != nil {
+		return e.findCoverTraced(s, tr)
+	}
 	if err := e.checkSchema(s); err != nil {
 		return QueryResult{Err: err}
 	}
-	res, searches := e.be.findCover(s)
+	res, searches := e.be.findCover(s, nil)
 	if res.Err != nil {
 		return res
 	}
 	e.record(res, searches)
 	return res
+}
+
+// findCoverTraced is findCover with an explicit (possibly nil) trace.
+func (e *Engine) findCoverTraced(s *subscription.Subscription, tr *obs.QueryTrace) QueryResult {
+	if err := e.checkSchema(s); err != nil {
+		return QueryResult{Err: err}
+	}
+	var t0 time.Time
+	if e.hQuery != nil || tr != nil {
+		t0 = time.Now()
+	}
+	res, searches := e.be.findCover(s, tr)
+	if res.Err != nil {
+		return res
+	}
+	e.record(res, searches)
+	if e.hQuery != nil || tr != nil {
+		d := time.Since(t0)
+		e.hQuery.Observe(d)
+		if tr != nil {
+			tr.Cost = dominance.CostOf(res.Stats)
+			e.obs.FinishTrace(tr, d)
+		}
+	}
+	return res
+}
+
+// TraceCover runs one covering query with tracing forced on and returns
+// the sealed trace alongside the result: per-stage timings, per-slice
+// probe counts and the query's cost stats. It backs the daemon's trace
+// wire op. The query still counts toward every engine total and
+// histogram; the trace also lands in the slow-query log when it
+// qualifies.
+func (e *Engine) TraceCover(s *subscription.Subscription) (QueryResult, *obs.QueryTrace) {
+	tr := e.obs.StartTrace("query")
+	if tr == nil {
+		// Telemetry is off; trace this one query anyway — the caller
+		// asked for it explicitly.
+		tr = &obs.QueryTrace{Op: "query", Start: time.Now()}
+	}
+	res := e.findCoverTraced(s, tr)
+	if tr.Total == 0 && res.Err == nil {
+		tr.Total = time.Since(tr.Start)
+	}
+	return res, tr
 }
 
 // FindCover searches the shards for a subscription covering s. The
@@ -434,13 +541,32 @@ func (e *Engine) FindCovered(s *subscription.Subscription) (id uint64, found boo
 	if err := e.checkSchema(s); err != nil {
 		return 0, false, stats, err
 	}
-	res, searches := e.be.findCovered(s)
+	tr := e.obs.SampleTrace("covered")
+	var t0 time.Time
+	if e.hCovered != nil || tr != nil {
+		t0 = time.Now()
+	}
+	res, searches := e.be.findCovered(s, tr)
 	if res.Err != nil {
 		return 0, false, res.Stats, res.Err
 	}
 	e.record(res, searches)
+	if e.hCovered != nil || tr != nil {
+		d := time.Since(t0)
+		e.hCovered.Observe(d)
+		if tr != nil {
+			tr.Cost = dominance.CostOf(res.Stats)
+			e.obs.FinishTrace(tr, d)
+		}
+	}
 	return res.CoveredBy, res.Covered, res.Stats, nil
 }
+
+// Observer returns the engine's observer (nil when Config.TelemetryOff):
+// the latency histogram registry and the slow-query log. Service layers
+// adopt it so daemon-level op timings land in the same registry as the
+// engine's own stages.
+func (e *Engine) Observer() *obs.Observer { return e.obs }
 
 // Add runs the router arrival path: query for a cover, then insert s into
 // its home shard either way. The signature matches core.Provider (and the
@@ -462,11 +588,15 @@ func (e *Engine) Insert(s *subscription.Subscription) (uint64, error) {
 	if err := e.checkSchema(s); err != nil {
 		return 0, err
 	}
+	defer observeSince(e.hInsert, time.Now())
 	return e.be.insert(s)
 }
 
 // Remove deletes a previously inserted subscription by engine id.
-func (e *Engine) Remove(id uint64) error { return e.be.remove(id) }
+func (e *Engine) Remove(id uint64) error {
+	defer observeSince(e.hRemove, time.Now())
+	return e.be.remove(id)
+}
 
 // Subscription returns the held subscription with the given engine id.
 func (e *Engine) Subscription(id uint64) (*subscription.Subscription, bool) {
@@ -547,9 +677,10 @@ func (e *Engine) run(n int, fn func(i int)) {
 // unordered and no item's query observes another batch item's insert
 // (covering misses are safe, so that is a correct outcome).
 func (e *Engine) AddBatch(subs []*subscription.Subscription) []AddResult {
+	defer observeSince(e.hAddBatch, time.Now())
 	out := make([]AddResult, len(subs))
 	err := e.guarded(func() {
-		e.run(len(subs), func(i int) { out[i].QueryResult = e.findCover(subs[i]) })
+		e.run(len(subs), func(i int) { out[i].QueryResult = e.findCoverHot(subs[i]) })
 		valid := make([]int, 0, len(subs))
 		batch := make([]*subscription.Subscription, 0, len(subs))
 		for i := range out {
@@ -582,6 +713,7 @@ func (e *Engine) AddBatch(subs []*subscription.Subscription) []AddResult {
 // persisted subscription dump pays the sorted bulk-load cost, not one
 // covering query per entry.
 func (e *Engine) InsertBatch(subs []*subscription.Subscription) ([]uint64, error) {
+	defer observeSince(e.hInsertBatch, time.Now())
 	for _, s := range subs {
 		if err := e.checkSchema(s); err != nil {
 			return nil, err
@@ -603,9 +735,10 @@ func (e *Engine) InsertBatch(subs []*subscription.Subscription) ([]uint64, error
 // CoverQueryBatch runs FindCover for every subscription concurrently,
 // without inserting anything. Results align with the input slice.
 func (e *Engine) CoverQueryBatch(subs []*subscription.Subscription) []QueryResult {
+	defer observeSince(e.hQueryBatch, time.Now())
 	out := make([]QueryResult, len(subs))
 	err := e.guarded(func() {
-		e.run(len(subs), func(i int) { out[i] = e.findCover(subs[i]) })
+		e.run(len(subs), func(i int) { out[i] = e.findCoverHot(subs[i]) })
 	})
 	if err != nil {
 		for i := range out {
@@ -618,6 +751,7 @@ func (e *Engine) CoverQueryBatch(subs []*subscription.Subscription) []QueryResul
 // RemoveBatch deletes the given ids concurrently. The returned slice
 // aligns with the input; entries are nil on success.
 func (e *Engine) RemoveBatch(ids []uint64) []error {
+	defer observeSince(e.hRemoveBatch, time.Now())
 	out := make([]error, len(ids))
 	err := e.guarded(func() {
 		e.run(len(ids), func(i int) { out[i] = e.Remove(ids[i]) })
@@ -631,6 +765,14 @@ func (e *Engine) RemoveBatch(ids []uint64) []error {
 }
 
 // --- shared helpers -----------------------------------------------------
+
+// observeSince records the time elapsed since t0 into h; h may be nil
+// (telemetry off), which makes the deferred call a cheap no-op.
+func observeSince(h *obs.Histogram, t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0))
+	}
+}
 
 // encodeID folds a shard index into a shard-local id; decodeID inverts
 // it. Local ids start at 1, so engine ids are always >= the shard count.

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"sfccover/internal/core"
 	"sfccover/internal/dominance"
+	"sfccover/internal/obs"
 	"sfccover/internal/sfc"
 	"sfccover/internal/subscription"
 )
@@ -18,6 +20,20 @@ import (
 type fanout struct {
 	dets  []*core.Detector
 	place func(p []uint32) int
+	// shardHist, when an observer is attached, times the per-shard
+	// searches of traced queries; riding the trace sample keeps the
+	// untraced hot path free of clock reads.
+	shardHist *obs.Histogram
+}
+
+// setObserver implements the backend observability hook: traced
+// queries time per-shard searches into "shard_search", and each
+// detector wires its own index so run probes feed "run_probe".
+func (f *fanout) setObserver(o *obs.Observer) {
+	f.shardHist = o.Hist("shard_search")
+	for _, d := range f.dets {
+		d.SetObserver(o)
+	}
 }
 
 // newFanout builds the plan from the validated detector template.
@@ -133,18 +149,30 @@ func (f *fanout) subscription(id uint64) (*subscription.Subscription, bool) {
 }
 
 // findCover fans the query out: home shard first, then the rest, stopping
-// at the first hit.
-func (f *fanout) findCover(s *subscription.Subscription) (QueryResult, int) {
+// at the first hit. With a trace attached, the aggregate shard-search
+// time lands in one "shard_search" stage (Count = shards probed).
+func (f *fanout) findCover(s *subscription.Subscription, tr *obs.QueryTrace) (QueryResult, int) {
 	home := f.place(s.Point())
 	var res QueryResult
 	probed := 0
+	var spent time.Duration
 	for i := 0; i < len(f.dets); i++ {
 		shard := (home + i) % len(f.dets)
-		id, found, stats, err := f.dets[shard].FindCover(s)
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
+		id, found, stats, err := f.dets[shard].FindCoverTraced(s, tr)
+		if tr != nil {
+			d := time.Since(t0)
+			f.shardHist.Observe(d)
+			spent += d
+		}
 		if err != nil {
 			return QueryResult{Err: err}, probed
 		}
 		probed++
+		tr.TouchSlice(shard)
 		mergeStats(&res.Stats, stats, i == 0)
 		if found {
 			res.Covered = true
@@ -152,19 +180,31 @@ func (f *fanout) findCover(s *subscription.Subscription) (QueryResult, int) {
 			break
 		}
 	}
+	tr.AddStage("shard_search", spent, probed)
 	return res, probed
 }
 
 // findCovered fans the reverse query out over every shard.
-func (f *fanout) findCovered(s *subscription.Subscription) (QueryResult, int) {
+func (f *fanout) findCovered(s *subscription.Subscription, tr *obs.QueryTrace) (QueryResult, int) {
 	var res QueryResult
 	probed := 0
+	var spent time.Duration
 	for shard, d := range f.dets {
-		id, found, stats, err := d.FindCovered(s)
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
+		id, found, stats, err := d.FindCoveredTraced(s, tr)
+		if tr != nil {
+			dt := time.Since(t0)
+			f.shardHist.Observe(dt)
+			spent += dt
+		}
 		if err != nil {
 			return QueryResult{Err: err}, probed
 		}
 		probed++
+		tr.TouchSlice(shard)
 		mergeStats(&res.Stats, stats, shard == 0)
 		if found {
 			res.Covered = true
@@ -172,5 +212,6 @@ func (f *fanout) findCovered(s *subscription.Subscription) (QueryResult, int) {
 			break
 		}
 	}
+	tr.AddStage("shard_search", spent, probed)
 	return res, probed
 }

@@ -7,6 +7,7 @@ import (
 
 	"sfccover/internal/core"
 	"sfccover/internal/dominance"
+	"sfccover/internal/obs"
 	"sfccover/internal/subscription"
 )
 
@@ -275,20 +276,31 @@ func (r *routed) subscription(id uint64) (*subscription.Subscription, bool) {
 	return s.Clone(), true
 }
 
+// setObserver implements the backend observability hook: the sharded
+// index (and its mirror) sample run-probe latencies into "run_probe".
+func (r *routed) setObserver(o *obs.Observer) {
+	r.idx.SetObserver(o)
+	if r.mirror != nil {
+		r.mirror.SetObserver(o)
+	}
+}
+
 // findCover runs one shared-decomposition search; the returned ids are
-// engine ids because that is what the index stores.
-func (r *routed) findCover(s *subscription.Subscription) (QueryResult, int) {
+// engine ids because that is what the index stores. A non-nil trace
+// collects the decomposition/probe stage timings and per-slice probe
+// counts inside the sharded index.
+func (r *routed) findCover(s *subscription.Subscription, tr *obs.QueryTrace) (QueryResult, int) {
 	switch r.mode {
 	case core.ModeOff:
 		return QueryResult{}, 0
 	case core.ModeExact:
-		return r.query(r.idx, s.Point(), 0)
+		return r.query(r.idx, s.Point(), 0, tr)
 	default: // ModeApprox
-		return r.query(r.idx, s.Point(), r.eps)
+		return r.query(r.idx, s.Point(), r.eps, tr)
 	}
 }
 
-func (r *routed) findCovered(s *subscription.Subscription) (QueryResult, int) {
+func (r *routed) findCovered(s *subscription.Subscription, tr *obs.QueryTrace) (QueryResult, int) {
 	switch r.mode {
 	case core.ModeOff:
 		return QueryResult{}, 0
@@ -314,11 +326,11 @@ func (r *routed) findCovered(s *subscription.Subscription) (QueryResult, int) {
 	if r.mirror == nil {
 		return QueryResult{Err: fmt.Errorf("engine: approximate FindCovered requires Config.Detector.TrackCovered")}, 0
 	}
-	return r.query(r.mirror, r.mirrorPoint(s.Point()), r.eps)
+	return r.query(r.mirror, r.mirrorPoint(s.Point()), r.eps, tr)
 }
 
-func (r *routed) query(idx *dominance.ShardedIndex, p []uint32, eps float64) (QueryResult, int) {
-	id, found, stats, err := idx.Query(p, eps)
+func (r *routed) query(idx *dominance.ShardedIndex, p []uint32, eps float64, tr *obs.QueryTrace) (QueryResult, int) {
+	id, found, stats, err := idx.QueryTraced(p, eps, tr)
 	if err != nil {
 		return QueryResult{Err: err}, 0
 	}

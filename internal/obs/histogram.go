@@ -1,0 +1,192 @@
+// Package obs is the dependency-free observability layer: lock-free
+// sharded latency histograms, per-query trace records feeding a
+// ring-buffered slow-query log, a bounded-cardinality histogram
+// registry, Prometheus text exposition for all of it, and a structured
+// key=value logger. Everything here is stdlib-only and cheap enough to
+// stay enabled by default on the hot query path: recording one latency
+// observation is two atomic adds on a cache-line-padded shard, and run
+// probes are timed on a 1-in-8 sample so the clock reads never dominate
+// the probe itself.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of log-scale latency buckets. Bucket i holds
+// observations whose duration in nanoseconds has bit length i, i.e. the
+// half-open range [2^(i-1), 2^i); bucket 0 holds non-positive
+// durations, and the last bucket absorbs everything from ~9.2 minutes
+// up. Power-of-two bounds make bucketing a single bits.Len64 and keep
+// snapshots mergeable across histograms with no bound negotiation.
+const NumBuckets = 40
+
+// histShards spreads concurrent writers across cache lines. Eight
+// shards cover typical core counts without bloating snapshots; the
+// shard is picked by hashing the observed value, which distributes
+// uniformly without any per-goroutine state.
+const histShards = 8
+
+// histShard is one writer lane: a padded block of per-bucket counters
+// plus the running nanosecond sum. The padding keeps adjacent shards
+// off each other's cache lines under contention.
+type histShard struct {
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Int64
+	_      [64 - (NumBuckets*8+8)%64]byte
+}
+
+// Histogram is a lock-free log-bucketed latency histogram. A nil
+// *Histogram is valid and ignores observations, so call sites can hold
+// an unconditional pointer and pay one branch when telemetry is off.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// splitmix64 is the SplitMix64 finalizer; one multiply-xor round is
+// plenty to decorrelate the shard choice from the observed value.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Observe records one latency sample. Safe for concurrent use; safe on
+// a nil receiver (no-op).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	s := &h.shards[splitmix64(uint64(ns))&(histShards-1)]
+	s.counts[bucketFor(ns)].Add(1)
+	s.sum.Add(ns)
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Under
+// concurrent writers the copy is not a single atomic cut, but every
+// counter read is itself atomic, so counts never tear and Sub against
+// an earlier snapshot never goes negative for a quiescent interval.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < NumBuckets; b++ {
+			s.Counts[b] += sh.counts[b].Load()
+		}
+		s.Sum += sh.sum.Load()
+	}
+	for _, c := range s.Counts {
+		s.Count += c
+	}
+	return s
+}
+
+// Snapshot is an immutable view of a histogram: per-bucket counts, the
+// total observation count and the nanosecond sum.
+type Snapshot struct {
+	Counts [NumBuckets]uint64
+	Count  uint64
+	Sum    int64
+}
+
+// BucketUpperNS is the inclusive nanosecond upper bound of bucket i
+// (the last bucket is unbounded; callers render it as +Inf).
+func BucketUpperNS(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return (int64(1) << i) - 1
+}
+
+// Sub returns the delta s - prev, clamping at zero so a snapshot pair
+// straddling concurrent writes never yields negative counts.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s.Counts {
+		if s.Counts[i] > prev.Counts[i] {
+			d.Counts[i] = s.Counts[i] - prev.Counts[i]
+		}
+		d.Count += d.Counts[i]
+	}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	return d
+}
+
+// Merge returns the bucket-wise union of two snapshots.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	var m Snapshot
+	for i := range s.Counts {
+		m.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	m.Count = s.Count + o.Count
+	m.Sum = s.Sum + o.Sum
+	return m
+}
+
+// Mean returns the average observed duration, 0 when empty.
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(s.Count))
+}
+
+// Quantile returns an upper-bound estimate of the p-quantile (0 < p <=
+// 1): the inclusive bound of the first bucket whose cumulative count
+// reaches p·Count. The log buckets bound the estimate within 2x of the
+// true value; 0 when the histogram is empty.
+func (s Snapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i == NumBuckets-1 {
+				// Unbounded bucket: fall back to the mean so the
+				// estimate stays finite.
+				return s.Mean()
+			}
+			return time.Duration(BucketUpperNS(i))
+		}
+	}
+	return s.Mean()
+}

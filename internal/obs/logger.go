@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "info"
+	}
+}
+
+// ParseLevel parses a level name (debug, info, warn, error).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// Logger writes structured key=value lines:
+//
+//	ts=2026-08-08T12:00:00Z level=info msg="listening" addr=127.0.0.1:7070
+//
+// Records below the configured level are dropped before formatting. A
+// nil *Logger drops everything, so components can hold an optional
+// logger without nil checks.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+// NewLogger returns a logger writing records at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level, now: time.Now}
+}
+
+// Enabled reports whether records at level would be written.
+func (lg *Logger) Enabled(level Level) bool {
+	return lg != nil && level >= lg.level
+}
+
+func (lg *Logger) log(level Level, msg string, kv []any) {
+	if !lg.Enabled(level) {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString("ts=")
+	sb.WriteString(lg.now().UTC().Format(time.RFC3339))
+	sb.WriteString(" level=")
+	sb.WriteString(level.String())
+	sb.WriteString(" msg=")
+	sb.WriteString(quoteValue(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		sb.WriteByte(' ')
+		sb.WriteString(fmt.Sprint(kv[i]))
+		sb.WriteByte('=')
+		sb.WriteString(quoteValue(fmt.Sprint(kv[i+1])))
+	}
+	sb.WriteByte('\n')
+	lg.mu.Lock()
+	io.WriteString(lg.w, sb.String())
+	lg.mu.Unlock()
+}
+
+// quoteValue quotes a value only when it needs it (spaces, quotes,
+// control characters, or emptiness), keeping common lines compact.
+func quoteValue(v string) string {
+	if v == "" {
+		return `""`
+	}
+	for _, r := range v {
+		if r == ' ' || r == '"' || r == '=' || r < 0x20 {
+			return strconv.Quote(v)
+		}
+	}
+	return v
+}
+
+// Debug logs at debug level; kv is alternating key, value pairs.
+func (lg *Logger) Debug(msg string, kv ...any) { lg.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (lg *Logger) Info(msg string, kv ...any) { lg.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (lg *Logger) Warn(msg string, kv ...any) { lg.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (lg *Logger) Error(msg string, kv ...any) { lg.log(LevelError, msg, kv) }

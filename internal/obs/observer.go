@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSlowThreshold marks a traced query slow when its total latency
+// reaches this bound.
+const DefaultSlowThreshold = 10 * time.Millisecond
+
+// DefaultTraceSample traces one query in this many; tracing allocates a
+// record and times stages, so the hot path amortizes that cost while
+// the slow log still sees a steady stream of candidates.
+const DefaultTraceSample = 16
+
+// Config tunes an Observer. The zero value selects the defaults, which
+// are cheap enough to leave telemetry on in production.
+type Config struct {
+	// SlowThreshold is the latency at or above which a traced query is
+	// pushed to the slow log (DefaultSlowThreshold when 0; negative
+	// pushes every traced query, which tests use to make the log
+	// deterministic).
+	SlowThreshold time.Duration
+	// SlowLogSize caps the slow-query ring (DefaultSlowLogSize when 0).
+	SlowLogSize int
+	// TraceSample traces one query in TraceSample
+	// (DefaultTraceSample when 0; 1 traces every query).
+	TraceSample int
+	// MaxOps caps distinct histogram labels (DefaultMaxOps when 0).
+	MaxOps int
+}
+
+// Observer bundles the registry of latency histograms, the trace
+// sampler and the slow-query log for one engine (or one daemon). All
+// methods are safe on a nil receiver — a nil *Observer is the
+// telemetry-off state and costs one branch per call site.
+type Observer struct {
+	cfg  Config
+	reg  *Registry
+	slow *SlowLog
+	tick atomic.Uint64
+}
+
+// New builds an Observer from cfg (zero value = defaults).
+func New(cfg Config) *Observer {
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = DefaultSlowThreshold
+	}
+	if cfg.TraceSample <= 0 {
+		cfg.TraceSample = DefaultTraceSample
+	}
+	return &Observer{
+		cfg:  cfg,
+		reg:  NewRegistry(cfg.MaxOps),
+		slow: NewSlowLog(cfg.SlowLogSize),
+	}
+}
+
+// Hist returns the latency histogram for op. Nil-safe (returns nil).
+func (o *Observer) Hist(op string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Hist(op)
+}
+
+// Registry exposes the histogram registry for exposition. Nil-safe.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// SlowLog exposes the slow-query ring. Nil-safe.
+func (o *Observer) SlowLog() *SlowLog {
+	if o == nil {
+		return nil
+	}
+	return o.slow
+}
+
+// SampleTrace returns a fresh trace record for one in cfg.TraceSample
+// calls (nil otherwise, and always nil on a nil Observer). The counter
+// is a single shared atomic: one uncontended add per query, which is
+// noise next to the probe loop it meters.
+func (o *Observer) SampleTrace(op string) *QueryTrace {
+	if o == nil {
+		return nil
+	}
+	if o.tick.Add(1)%uint64(o.cfg.TraceSample) != 0 {
+		return nil
+	}
+	return o.StartTrace(op)
+}
+
+// StartTrace unconditionally starts a trace record (used by the
+// explicit trace wire op). Nil-safe.
+func (o *Observer) StartTrace(op string) *QueryTrace {
+	if o == nil {
+		return nil
+	}
+	return &QueryTrace{Op: op, Start: time.Now()}
+}
+
+// FinishTrace seals tr with the total latency and pushes it to the slow
+// log when it crossed the threshold. Nil-safe in both arguments.
+func (o *Observer) FinishTrace(tr *QueryTrace, total time.Duration) {
+	if o == nil || tr == nil {
+		return
+	}
+	tr.Total = total
+	if o.cfg.SlowThreshold < 0 || total >= o.cfg.SlowThreshold {
+		o.slow.Push(tr)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EscapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote and newline must be escaped.
+func EscapeLabel(v string) string {
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// formatLE renders a bucket's inclusive upper bound in seconds the way
+// Prometheus expects le values: a plain decimal float.
+func formatLE(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// RenderHistograms writes one Prometheus histogram family named name:
+// for every op in snaps a full cumulative `_bucket` series labelled
+// {op="...",le="..."} plus `_sum` and `_count`. Empty ops are skipped
+// so the exposition stays proportional to actual traffic. Output order
+// is deterministic (ops sorted, buckets ascending) and buckets with a
+// zero delta are elided — cumulative counts make them redundant — which
+// keeps the page readable at 40 buckets per op.
+func RenderHistograms(sb *strings.Builder, name, help string, snaps map[string]Snapshot) {
+	ops := Ops(snaps)
+	any := false
+	for _, op := range ops {
+		if snaps[op].Count > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, op := range ops {
+		s := snaps[op]
+		if s.Count == 0 {
+			continue
+		}
+		esc := EscapeLabel(op)
+		var cum uint64
+		for i := 0; i < NumBuckets-1; i++ {
+			cum += s.Counts[i]
+			if s.Counts[i] == 0 && cum != s.Count {
+				continue
+			}
+			fmt.Fprintf(sb, "%s_bucket{op=\"%s\",le=\"%s\"} %s\n",
+				name, esc, formatLE(BucketUpperNS(i)), strconv.FormatUint(cum, 10))
+			if cum == s.Count {
+				break
+			}
+		}
+		fmt.Fprintf(sb, "%s_bucket{op=\"%s\",le=\"+Inf\"} %s\n", name, esc, strconv.FormatUint(s.Count, 10))
+		fmt.Fprintf(sb, "%s_sum{op=\"%s\"} %s\n", name, esc,
+			strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64))
+		fmt.Fprintf(sb, "%s_count{op=\"%s\"} %s\n", name, esc, strconv.FormatUint(s.Count, 10))
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultMaxOps bounds the number of distinct operation labels a
+// registry will track. The op set is code-chosen (wire ops, engine
+// stages), so the cap is a safety net against accidental unbounded
+// label cardinality, not a tuning knob.
+const DefaultMaxOps = 64
+
+// OverflowOp is the label that absorbs observations for ops past the
+// cardinality cap.
+const OverflowOp = "other"
+
+// Registry maps operation names to histograms under a hard cardinality
+// cap. Lookups take a read lock only; hot paths should call Hist once
+// and cache the pointer — histograms are never removed, so a cached
+// pointer stays valid for the registry's lifetime.
+type Registry struct {
+	mu     sync.RWMutex
+	maxOps int
+	hists  map[string]*Histogram
+	overfl *Histogram
+}
+
+// NewRegistry returns a registry capped at maxOps distinct operation
+// labels (DefaultMaxOps when maxOps <= 0).
+func NewRegistry(maxOps int) *Registry {
+	if maxOps <= 0 {
+		maxOps = DefaultMaxOps
+	}
+	return &Registry{maxOps: maxOps, hists: make(map[string]*Histogram)}
+}
+
+// Hist returns the histogram for op, creating it if the cap allows;
+// past the cap all unknown ops share the OverflowOp histogram. Safe on
+// a nil receiver (returns nil, which Observe ignores).
+func (r *Registry) Hist(op string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[op]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[op]; h != nil {
+		return h
+	}
+	if len(r.hists) >= r.maxOps {
+		if r.overfl == nil {
+			r.overfl = NewHistogram()
+		}
+		return r.overfl
+	}
+	h = NewHistogram()
+	r.hists[op] = h
+	return h
+}
+
+// Snapshot returns a snapshot per op, sorted op list via Ops. The
+// overflow histogram, if populated, appears under OverflowOp.
+func (r *Registry) Snapshot() map[string]Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]Snapshot, len(r.hists)+1)
+	for op, h := range r.hists {
+		out[op] = h.Snapshot()
+	}
+	if r.overfl != nil {
+		out[OverflowOp] = r.overfl.Snapshot()
+	}
+	return out
+}
+
+// Ops returns the sorted keys of a snapshot map; exposition helpers use
+// it for deterministic output order.
+func Ops(snaps map[string]Snapshot) []string {
+	ops := make([]string, 0, len(snaps))
+	for op := range snaps {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}

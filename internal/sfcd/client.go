@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sfccover/internal/obs"
 	"sfccover/internal/subscription"
 )
 
@@ -94,6 +95,11 @@ type Client struct {
 	nextID  uint64
 	err     error // terminal error, set once
 
+	// lat records per-op round-trip latencies (send to demultiplexed
+	// response), client-side: queueing, the wire and the server's service
+	// time all included — the number a router actually waits.
+	lat *obs.Registry
+
 	// Hello-negotiated server facts.
 	shards    int
 	partition string
@@ -139,6 +145,7 @@ func DialContext(ctx context.Context, cfg DialConfig) (*Client, error) {
 		writeCh: make(chan []byte, writeBacklog),
 		done:    make(chan struct{}),
 		pending: make(map[uint64]chan *Response),
+		lat:     obs.NewRegistry(obs.DefaultMaxOps),
 	}
 	c.wg.Add(2)
 	go c.readLoop()
@@ -346,6 +353,7 @@ func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 		abandonUnsent()
 		return nil, fmt.Errorf("sfcd: request line is %d bytes, server cap is %d: split the batch", len(line), MaxLineBytes)
 	}
+	t0 := time.Now()
 	select {
 	case c.writeCh <- append(line, '\n'):
 	case <-ctx.Done():
@@ -357,6 +365,7 @@ func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 	}
 	select {
 	case resp := <-ch:
+		c.lat.Hist(opMetricName(req.Op)).Observe(time.Since(t0))
 		respChPool.Put(ch)
 		return checkResponse(resp)
 	case <-ctx.Done():
@@ -368,6 +377,7 @@ func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 		// The response may have been delivered just before the failure.
 		select {
 		case resp := <-ch:
+			c.lat.Hist(opMetricName(req.Op)).Observe(time.Since(t0))
 			respChPool.Put(ch)
 			return checkResponse(resp)
 		default:
@@ -611,6 +621,45 @@ func (c *Client) Rebalance(ctx context.Context) (RebalanceInfo, error) {
 func (c *Client) Snapshot(ctx context.Context) error {
 	_, err := c.do(ctx, &Request{Op: "snapshot"})
 	return err
+}
+
+// Latency returns a snapshot of the client's round-trip latency
+// histograms, keyed by op ("query", "subscribe_batch", "remove", ...).
+// The measurement spans enqueue to demultiplexed response, so it folds
+// in local queueing, the wire and the server's service time. Use
+// obs.Snapshot.Quantile for percentiles and obs.Snapshot.Sub for
+// interval deltas.
+func (c *Client) Latency() map[string]obs.Snapshot {
+	return c.lat.Snapshot()
+}
+
+// TraceQuery runs one covering query with server-side tracing forced on
+// and returns the outcome alongside the full trace record: per-stage
+// timings (decomposition, probe loop, shard fan-out), per-slice probe
+// counts and the query's cost stats.
+func (c *Client) TraceQuery(ctx context.Context, s *subscription.Subscription) (covered bool, coveredBy uint64, trace *Trace, err error) {
+	payload, err := c.encodeSub(s)
+	if err != nil {
+		return false, 0, nil, err
+	}
+	resp, err := c.do(ctx, &Request{Op: "trace", Payload: payload})
+	if err != nil {
+		return false, 0, nil, err
+	}
+	if resp.Result == nil || resp.Trace == nil {
+		return false, 0, nil, errors.New("sfcd: response carries no trace")
+	}
+	return resp.Result.Covered, resp.Result.CoveredBy, resp.Trace, nil
+}
+
+// SlowLog fetches the daemon's ring of recent slow-query traces, newest
+// first. A daemon running with telemetry off returns an empty batch.
+func (c *Client) SlowLog(ctx context.Context) ([]Trace, error) {
+	resp, err := c.do(ctx, &Request{Op: "slowlog"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
 }
 
 // Stats fetches the server's counter snapshot.

@@ -2,6 +2,7 @@ package sfcd
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"sfccover/internal/core"
@@ -35,30 +36,32 @@ var scalarMetrics = []metricDef{
 // RenderPrometheus renders a provider snapshot in the Prometheus text
 // exposition format (version 0.0.4): for every metric a `# HELP` line, a
 // `# TYPE` line and one sample line, plus one `sfcd_shard_size{shard="i"}`
-// sample per shard.
+// sample per shard. Integral counters are rendered from their native
+// integer type — never through float64, whose 53-bit mantissa would
+// silently round counters past 2^53 (lifetime WAL bytes get there).
 func RenderPrometheus(ps core.ProviderStats) string {
 	var sb strings.Builder
-	values := []float64{
-		float64(ps.Queries),
-		float64(ps.Hits),
-		float64(ps.RunsProbed),
-		float64(ps.CubesGenerated),
-		float64(ps.ShardSearches),
-		float64(ps.Subscriptions),
-		float64(ps.Shards),
-		float64(ps.MaxShardSize),
-		float64(ps.MinShardSize),
-		ps.SkewRatio,
-		float64(ps.Rebalances),
-		float64(ps.BoundaryMoves),
-		float64(ps.MigratedEntries),
-		float64(ps.Snapshots),
-		float64(ps.WALRecords),
-		float64(ps.WALBytes),
+	values := []string{
+		strconv.Itoa(ps.Queries),
+		strconv.Itoa(ps.Hits),
+		strconv.Itoa(ps.RunsProbed),
+		strconv.Itoa(ps.CubesGenerated),
+		strconv.Itoa(ps.ShardSearches),
+		strconv.Itoa(ps.Subscriptions),
+		strconv.Itoa(ps.Shards),
+		strconv.Itoa(ps.MaxShardSize),
+		strconv.Itoa(ps.MinShardSize),
+		formatSample(ps.SkewRatio),
+		strconv.Itoa(ps.Rebalances),
+		strconv.Itoa(ps.BoundaryMoves),
+		strconv.Itoa(ps.MigratedEntries),
+		strconv.Itoa(ps.Snapshots),
+		strconv.Itoa(ps.WALRecords),
+		strconv.FormatInt(ps.WALBytes, 10),
 	}
 	for i, m := range scalarMetrics {
 		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
-			m.name, m.help, m.name, m.kind, m.name, formatSample(values[i]))
+			m.name, m.help, m.name, m.kind, m.name, values[i])
 	}
 	sb.WriteString("# HELP sfcd_shard_size Per-shard subscription count.\n# TYPE sfcd_shard_size gauge\n")
 	for i, n := range ps.ShardSizes {
@@ -67,11 +70,13 @@ func RenderPrometheus(ps core.ProviderStats) string {
 	return sb.String()
 }
 
-// formatSample prints a value the way Prometheus parsers expect: integers
-// without an exponent, ratios with a short decimal form.
+// formatSample prints a genuinely floating-point value (the skew ratio)
+// the way Prometheus parsers expect: integral values without an
+// exponent, ratios with a short decimal form. Integral counters do NOT
+// go through here — see RenderPrometheus.
 func formatSample(v float64) string {
 	if v == float64(int64(v)) {
-		return fmt.Sprintf("%d", int64(v))
+		return strconv.FormatInt(int64(v), 10)
 	}
-	return fmt.Sprintf("%g", v)
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }

@@ -102,7 +102,16 @@ func TestMetricsOpRendersParsableExposition(t *testing.T) {
 			t.Fatalf("line %d value: %v", i+1, err)
 		}
 		samples[name] = v // per-shard samples collapse; fine for this check
-		if !helped[name] || !typed[name] {
+		// Histogram samples carry the _bucket/_sum/_count suffixes; their
+		// HELP/TYPE comments name the base metric, per the exposition spec.
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, suffix); trimmed != name && typed[trimmed] {
+				base = trimmed
+				break
+			}
+		}
+		if !helped[base] || !typed[base] {
 			t.Fatalf("line %d: sample %q precedes its HELP/TYPE comments", i+1, name)
 		}
 	}

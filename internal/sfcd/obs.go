@@ -1,0 +1,149 @@
+package sfcd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sfccover/internal/obs"
+)
+
+// maxLinkLabels bounds the cardinality of the per-link subscription
+// gauge: the largest namespaces get their own label, everything past the
+// cap aggregates into link="_other". Link names are client-chosen
+// strings, so an unbounded label set would let one misbehaving router
+// blow up every scrape.
+const maxLinkLabels = 16
+
+// opMetricName maps a wire op to the label recorded in the daemon's op
+// latency histogram. Most ops keep their wire name; the unsubscribe pair
+// is renamed to the engine's vocabulary so dashboards read
+// query/insert/remove consistently across tiers.
+func opMetricName(op string) string {
+	switch op {
+	case "unsubscribe":
+		return "remove"
+	case "unsubscribe_batch":
+		return "remove_batch"
+	}
+	return op
+}
+
+// MetricsText renders the daemon's full Prometheus page: the shared
+// provider's scalar counters, the op/stage latency histograms
+// (sfcd_op_latency_seconds) and the bounded per-link subscription
+// gauges. Served by the metrics op (empty link) and the HTTP /metrics
+// endpoint.
+func (s *Server) MetricsText() string {
+	var sb strings.Builder
+	sb.WriteString(RenderPrometheus(s.shared.Stats()))
+	if s.obs != nil {
+		obs.RenderHistograms(&sb, "sfcd_op_latency_seconds",
+			"Latency of daemon operations and engine stages, by op.",
+			s.obs.Registry().Snapshot())
+	}
+	s.renderLinkGauges(&sb)
+	return sb.String()
+}
+
+// renderLinkGauges appends a links-materialized gauge and a per-link
+// subscription gauge capped at maxLinkLabels labels (largest first,
+// remainder summed into link="_other").
+func (s *Server) renderLinkGauges(sb *strings.Builder) {
+	type linkSize struct {
+		name string
+		n    int
+	}
+	s.linkMu.Lock()
+	sizes := make([]linkSize, 0, len(s.links))
+	for name, p := range s.links {
+		sizes = append(sizes, linkSize{name, p.Stats().Subscriptions})
+	}
+	s.linkMu.Unlock()
+	if len(sizes) == 0 {
+		return
+	}
+	sort.Slice(sizes, func(a, b int) bool {
+		if sizes[a].n != sizes[b].n {
+			return sizes[a].n > sizes[b].n
+		}
+		return sizes[a].name < sizes[b].name
+	})
+	fmt.Fprintf(sb, "# HELP sfcd_links Link namespaces currently materialized.\n# TYPE sfcd_links gauge\nsfcd_links %d\n", len(sizes))
+	sb.WriteString("# HELP sfcd_link_subscriptions Subscriptions per link namespace (largest links; the rest aggregate into link=\"_other\").\n# TYPE sfcd_link_subscriptions gauge\n")
+	other := 0
+	for i, ls := range sizes {
+		if i < maxLinkLabels {
+			fmt.Fprintf(sb, "sfcd_link_subscriptions{link=\"%s\"} %d\n", obs.EscapeLabel(ls.name), ls.n)
+			continue
+		}
+		other += ls.n
+	}
+	if len(sizes) > maxLinkLabels {
+		fmt.Fprintf(sb, "sfcd_link_subscriptions{link=\"_other\"} %d\n", other)
+	}
+}
+
+// traceToWire converts an engine trace record into its wire form.
+func traceToWire(tr *obs.QueryTrace) Trace {
+	t := Trace{
+		Op:          tr.Op,
+		StartUnixNS: tr.Start.UnixNano(),
+		TotalNS:     int64(tr.Total),
+		Slices:      append([]int(nil), tr.Slices...),
+		Cost: TraceCost{
+			M:              tr.Cost.M,
+			CubesGenerated: tr.Cost.CubesGenerated,
+			RunsProbed:     tr.Cost.RunsProbed,
+			VolumeFraction: tr.Cost.VolumeFraction,
+			AspectRatio:    tr.Cost.AspectRatio,
+			Found:          tr.Cost.Found,
+		},
+	}
+	for _, st := range tr.Stages {
+		t.Stages = append(t.Stages, TraceStage{Name: st.Name, DurNS: int64(st.Dur), Count: st.Count})
+	}
+	return t
+}
+
+// trace serves the trace op: run one covering query against the shared
+// engine with tracing forced on and return the full trace record
+// alongside the query outcome. Link namespaces are plain detectors
+// without the traced pipeline, so a non-empty link is unsupported.
+func (s *Server) trace(req Request) *Response {
+	if req.Link != "" {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "trace addresses the shared engine only"}
+	}
+	sub, err := s.decodeSub(req.Payload)
+	if err != nil {
+		return badRequest(err)
+	}
+	res, tr := s.eng.TraceCover(sub)
+	if res.Err != nil {
+		return errResponse(res.Err)
+	}
+	wire := traceToWire(tr)
+	return &Response{
+		OK:     true,
+		Result: &Result{Covered: res.Covered, CoveredBy: res.CoveredBy},
+		Trace:  &wire,
+	}
+}
+
+// slowlog serves the slowlog op: the daemon's ring of recent slow-query
+// traces, newest first. With telemetry off the response is an empty
+// (but OK) batch.
+func (s *Server) slowlog(req Request) *Response {
+	if req.Link != "" {
+		return &Response{OK: false, Code: CodeUnsupported, Error: "slowlog addresses the shared engine only"}
+	}
+	if s.obs == nil {
+		return &Response{OK: true}
+	}
+	traces := s.obs.SlowLog().Snapshot()
+	out := make([]Trace, len(traces))
+	for i := range traces {
+		out[i] = traceToWire(&traces[i])
+	}
+	return &Response{OK: true, Traces: out}
+}

@@ -25,7 +25,14 @@
 //
 // Operations: hello, ping, subscribe, subscribe_batch, insert,
 // unsubscribe, unsubscribe_batch, query, query_batch, covered, get,
-// match, stats, metrics, rebalance, snapshot, unlink.
+// match, stats, metrics, rebalance, snapshot, unlink, trace, slowlog.
+//
+// "trace" runs one covering query with tracing forced on and returns the
+// full trace record: per-stage timings (decomposition, probe loop, shard
+// fan-out), per-slice probe counts and the query's cost stats. "slowlog"
+// returns the daemon's ring of recent slow-query traces. Both address
+// the shared engine only; link namespaces answer with code
+// "unsupported".
 //
 // "snapshot" forces a point-in-time snapshot of the daemon's durable
 // subscription state (all link namespaces — the write-ahead log is
@@ -188,6 +195,50 @@ type Response struct {
 	Metrics string `json:"metrics,omitempty"`
 	// Rebalance is the rebalance operation's outcome.
 	Rebalance *RebalanceInfo `json:"rebalance,omitempty"`
+	// Trace is the trace operation's record; Traces is the slowlog
+	// operation's batch (newest first).
+	Trace  *Trace  `json:"trace,omitempty"`
+	Traces []Trace `json:"traces,omitempty"`
+}
+
+// TraceStage is one timed step of a traced query.
+type TraceStage struct {
+	// Name identifies the step ("decompose", "truncate", "probes",
+	// "enumerate_probes", "shard_search").
+	Name string `json:"name"`
+	// DurNS is the stage's wall time in nanoseconds.
+	DurNS int64 `json:"durNs"`
+	// Count is the stage's unit count where one exists (cubes generated,
+	// probes issued, shards searched).
+	Count int `json:"count,omitempty"`
+}
+
+// TraceCost is the wire mirror of the query's cost stats (the engine's
+// QueryStats): the paper's cost model for one search.
+type TraceCost struct {
+	M              int     `json:"m,omitempty"`
+	CubesGenerated int     `json:"cubesGenerated"`
+	RunsProbed     int     `json:"runsProbed"`
+	VolumeFraction float64 `json:"volumeFraction"`
+	AspectRatio    int     `json:"aspectRatio"`
+	Found          bool    `json:"found"`
+}
+
+// Trace is one query's full trace record, returned by the trace op and
+// (in batches) by slowlog.
+type Trace struct {
+	// Op is the logical operation traced ("query", "covered").
+	Op string `json:"op"`
+	// StartUnixNS is when the engine began the query (Unix nanoseconds).
+	StartUnixNS int64 `json:"startUnixNs"`
+	// TotalNS is the end-to-end engine latency in nanoseconds.
+	TotalNS int64 `json:"totalNs"`
+	// Stages are the timed steps in execution order.
+	Stages []TraceStage `json:"stages,omitempty"`
+	// Slices counts run probes per key slice (index = slice number).
+	Slices []int `json:"slices,omitempty"`
+	// Cost is the query's cost-stats snapshot.
+	Cost TraceCost `json:"cost"`
 }
 
 // MaxLineBytes bounds one protocol line (a batch of ~64k subscriptions);

@@ -14,6 +14,7 @@ import (
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
+	"sfccover/internal/obs"
 	"sfccover/internal/persist"
 	"sfccover/internal/subscription"
 )
@@ -63,6 +64,12 @@ type Server struct {
 
 	linkMu sync.Mutex
 	links  map[string]core.Provider
+
+	// obs is adopted from the engine (nil when the engine runs with
+	// TelemetryOff): wire-op dispatch latencies are recorded into it, so
+	// the daemon's op histograms and the engine's internal stage
+	// histograms share one registry and one exposition.
+	obs *obs.Observer
 }
 
 // NewServer wraps an engine in a protocol server with permissive
@@ -82,6 +89,7 @@ func NewServerWith(eng *engine.Engine, cfg ServerConfig) *Server {
 		shared: eng,
 		conns:  make(map[net.Conn]struct{}),
 		links:  make(map[string]core.Provider),
+		obs:    eng.Observer(),
 	}
 }
 
@@ -387,7 +395,14 @@ func (s *Server) handleLine(line []byte) connResponse {
 			closeAfter: true,
 		}
 	}
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	resp := s.serve(req)
+	if s.obs != nil {
+		s.obs.Hist(opMetricName(req.Op)).Observe(time.Since(t0))
+	}
 	resp.ID = req.ID
 	return connResponse{resp: resp}
 }
@@ -408,6 +423,12 @@ func (s *Server) buildLink(link string) (core.Provider, error) {
 	p, err := core.New(dc)
 	if err != nil {
 		return nil, err
+	}
+	if s.obs != nil {
+		// Link detectors share the daemon's observer, so their run probes
+		// land in the same "run_probe" histogram. Safe here: the detector
+		// is not yet published to any other goroutine.
+		p.SetObserver(s.obs)
 	}
 	if s.store == nil {
 		return p, nil
@@ -477,6 +498,10 @@ func (s *Server) serve(req Request) *Response {
 		}
 	case "unlink":
 		return s.unlink(req.Link)
+	case "trace":
+		return s.trace(req)
+	case "slowlog":
+		return s.slowlog(req)
 	}
 	prov, err := s.provider(req.Link)
 	if err != nil {
@@ -629,6 +654,11 @@ func (s *Server) serve(req Request) *Response {
 		}
 		return &Response{OK: true}
 	case "metrics":
+		if req.Link == "" {
+			// The shared namespace gets the full daemon page: scalar
+			// counters plus latency histograms and per-link gauges.
+			return &Response{OK: true, Metrics: s.MetricsText()}
+		}
 		return &Response{OK: true, Metrics: RenderPrometheus(prov.Stats())}
 	default:
 		return &Response{OK: false, Code: CodeUnknownOp, Error: fmt.Sprintf("unknown op %q", req.Op)}

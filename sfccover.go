@@ -43,6 +43,11 @@
 //     wrapping; the daemon recovers engine and link namespaces at boot
 //     (cmd/sfcd -data-dir), and broker overlays persist their link state
 //     through NetworkConfig.DataDir.
+//   - Observer / QueryTrace / LatencySnapshot: the observability layer —
+//     lock-free latency histograms at every tier (engine operations,
+//     shard searches, daemon ops, client round-trips, broker delivery),
+//     per-query traces with stage timings feeding a slow-query log, and
+//     Prometheus text exposition from the daemon's -metrics-addr.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's analytical results.
@@ -55,6 +60,7 @@ import (
 	"sfccover/internal/core"
 	"sfccover/internal/dominance"
 	"sfccover/internal/engine"
+	"sfccover/internal/obs"
 	"sfccover/internal/persist"
 	"sfccover/internal/sfcd"
 	"sfccover/internal/subscription"
@@ -212,6 +218,56 @@ var (
 	// ErrDaemonClientClosed: the operation ran after Close.
 	ErrDaemonClientClosed = sfcd.ErrClientClosed
 )
+
+// Observer is the telemetry hub an Engine records into: an op-latency
+// histogram registry plus sampled per-query traces feeding a bounded
+// slow-query log. Hand one to EngineConfig.Obs (the engine builds its own
+// when the field is nil) and read it back with (*Engine).Observer.
+// Every method is nil-safe, so telemetry-off paths cost one branch.
+type Observer = obs.Observer
+
+// ObserverConfig parameterizes an Observer: slow-query threshold, slow
+// log capacity, trace sampling interval and histogram registry cap.
+type ObserverConfig = obs.Config
+
+// Observability defaults.
+const (
+	// DefaultSlowThreshold: queries slower than this enter the slow log.
+	DefaultSlowThreshold = obs.DefaultSlowThreshold
+	// DefaultTraceSample: one query in this many carries a trace.
+	DefaultTraceSample = obs.DefaultTraceSample
+	// DefaultSlowLogSize: slow-log ring capacity.
+	DefaultSlowLogSize = obs.DefaultSlowLogSize
+)
+
+// NewObserver builds a telemetry hub; zero-valued config fields take the
+// defaults above.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
+
+// QueryTrace is one traced covering query: wall-clock stage timings
+// through the cost pipeline, the shard slices searched, and the paper's
+// cost counters for the winning probe.
+type QueryTrace = obs.QueryTrace
+
+// QueryTraceStage is one named, timed stage of a QueryTrace.
+type QueryTraceStage = obs.Stage
+
+// QueryTraceCost is the cost-model summary a QueryTrace carries.
+type QueryTraceCost = obs.QueryCost
+
+// LatencySnapshot is a point-in-time copy of one latency histogram:
+// log₂-bucketed counts with Mean, Quantile and interval arithmetic (Sub).
+type LatencySnapshot = obs.Snapshot
+
+// DaemonTrace is the wire form of a QueryTrace, served by the daemon's
+// trace and slowlog ops and by (*DaemonClient).TraceQuery / SlowLog.
+type DaemonTrace = sfcd.Trace
+
+// DaemonTraceStage is one named, timed stage of a DaemonTrace.
+type DaemonTraceStage = sfcd.TraceStage
+
+// DaemonTraceCost is the cost-model summary a DaemonTrace carries.
+type DaemonTraceCost = sfcd.TraceCost
 
 // Persister is the optional durability capability of a Provider: backends
 // whose subscription set survives a restart (a DurableProvider, a daemon
