@@ -1,0 +1,63 @@
+// Command sfclint runs the project's static-analysis suite — the five
+// analyzers in internal/analysis that enforce the invariants the
+// system's correctness and performance claims rest on. It needs only
+// the Go toolchain:
+//
+//	go run ./cmd/sfclint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sfccover/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sfclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sfclint [-C dir] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	fset, pkgs, err := analysis.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "sfclint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "sfclint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "sfclint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sfccover/internal/analysis"
+)
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", root, "./internal/obs"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(./internal/obs) = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunSeededViolations(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", root, "./internal/analysis/testdata/src/wireerrs"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run(seeded fixture) = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wireerrs") {
+		t.Errorf("findings output missing analyzer name:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-C", root, "./does/not/exist"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(bad pattern) = %d, want 2", code)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sfccover/internal/analysis"
+	"sfccover/internal/analysis/analysistest"
+)
+
+func TestHotPathClock(t *testing.T) {
+	analysistest.Run(t, analysis.HotPathClock, "hotpathclock")
+}
+
+func TestWALOrder(t *testing.T) {
+	analysistest.Run(t, analysis.WALOrder, "walorder")
+}
+
+func TestAtomicAlign(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicAlign, "atomicalign")
+}
+
+func TestCapForward(t *testing.T) {
+	analysistest.Run(t, analysis.CapForward, "capforward")
+}
+
+func TestWireErrs(t *testing.T) {
+	analysistest.Run(t, analysis.WireErrs, "wireerrs")
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	d, ok := analysis.ParseDirective("//sfc:nocap Enumerator dumps are unbounded")
+	if !ok || d.Name != "nocap" || d.Args != "Enumerator dumps are unbounded" {
+		t.Fatalf("ParseDirective = %+v, %v", d, ok)
+	}
+	if _, ok := analysis.ParseDirective("// ordinary comment"); ok {
+		t.Fatal("ordinary comment parsed as directive")
+	}
+	if _, ok := analysis.ParseDirective("//sfc:"); ok {
+		t.Fatal("empty directive name parsed as directive")
+	}
+}

@@ -1,0 +1,107 @@
+// Package analysistest runs one analyzer over fixture packages under
+// internal/analysis/testdata/src and checks its diagnostics against
+// // want "regexp" comments in the fixture source — the same contract
+// as golang.org/x/tools' analysistest, rebuilt on the project's own
+// loader. Fixture packages live under a testdata directory, so the
+// normal build, `go vet ./...` and `go run ./cmd/sfclint ./...` never
+// see their seeded violations, but they are real packages inside the
+// module and may import the project's internal packages.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sfccover/internal/analysis"
+)
+
+// wantRe captures the quoted regexps of one // want comment; both
+// double-quoted and backquoted Go strings are accepted.
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)`)
+
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+type key struct {
+	file string
+	line int
+}
+
+// Run loads each fixture package (a directory name under
+// internal/analysis/testdata/src), applies the analyzer, and fails the
+// test on any unmatched diagnostic or unsatisfied want.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	patterns := make([]string, len(fixtures))
+	for i, f := range fixtures {
+		patterns[i] = "./internal/analysis/testdata/src/" + f
+	}
+	fset, pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", fixtures, err)
+	}
+	if len(pkgs) != len(fixtures) {
+		t.Fatalf("loaded %d packages for %d fixtures", len(pkgs), len(fixtures))
+	}
+
+	// Collect expectations: every // want comment, keyed by position.
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, q := range quotedRe.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", shortPath(k.file, root), k.line, a.Name, re)
+		}
+	}
+}
+
+func shortPath(file, root string) string {
+	return strings.TrimPrefix(file, root+"/")
+}

@@ -1,0 +1,12 @@
+package analysis
+
+// All returns the full analyzer suite in the order sfclint runs it.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicAlign,
+		CapForward,
+		HotPathClock,
+		WALOrder,
+		WireErrs,
+	}
+}

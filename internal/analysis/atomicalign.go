@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicAlign enforces the alignment and access discipline the
+// lock-free structures (PR 4's boundary table, PR 6's histogram shards)
+// depend on:
+//
+//   - a struct field passed to a raw 64-bit sync/atomic call
+//     (atomic.AddInt64 and friends) must sit at an 8-byte offset under
+//     GOARCH=386 sizes — on 32-bit platforms a misaligned 64-bit atomic
+//     faults at runtime (typed atomic.Int64/Uint64 are exempt: the
+//     compiler aligns them everywhere);
+//   - a field accessed through raw atomics must never also be accessed
+//     plainly in the same package — a plain read beside an atomic write
+//     is a data race the race detector only catches if the schedule
+//     cooperates;
+//   - in a cache-line-padded struct (one with a `_ [N]byte` pad field),
+//     no atomic field may follow the pad — a trailing atomic shares its
+//     line with the next array element, defeating the pad — and the pad
+//     must fill the struct to a 64-byte multiple.
+//
+// Suppress with //sfc:noatomicguard <reason>.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit atomics must be alignment-safe on 32-bit platforms, never mixed with plain access, and padded fields must stay padded",
+	Run:  runAtomicAlign,
+}
+
+// rawAtomic64 lists the sync/atomic functions whose operand must be
+// 8-byte aligned on 32-bit platforms.
+var rawAtomic64 = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// rawAtomic32 widens the mixed-access check to 32-bit raw atomics.
+var rawAtomic32 = map[string]bool{
+	"AddInt32": true, "AddUint32": true,
+	"LoadInt32": true, "LoadUint32": true,
+	"StoreInt32": true, "StoreUint32": true,
+	"SwapInt32": true, "SwapUint32": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapUint32": true,
+}
+
+var (
+	sizes386   = types.SizesFor("gc", "386")
+	sizesCache = types.SizesFor("gc", "amd64")
+)
+
+const cacheLine = 64
+
+func runAtomicAlign(pass *Pass) error {
+	// Pass 1: every struct field handed to a raw sync/atomic call, with
+	// the selector nodes that did so (excluded from the plain-access
+	// scan below).
+	atomicFields := make(map[*types.Var]bool)
+	atomicSelectors := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if !rawAtomic64[fn.Name()] && !rawAtomic32[fn.Name()] {
+				return true
+			}
+			field, sel := addressedField(pass, call.Args[0])
+			if field == nil {
+				return true
+			}
+			atomicFields[field] = true
+			atomicSelectors[sel] = true
+			if rawAtomic64[fn.Name()] {
+				checkFieldOffset(pass, call, sel, field)
+			}
+			return true
+		})
+	}
+
+	// Pass 2: plain (non-atomic) access to those same fields.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSelectors[sel] {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok || !atomicFields[field] {
+				return true
+			}
+			if pass.Suppressed(sel.Pos(), "noatomicguard") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; plain access races with it (use the atomic API or annotate //sfc:noatomicguard <reason>)", field.Name())
+			return true
+		})
+	}
+
+	// Pass 3: pad discipline of structs declared in this package.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					continue
+				}
+				checkPadDiscipline(pass, ts)
+			}
+		}
+	}
+	return nil
+}
+
+// addressedField resolves an argument of the form &x.f to the struct
+// field object and its selector node.
+func addressedField(pass *Pass, arg ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	field, _ := selection.Obj().(*types.Var)
+	return field, sel
+}
+
+// checkFieldOffset verifies the field sits at an 8-byte offset within
+// its struct under GOARCH=386 sizes.
+func checkFieldOffset(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr, field *types.Var) {
+	selection := pass.Info.Selections[sel]
+	named := namedOrPointee(selection.Recv())
+	if named == nil {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fields := make([]*types.Var, st.NumFields())
+	idx := -1
+	for i := range fields {
+		fields[i] = st.Field(i)
+		if fields[i] == field {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return // promoted from an embedded struct; offset not knowable here
+	}
+	offsets := sizes386.Offsetsof(fields)
+	if offsets[idx]%8 == 0 {
+		return
+	}
+	if pass.Suppressed(call.Pos(), "noatomicguard") {
+		return
+	}
+	pass.Reportf(call.Pos(), "64-bit atomic on %s.%s, which sits at offset %d under GOARCH=386; move it to an 8-byte offset or use atomic.Int64/Uint64 (aligned on every platform)", named.Obj().Name(), field.Name(), offsets[idx])
+}
+
+// checkPadDiscipline enforces the cache-line-padded shard pattern: no
+// atomic field after the pad, and the pad must fill the line.
+func checkPadDiscipline(pass *Pass, ts *ast.TypeSpec) {
+	obj, ok := pass.Info.Defs[ts.Name]
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	padSeen := false
+	hasPad := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isPadField(f) {
+			padSeen, hasPad = true, true
+			continue
+		}
+		if padSeen && isAtomicType(f.Type()) {
+			if !pass.Suppressed(f.Pos(), "noatomicguard") {
+				pass.Reportf(f.Pos(), "atomic field %s follows the cache-line pad in %s; it shares a line with the next array element — move it before the pad", f.Name(), ts.Name.Name)
+			}
+			padSeen = false // one report per run of trailing atomics
+		}
+	}
+	if hasPad {
+		size := sizesCache.Sizeof(st)
+		if size%cacheLine != 0 {
+			if !pass.Suppressed(ts.Name.Pos(), "noatomicguard") {
+				pass.Reportf(ts.Name.Pos(), "%s carries a cache-line pad but its size is %d bytes, not a multiple of %d; adjacent array elements will share a line", ts.Name.Name, size, cacheLine)
+			}
+		}
+	}
+}
+
+// isPadField recognizes the `_ [N]byte` padding idiom.
+func isPadField(f *types.Var) bool {
+	if f.Name() != "_" {
+		return false
+	}
+	arr, ok := f.Type().Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values.
+func isAtomicType(t types.Type) bool {
+	n := namedOrPointee(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return strings.HasPrefix(n.Obj().Name(), "Int") ||
+		strings.HasPrefix(n.Obj().Name(), "Uint") ||
+		n.Obj().Name() == "Pointer" || n.Obj().Name() == "Bool" || n.Obj().Name() == "Value"
+}

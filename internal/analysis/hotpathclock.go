@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathClock enforces PR 6's recording budget on the hot query path:
+// a function annotated //sfc:hotpath (query, probe and batch-item paths
+// in engine, dominance, sfcarray, obs) must not read the clock
+// (time.Now / time.Since) except inside a trace-elected branch — one
+// guarded by a nil check of an *obs.QueryTrace — and must never fetch
+// histograms from the obs registry (Observer.Hist / Registry.Hist take
+// the registry lock; hot paths cache the pointer at construction).
+// Suppress a finding with //sfc:allowclock <reason> on the call line or
+// the function's doc comment.
+var HotPathClock = &Analyzer{
+	Name: "hotpathclock",
+	Doc:  "//sfc:hotpath functions must not read clocks outside trace-elected branches nor fetch histograms from the registry",
+	Run:  runHotPathClock,
+}
+
+func runHotPathClock(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := DocDirective("hotpath", fd.Doc); !ok {
+				continue
+			}
+			_, fnAllowed := DocDirective("allowclock", fd.Doc)
+			w := &hotpathWalker{pass: pass, fnAllowed: fnAllowed}
+			w.walk(fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// hotpathWalker walks one annotated function, tracking whether the
+// current node sits inside a trace-elected branch.
+type hotpathWalker struct {
+	pass      *Pass
+	fnAllowed bool // //sfc:allowclock on the function doc (with reason)
+}
+
+func (w *hotpathWalker) walk(n ast.Node, elected bool) {
+	if n == nil {
+		return
+	}
+	if ifs, ok := n.(*ast.IfStmt); ok {
+		w.walk(ifs.Init, elected)
+		w.walk(ifs.Cond, elected)
+		thenElected, elseElected := w.condElectsTrace(ifs.Cond)
+		w.walk(ifs.Body, elected || thenElected)
+		if ifs.Else != nil {
+			w.walk(ifs.Else, elected || elseElected)
+		}
+		return
+	}
+	if call, ok := n.(*ast.CallExpr); ok {
+		w.checkCall(call, elected)
+	}
+	for _, child := range children(n) {
+		w.walk(child, elected)
+	}
+}
+
+func (w *hotpathWalker) checkCall(call *ast.CallExpr, elected bool) {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "time" && (fn.Name() == "Now" || fn.Name() == "Since"):
+		if elected || w.suppressed(call.Pos()) {
+			return
+		}
+		w.pass.Reportf(call.Pos(), "time.%s on a //sfc:hotpath function outside a trace-elected branch (guard with `if tr != nil` on an *obs.QueryTrace, or annotate //sfc:allowclock <reason>)", fn.Name())
+	case isRegistryFetch(fn):
+		if w.suppressed(call.Pos()) {
+			return
+		}
+		w.pass.Reportf(call.Pos(), "%s.%s fetches from the histogram registry on a //sfc:hotpath function; resolve the histogram once at construction and cache the pointer", recvTypeName(fn), fn.Name())
+	}
+}
+
+func (w *hotpathWalker) suppressed(pos token.Pos) bool {
+	return w.fnAllowed || w.pass.Suppressed(pos, "allowclock")
+}
+
+// isRegistryFetch matches the obs registry's lock-taking lookup surface:
+// (*obs.Observer).Hist, (*obs.Registry).Hist and (*obs.Observer).Registry.
+func isRegistryFetch(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	switch fn.Name() {
+	case "Hist":
+		return isPkgType(recv, "internal/obs", "Observer") || isPkgType(recv, "internal/obs", "Registry")
+	case "Registry":
+		return isPkgType(recv, "internal/obs", "Observer")
+	}
+	return false
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if n := namedOrPointee(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return "receiver"
+}
+
+// condElectsTrace decides whether an if condition proves an
+// *obs.QueryTrace is non-nil in the then branch (tr != nil, possibly as
+// a conjunct) or in the else branch (tr == nil).
+func (w *hotpathWalker) condElectsTrace(cond ast.Expr) (thenElected, elseElected bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.NEQ:
+			if w.isTraceNilCheck(e.X, e.Y) {
+				return true, false
+			}
+		case token.EQL:
+			if w.isTraceNilCheck(e.X, e.Y) {
+				return false, true
+			}
+		case token.LAND:
+			// Both conjuncts hold in the then branch, so either side
+			// electing suffices; the else branch proves nothing.
+			lt, _ := w.condElectsTrace(e.X)
+			rt, _ := w.condElectsTrace(e.Y)
+			return lt || rt, false
+		}
+	}
+	return false, false
+}
+
+// isTraceNilCheck reports whether one side is the nil literal and the
+// other an expression of type *obs.QueryTrace.
+func (w *hotpathWalker) isTraceNilCheck(x, y ast.Expr) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	isTrace := func(e ast.Expr) bool {
+		t := w.pass.Info.TypeOf(e)
+		return t != nil && isPkgType(t, "internal/obs", "QueryTrace")
+	}
+	return (isNil(x) && isTrace(y)) || (isNil(y) && isTrace(x))
+}
+
+// children returns a node's direct AST children, via ast.Inspect with a
+// depth cut at 1.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(child ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if child != nil {
+			out = append(out, child)
+		}
+		return false
+	})
+	return out
+}

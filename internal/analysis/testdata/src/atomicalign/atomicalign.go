@@ -1,0 +1,53 @@
+// Package atomicalignfix seeds atomicalign violations: a raw 64-bit
+// atomic on a misaligned field, plain access beside atomic access, and
+// a broken cache-line pad — plus the clean shapes the analyzer accepts.
+package atomicalignfix
+
+import "sync/atomic"
+
+// counters puts a raw int64 at offset 4 under GOARCH=386 (bool at 0,
+// int64 aligned to 4): the atomic below would fault on 32-bit hardware.
+type counters struct {
+	flag bool
+	n    int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.n, 1) // want `sits at offset 4 under GOARCH=386`
+}
+
+// mixed is alignment-clean (offset 0) but read plainly below.
+type mixed struct {
+	v int64
+	_ [56]byte
+}
+
+func bumpMixed(m *mixed)       { atomic.AddInt64(&m.v, 1) }
+func peekPlain(m *mixed) int64 { return m.v } // want `plain access races with it`
+
+func peekSuppressed(m *mixed) int64 {
+	//sfc:noatomicguard fixture: this reader runs after all writers are quiesced
+	return m.v
+}
+
+// badShard puts an atomic field behind the pad, where it shares a cache
+// line with the next array element; the pad also no longer fills the
+// struct to a 64-byte multiple.
+type badShard struct { // want `size is 72 bytes, not a multiple of 64`
+	hits atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64 // want `follows the cache-line pad`
+}
+
+// goodShard is the histogram-shard pattern done right: atomics first,
+// pad last, 64-byte total.
+type goodShard struct {
+	hits atomic.Uint64
+	_    [56]byte
+}
+
+var shards [8]goodShard
+
+func touch(i int) { shards[i].hits.Add(1) }
+
+var _ = badShard{}

@@ -1,0 +1,98 @@
+// Package walorderfix seeds walorder violations and the legitimate
+// shapes it must accept: log-then-apply, err-guarded rollback, and
+// annotated replay.
+package walorderfix
+
+import (
+	"sfccover/internal/core"
+	"sfccover/internal/subscription"
+)
+
+// store declares WAL append primitives, putting this package under the
+// claim→log→apply rule.
+type store struct{}
+
+func (s *store) appendAdd(sid uint64) error    { return nil }
+func (s *store) appendRemove(sid uint64) error { return nil }
+
+type durable struct {
+	inner core.Provider
+	st    *store
+}
+
+// badRemove applies the removal before logging it: a crash between the
+// two loses the subscription from disk but not from the log.
+func (d *durable) badRemove(sid uint64) error {
+	if err := d.inner.Remove(sid); err != nil { // want `destructive Remove precedes the first WAL append`
+		return err
+	}
+	return d.st.appendRemove(sid)
+}
+
+// badUnlogged mutates without any WAL append in sight.
+func (d *durable) badUnlogged(sid uint64) error {
+	return d.inner.Remove(sid) // want `mutates provider state but badUnlogged never appends to the WAL`
+}
+
+// goodRemove logs first, applies second.
+func (d *durable) goodRemove(sid uint64) error {
+	if err := d.st.appendRemove(sid); err != nil {
+		return err
+	}
+	return d.inner.Remove(sid)
+}
+
+// goodRollback inserts, logs, and compensates inside the err guard — the
+// one place a destructive call may precede nothing.
+func (d *durable) goodRollback(sub *subscription.Subscription) error {
+	id, err := d.inner.Insert(sub)
+	if err != nil {
+		return err
+	}
+	if err := d.st.appendAdd(id); err != nil {
+		d.inner.Remove(id) // err-guarded rollback: legitimate
+		return err
+	}
+	return nil
+}
+
+// goodTransitive logs through a helper that reaches a primitive.
+func (d *durable) goodTransitive(sid uint64) error {
+	if err := d.logRemove(sid); err != nil {
+		return err
+	}
+	return d.inner.Remove(sid)
+}
+
+func (d *durable) logRemove(sid uint64) error { return d.st.appendRemove(sid) }
+
+// replay re-applies records already on disk; the annotation waives the
+// rule for the whole function.
+//
+//sfc:walok fixture: recovery replay applies records already on disk
+func (d *durable) replay(subs []*subscription.Subscription) error {
+	for _, s := range subs {
+		if _, err := d.inner.Insert(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lineSuppressed documents the call-level escape hatch.
+func (d *durable) lineSuppressed(sub *subscription.Subscription) ([]core.Drained, error) {
+	if dr, ok := d.inner.(core.CoveredDrainer); ok {
+		//sfc:walok fixture: the drained set is unknowable before draining
+		out, err := dr.DrainCovered(sub)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range out {
+			if err := d.st.appendRemove(it.ID); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,55 @@
+// Package wireerrsfix seeds untyped wire refusals against a local
+// Response frame type, plus the typed and suppressed shapes wireerrs
+// accepts.
+package wireerrsfix
+
+// Response mirrors the daemon's wire frame shape.
+type Response struct {
+	OK    bool
+	Code  string
+	Error string
+}
+
+// Protocol error codes.
+const (
+	CodeBadRequest = "bad_request"
+	CodeOpFailed   = "op_failed"
+)
+
+// refuseTyped is the contract: a refusal with a declared code constant.
+func refuseTyped() *Response {
+	return &Response{OK: false, Code: CodeBadRequest, Error: "malformed request"}
+}
+
+// refuseMissing sends a refusal the client cannot dispatch on.
+func refuseMissing() *Response {
+	return &Response{OK: false, Error: "something went wrong"} // want `refusal Response without a protocol error code`
+}
+
+// refuseInline invents a code at the call site, so the protocol surface
+// is no longer enumerable.
+func refuseInline() *Response {
+	return &Response{OK: false, Code: "oops", Error: "bad"} // want `refusal Code is an inline value`
+}
+
+// implicitRefusal leaves OK to its zero value — still a refusal frame.
+func implicitRefusal() *Response {
+	return &Response{Error: "bad"} // want `refusal Response without a protocol error code`
+}
+
+// okFrame is not a refusal; no code required.
+func okFrame() *Response { return &Response{OK: true} }
+
+// helperCode routes the code through a parameter: accepted, the
+// constants live at the call sites.
+func helperCode(code, msg string) *Response {
+	return &Response{OK: false, Code: code, Error: msg}
+}
+
+var _ = helperCode(CodeOpFailed, "x")
+
+// suppressed documents the escape hatch.
+func suppressed() *Response {
+	//sfc:rawerr fixture: the annotation must silence the finding
+	return &Response{OK: false, Error: "free-form"}
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WALOrder enforces the claim→log→apply rule that makes crash recovery
+// sound (PR 5): in any package that owns WAL append primitives
+// (appendAdd / appendRemove / appendBatch methods), a function that
+// mutates a wrapped core provider must also append to the WAL, and
+// destructive mutations (Remove / RemoveBatch / RemoveAll /
+// DrainCovered) must not precede the first WAL append on the
+// straight-line path — memory must never run ahead of disk. A mutation
+// inside an `err != nil` guard is exempt: that is the rollback arm of a
+// failed append. Suppress with //sfc:walok <reason> on the call line or
+// the function's doc comment (e.g. recovery replay, which re-applies
+// records already on disk).
+var WALOrder = &Analyzer{
+	Name: "walorder",
+	Doc:  "provider state mutation must not precede the corresponding WAL append (claim→log→apply)",
+	Run:  runWALOrder,
+}
+
+// walPrimitives are the method names that constitute a WAL append; a
+// package is subject to walorder only if it declares at least one.
+var walPrimitives = map[string]bool{
+	"appendAdd":    true,
+	"appendRemove": true,
+	"appendBatch":  true,
+}
+
+// destructiveMutations lose state that a crash before the append could
+// never recover, so they are order-checked, not just presence-checked.
+var destructiveMutations = map[string]bool{
+	"Remove":       true,
+	"RemoveBatch":  true,
+	"RemoveAll":    true,
+	"DrainCovered": true,
+}
+
+// mutationIfaces are the internal/core types whose method calls count
+// as provider state mutation.
+var mutationIfaces = []string{"Provider", "BatchWriter", "BulkInserter", "CoveredDrainer"}
+
+func runWALOrder(pass *Pass) error {
+	logFuncs := collectLogFuncs(pass)
+	if logFuncs == nil {
+		return nil // package declares no WAL primitives; rule not in force
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := DocDirective("walok", fd.Doc); ok {
+				continue
+			}
+			checkWALOrder(pass, fd, logFuncs)
+		}
+	}
+	return nil
+}
+
+// collectLogFuncs finds every function in the package that reaches a
+// WAL append primitive, transitively, by fixpoint over direct calls.
+// Returns nil if the package declares no primitive at all.
+func collectLogFuncs(pass *Pass) map[*types.Func]bool {
+	logFuncs := make(map[*types.Func]bool)
+	type fnBody struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fnBody
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			// Primitives qualify only as methods: a free helper that
+			// happens to share the name (e.g. a record encoder) is not
+			// an append to this store's log.
+			if walPrimitives[fn.Name()] && fd.Recv != nil {
+				logFuncs[fn] = true
+			}
+			fns = append(fns, fnBody{fn, fd.Body})
+		}
+	}
+	if len(logFuncs) == 0 {
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if logFuncs[f.fn] {
+				continue
+			}
+			ast.Inspect(f.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pass.Info, call); callee != nil && logFuncs[callee] {
+					logFuncs[f.fn] = true
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return logFuncs
+}
+
+// checkWALOrder verifies one function: every provider mutation needs a
+// WAL append somewhere in the function, and destructive mutations must
+// come after the first append unless err-guarded (rollback).
+func checkWALOrder(pass *Pass, fd *ast.FuncDecl, logFuncs map[*types.Func]bool) {
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn != nil && walPrimitives[fn.Name()] {
+		return // the primitives themselves sit below the rule
+	}
+
+	// First pass: the position of the first WAL append on the
+	// straight-line spelling of the function.
+	firstLog := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if firstLog.IsValid() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := calleeFunc(pass.Info, call); callee != nil && (logFuncs[callee] || walPrimitives[callee.Name()]) {
+				firstLog = call.Pos()
+				return false
+			}
+		}
+		return true
+	})
+
+	walkErrGuarded(fd.Body, false, func(n ast.Node, errGuarded bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil || !isProviderMutation(pass, call, callee) {
+			return
+		}
+		if pass.Suppressed(call.Pos(), "walok") {
+			return
+		}
+		if !firstLog.IsValid() {
+			pass.Reportf(call.Pos(), "%s mutates provider state but %s never appends to the WAL; log before applying or annotate //sfc:walok <reason>", callee.Name(), fd.Name.Name)
+			return
+		}
+		if destructiveMutations[callee.Name()] && call.Pos() < firstLog && !errGuarded {
+			pass.Reportf(call.Pos(), "destructive %s precedes the first WAL append in %s; claim, log, then apply (or annotate //sfc:walok <reason>)", callee.Name(), fd.Name.Name)
+		}
+	})
+}
+
+// walkErrGuarded walks the AST tracking whether the current node sits
+// inside the then branch of an `err != nil` check — the rollback arm of
+// a failed append, where compensating mutations are legitimate.
+func walkErrGuarded(n ast.Node, guarded bool, visit func(ast.Node, bool)) {
+	if n == nil {
+		return
+	}
+	visit(n, guarded)
+	if ifs, ok := n.(*ast.IfStmt); ok {
+		walkErrGuarded(ifs.Init, guarded, visit)
+		walkErrGuarded(ifs.Cond, guarded, visit)
+		walkErrGuarded(ifs.Body, guarded || isErrNilCheck(ifs.Cond), visit)
+		if ifs.Else != nil {
+			walkErrGuarded(ifs.Else, guarded, visit)
+		}
+		return
+	}
+	for _, child := range children(n) {
+		walkErrGuarded(child, guarded, visit)
+	}
+}
+
+// isErrNilCheck recognizes `<ident> != nil` where the identifier is
+// named err or ends in Err (the conventional failed-append guard).
+func isErrNilCheck(cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	isErr := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return id.Name == "err" || len(id.Name) > 3 && id.Name[len(id.Name)-3:] == "Err" ||
+			len(id.Name) > 3 && id.Name[:3] == "err"
+	}
+	return isNil(be.X) && isErr(be.Y) || isNil(be.Y) && isErr(be.X)
+}
+
+// isProviderMutation reports whether the call mutates provider state:
+// a mutation-named method invoked on a value typed as one of the
+// internal/core capability interfaces, or the core.AddAll /
+// core.RemoveAll package helpers.
+func isProviderMutation(pass *Pass, call *ast.CallExpr, callee *types.Func) bool {
+	if funcIsFrom(callee, "internal/core", "AddAll") || funcIsFrom(callee, "internal/core", "RemoveAll") {
+		return true
+	}
+	switch callee.Name() {
+	case "Add", "Insert", "AddBatch", "InsertBatch", "Remove", "RemoveBatch", "DrainCovered":
+	default:
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := pass.Info.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	for _, iface := range mutationIfaces {
+		if isPkgType(recv, "internal/core", iface) {
+			return true
+		}
+	}
+	return false
+}

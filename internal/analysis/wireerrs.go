@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WireErrs keeps daemon refusals machine-mappable: in a package that
+// declares the wire Response type (OK / Code / Error fields), every
+// refusal frame — a Response literal with OK: false, or with an Error
+// but no OK — must set Code, and must set it from a declared constant,
+// never an inline string. Raw fmt.Errorf text reaches clients as an
+// opaque ServerError; typed codes are what RemoteProvider and retry
+// policies dispatch on. Suppress with //sfc:rawerr <reason>.
+var WireErrs = &Analyzer{
+	Name: "wireerrs",
+	Doc:  "wire refusal frames must carry a typed protocol error code from a declared constant",
+	Run:  runWireErrs,
+}
+
+func runWireErrs(pass *Pass) error {
+	resp := localResponseType(pass)
+	if resp == nil {
+		return nil // not a wire-protocol package
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(lit)
+			if t == nil || namedOrPointee(t) != resp {
+				return true
+			}
+			checkResponseLit(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// localResponseType finds a struct named Response declared in this
+// package carrying OK, Code and Error fields — the wire frame shape.
+func localResponseType(pass *Pass) *types.Named {
+	obj, ok := pass.Pkg.Scope().Lookup("Response").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	want := map[string]bool{"OK": false, "Code": false, "Error": false}
+	for i := 0; i < st.NumFields(); i++ {
+		if _, tracked := want[st.Field(i).Name()]; tracked {
+			want[st.Field(i).Name()] = true
+		}
+	}
+	return ifAll(want, named)
+}
+
+func ifAll(want map[string]bool, named *types.Named) *types.Named {
+	for _, ok := range want {
+		if !ok {
+			return nil
+		}
+	}
+	return named
+}
+
+// checkResponseLit validates one Response literal: refusals need a
+// constant Code.
+func checkResponseLit(pass *Pass, lit *ast.CompositeLit) {
+	var okExpr, codeExpr ast.Expr
+	hasError := false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "OK":
+			okExpr = kv.Value
+		case "Code":
+			codeExpr = kv.Value
+		case "Error":
+			hasError = true
+		}
+	}
+
+	refusal := false
+	if okExpr != nil {
+		if id, ok := ast.Unparen(okExpr).(*ast.Ident); ok && id.Name == "false" {
+			refusal = true
+		}
+	} else if hasError {
+		refusal = true // zero-value OK is false: an implicit refusal
+	}
+	if !refusal || pass.Suppressed(lit.Pos(), "rawerr") {
+		return
+	}
+
+	if codeExpr == nil {
+		pass.Reportf(lit.Pos(), "refusal Response without a protocol error code; set Code from a declared constant so clients get a mappable ServerError (or annotate //sfc:rawerr <reason>)")
+		return
+	}
+	if !isDeclaredConst(pass, codeExpr) {
+		pass.Reportf(codeExpr.Pos(), "refusal Code is an inline value; declare a named code constant so the protocol surface stays enumerable (or annotate //sfc:rawerr <reason>)")
+	}
+}
+
+// isDeclaredConst reports whether e resolves to a declared named
+// constant (possibly via a helper parameter — any non-literal constant
+// or string-typed variable fed from one is accepted; only inline
+// literals are rejected).
+func isDeclaredConst(pass *Pass, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return false
+	case *ast.Ident:
+		return v.Name != "nil"
+	case *ast.SelectorExpr:
+		return true
+	default:
+		// Conversions, calls, etc.: accept anything the type checker
+		// resolved; the rule targets the bare-literal antipattern.
+		return pass.Info.TypeOf(e) != nil
+	}
+}

@@ -22,6 +22,8 @@ type probeFn func(lo, hi bits.Key) (id uint64, ok bool)
 // exhaustive cost — and probes every run until a point turns up. A
 // non-nil tr collects stage timings: "decompose" covers the partition and
 // run merge, "probes" the probe loop.
+//
+//sfc:hotpath
 func searchExhaustive(curve sfc.Curve, k int, probe probeFn, region geom.Extremal, stats *Stats, tr *obs.QueryTrace) (uint64, bool, error) {
 	var t0 time.Time
 	if tr != nil {
@@ -58,6 +60,8 @@ func searchExhaustive(curve sfc.Curve, k int, probe probeFn, region geom.Extrema
 // at the maxCubes cap. A non-nil tr collects stage timings: "truncate"
 // covers the Lemma 3.2 truncation, "enumerate_probes" the interleaved
 // cube enumeration and probe loop.
+//
+//sfc:hotpath
 func searchApprox(curve sfc.Curve, k, maxCubes int, probe probeFn, region geom.Extremal, eps float64, stats *Stats, tr *obs.QueryTrace) (uint64, bool, error) {
 	fullVol := region.Volume()
 	var t0 time.Time

@@ -276,6 +276,8 @@ func (x *ShardedIndex) Delete(p []uint32, id uint64) bool {
 // migration can move the range's smallest entry into a slice this probe
 // had already passed), which would break the bit-identical-answers
 // guarantee the sharded index gives against the single-array one.
+//
+//sfc:hotpath
 func (x *ShardedIndex) probe(lo, hi bits.Key) (uint64, bool) {
 	for {
 		tabPtr := x.table.Load()

@@ -38,6 +38,8 @@ func (x *Index) Query(q []uint32, eps float64) (uint64, bool, Stats, error) {
 // QueryTraced is Query with an optional trace record: when tr is
 // non-nil the search appends its stage timings (decomposition or
 // truncation, then the probe loop) to it. tr may be nil.
+//
+//sfc:hotpath
 func (x *Index) QueryTraced(q []uint32, eps float64, tr *obs.QueryTrace) (uint64, bool, Stats, error) {
 	var stats Stats
 	if len(q) != x.cfg.Dims {
@@ -71,6 +73,8 @@ func (x *Index) QueryTraced(q []uint32, eps float64, tr *obs.QueryTrace) (uint64
 // QueryTraced is Query with an optional trace record: stage timings
 // plus per-slice probe counts (tr.Slices) showing how the probe traffic
 // spread over the key slices. tr may be nil.
+//
+//sfc:hotpath
 func (x *ShardedIndex) QueryTraced(q []uint32, eps float64, tr *obs.QueryTrace) (uint64, bool, Stats, error) {
 	var stats Stats
 	if len(q) != x.cfg.Dims {
@@ -122,6 +126,8 @@ func (x *ShardedIndex) tracedProbe(tr *obs.QueryTrace) probeFn {
 // probeTouched is probe with per-slice trace accounting: identical
 // retry-validated routing, but every slice visited is counted against
 // tr. tr may be nil (TouchSlice is nil-safe).
+//
+//sfc:hotpath
 func (x *ShardedIndex) probeTouched(lo, hi bits.Key, tr *obs.QueryTrace) (uint64, bool) {
 	for {
 		tabPtr := x.table.Load()

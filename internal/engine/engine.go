@@ -432,6 +432,8 @@ func (e *Engine) ShardSizes() []int { return e.be.shardSizes() }
 func (e *Engine) shardFor(p []uint32) int { return e.be.shardFor(p) }
 
 // record folds one logical query's outcome into the engine counters.
+//
+//sfc:hotpath
 func (e *Engine) record(res QueryResult, searches int) {
 	e.queries.Add(1)
 	if res.Covered {
@@ -453,6 +455,8 @@ func (e *Engine) checkSchema(s *subscription.Subscription) error {
 // always, latency when telemetry is on, and a full trace record for the
 // 1-in-TraceSample queries the observer elects (slow ones land in the
 // slow-query log).
+//
+//sfc:hotpath
 func (e *Engine) findCover(s *subscription.Subscription) QueryResult {
 	return e.findCoverTraced(s, e.obs.SampleTrace("query"))
 }
@@ -464,6 +468,8 @@ func (e *Engine) findCover(s *subscription.Subscription) QueryResult {
 // single-op call exactly plus a 1-in-TraceSample sample of batch
 // traffic (unbiased, only the count is scaled), while the batch-level
 // histogram still times every batch call.
+//
+//sfc:hotpath
 func (e *Engine) findCoverHot(s *subscription.Subscription) QueryResult {
 	tr := e.obs.SampleTrace("query")
 	if tr != nil {

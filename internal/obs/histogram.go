@@ -74,6 +74,8 @@ func splitmix64(x uint64) uint64 {
 
 // Observe records one latency sample. Safe for concurrent use; safe on
 // a nil receiver (no-op).
+//
+//sfc:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return

@@ -85,6 +85,8 @@ func (o *Observer) SlowLog() *SlowLog {
 // calls (nil otherwise, and always nil on a nil Observer). The counter
 // is a single shared atomic: one uncontended add per query, which is
 // noise next to the probe loop it meters.
+//
+//sfc:hotpath
 func (o *Observer) SampleTrace(op string) *QueryTrace {
 	if o == nil {
 		return nil

@@ -52,6 +52,8 @@ type QueryTrace struct {
 }
 
 // AddStage appends a timed stage. Nil-safe.
+//
+//sfc:hotpath
 func (t *QueryTrace) AddStage(name string, d time.Duration, count int) {
 	if t == nil {
 		return
@@ -61,6 +63,8 @@ func (t *QueryTrace) AddStage(name string, d time.Duration, count int) {
 
 // TouchSlice counts one probe against slice i, growing the slice table
 // on demand. Nil-safe.
+//
+//sfc:hotpath
 func (t *QueryTrace) TouchSlice(i int) {
 	if t == nil || i < 0 {
 		return

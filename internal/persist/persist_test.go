@@ -618,3 +618,103 @@ func TestFailedAppendLeavesNoTornBytes(t *testing.T) {
 		t.Fatalf("recovered %+v, want exactly sids 1 and 3 (the failed 2 snipped, the later 3 preserved)", entries)
 	}
 }
+
+// TestDurableInsertBatch pins the bulk-insert capability added to the
+// durable wrapper: one batch, durable sids out, a single log write that
+// replays under the same sids after a restart — and all-or-nothing
+// rollback out of the wrapped provider when that log write fails.
+func TestDurableInsertBatch(t *testing.T) {
+	schema := testSchema()
+	dir := t.TempDir()
+	newDetector := func() core.Provider {
+		return core.MustNew(core.Config{Schema: schema, Mode: core.ModeExact, Strategy: core.StrategyLinear})
+	}
+
+	st, err := Open(dir, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := st.Durable("", newDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ core.BulkInserter = d // the capability capforward demanded
+
+	subs := make([]*subscription.Subscription, 4)
+	for i := range subs {
+		subs[i] = rect(t, schema, i)
+	}
+	sids, err := d.InsertBatch(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sids) != 4 {
+		t.Fatalf("InsertBatch returned %d sids, want 4", len(sids))
+	}
+	seen := map[uint64]bool{}
+	for _, sid := range sids {
+		if seen[sid] {
+			t.Fatalf("InsertBatch reused sid %d inside one batch", sid)
+		}
+		seen[sid] = true
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len after batch = %d, want 4", d.Len())
+	}
+	liveAnswers := coverAnswers(t, schema, d, 4)
+	d.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	d2, err := st2.Durable("", newDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 4 {
+		t.Fatalf("recovered Len = %d, want 4", d2.Len())
+	}
+	if got := coverAnswers(t, schema, d2, 4); got != liveAnswers {
+		t.Fatalf("recovered answers diverge:\n got %v\nwant %v", got, liveAnswers)
+	}
+	// The batch's sids survived recovery verbatim, and stay live handles:
+	// removing through one must stick.
+	for _, sid := range sids {
+		if _, ok := d2.Subscription(sid); !ok {
+			t.Fatalf("sid %d from the pre-restart batch is gone after recovery", sid)
+		}
+	}
+	if err := d2.Remove(sids[2]); err != nil {
+		t.Fatalf("Remove(recovered batch sid): %v", err)
+	}
+	if d2.Len() != 3 {
+		t.Fatalf("Len after removing one batch member = %d, want 3", d2.Len())
+	}
+
+	// Rollback: a failed log write must leave the wrapped provider empty —
+	// no subscription may be queryable that the log never recorded.
+	dir2 := t.TempDir()
+	st3, err := Open(dir2, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := st3.Durable("", newDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d3.InsertBatch(subs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("InsertBatch on closed store = %v, want ErrClosed", err)
+	}
+	if d3.Len() != 0 {
+		t.Fatalf("wrapped provider holds %d subscriptions after a failed batch log, want 0", d3.Len())
+	}
+}

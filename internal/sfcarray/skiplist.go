@@ -160,6 +160,8 @@ func (s *SkipList) seek(lo bits.Key) *slNode {
 }
 
 // FirstInRange implements Index.
+//
+//sfc:hotpath
 func (s *SkipList) FirstInRange(lo, hi bits.Key) (uint64, bool) {
 	n := s.seek(lo)
 	if n == nil || n.key.Cmp(hi) > 0 {

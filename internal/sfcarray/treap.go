@@ -181,6 +181,8 @@ func (t *Treap) delete(n *treapNode, k bits.Key, id uint64) (*treapNode, bool) {
 }
 
 // FirstInRange implements Index with a single root-to-leaf descent.
+//
+//sfc:hotpath
 func (t *Treap) FirstInRange(lo, hi bits.Key) (uint64, bool) {
 	var best *treapNode
 	for n := t.root; n != nil; {

@@ -99,6 +99,8 @@ type Client struct {
 	// response), client-side: queueing, the wire and the server's service
 	// time all included — the number a router actually waits.
 	lat *obs.Registry
+	// opLat holds the pre-resolved per-op histograms do records into.
+	opLat *opHists
 
 	// Hello-negotiated server facts.
 	shards    int
@@ -147,6 +149,7 @@ func DialContext(ctx context.Context, cfg DialConfig) (*Client, error) {
 		pending: make(map[uint64]chan *Response),
 		lat:     obs.NewRegistry(obs.DefaultMaxOps),
 	}
+	c.opLat = newOpHists(c.lat.Hist)
 	c.wg.Add(2)
 	go c.readLoop()
 	go c.writeLoop()
@@ -314,6 +317,8 @@ func (c *Client) readLoop() {
 // configured RequestTimeout when ctx carries no deadline, registers the
 // request id for demultiplexing, and hands the frame to the writer; the
 // caller's wait is independent of every other in-flight request.
+//
+//sfc:hotpath
 func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 	if c.cfg.RequestTimeout > 0 {
 		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
@@ -353,6 +358,7 @@ func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 		abandonUnsent()
 		return nil, fmt.Errorf("sfcd: request line is %d bytes, server cap is %d: split the batch", len(line), MaxLineBytes)
 	}
+	//sfc:allowclock one clock pair per request is the round-trip histogram's contract: it times every client op exactly
 	t0 := time.Now()
 	select {
 	case c.writeCh <- append(line, '\n'):
@@ -365,7 +371,8 @@ func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 	}
 	select {
 	case resp := <-ch:
-		c.lat.Hist(opMetricName(req.Op)).Observe(time.Since(t0))
+		//sfc:allowclock pairs with the t0 read above; the histogram itself is pre-resolved, not fetched
+		c.opLat.observe(req.Op, time.Since(t0))
 		respChPool.Put(ch)
 		return checkResponse(resp)
 	case <-ctx.Done():
@@ -377,7 +384,8 @@ func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 		// The response may have been delivered just before the failure.
 		select {
 		case resp := <-ch:
-			c.lat.Hist(opMetricName(req.Op)).Observe(time.Since(t0))
+			//sfc:allowclock pairs with the t0 read above; the histogram itself is pre-resolved, not fetched
+			c.opLat.observe(req.Op, time.Since(t0))
 			respChPool.Put(ch)
 			return checkResponse(resp)
 		default:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"sfccover/internal/obs"
 )
@@ -27,6 +28,58 @@ func opMetricName(op string) string {
 		return "remove_batch"
 	}
 	return op
+}
+
+// wireOps is the protocol's full op vocabulary, used to pre-resolve
+// every op's latency histogram at construction. Keep it in sync with
+// the serve dispatch switch; an op missing here still gets metered,
+// through the cold registry path.
+var wireOps = []string{
+	"ping", "hello", "unlink", "trace", "slowlog",
+	"subscribe", "insert", "subscribe_batch",
+	"unsubscribe", "unsubscribe_batch",
+	"query", "query_batch", "covered", "get", "match",
+	"stats", "rebalance", "snapshot", "metrics",
+}
+
+// opHists is the per-request path's view of the op latency histograms:
+// every known wire op's histogram is resolved once, up front, so
+// recording a request costs one read-only map index — never the
+// registry's lock (Registry.Hist takes an RWMutex; sfclint's
+// hotpathclock bans it on the request path). Both the server's and the
+// client's request loops record through one of these.
+type opHists struct {
+	cold  func(op string) *obs.Histogram // registry fallback for unknown ops
+	hists map[string]*obs.Histogram      // raw wire op -> histogram, read-only after construction
+}
+
+// newOpHists resolves every wire op's histogram from the given registry
+// lookup (Observer.Hist or Registry.Hist), keyed by the raw wire op so
+// the hot path skips the opMetricName rename too.
+func newOpHists(hist func(op string) *obs.Histogram) *opHists {
+	h := &opHists{cold: hist, hists: make(map[string]*obs.Histogram, len(wireOps))}
+	for _, op := range wireOps {
+		h.hists[op] = hist(opMetricName(op))
+	}
+	return h
+}
+
+// observe records one request's latency against its op. Nil-safe, so
+// callers with telemetry off hold a nil *opHists and pay one branch.
+//
+//sfc:hotpath
+func (h *opHists) observe(op string, d time.Duration) {
+	if h == nil {
+		return
+	}
+	if hist, ok := h.hists[op]; ok {
+		hist.Observe(d)
+		return
+	}
+	// Unknown op (a newer client against this vocabulary): the cold
+	// registry lookup keeps it metered. The indirect call is outside
+	// hotpathclock's reach, but it is also not on any known-op path.
+	h.cold(opMetricName(op)).Observe(d)
 }
 
 // MetricsText renders the daemon's full Prometheus page: the shared

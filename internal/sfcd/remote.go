@@ -28,6 +28,11 @@ import (
 // Closing a RemoteProvider releases its link namespace on the daemon
 // (best effort); it never closes the shared Client. Close the Client
 // itself when all providers on it are done.
+//
+//sfc:wrapper
+//sfc:nocap CoveredDrainer the wire protocol has no drain op; routers drain via the FindCovered/unsubscribe loop, which stays correct over the wire
+//sfc:nocap Enumerator a full subscription dump has no wire op and would be an unbounded response frame; enumerate server-side
+//sfc:nocap BulkInserter the wire batch op is subscribe_batch (AddBatch), which covering daemons need; a log-free bulk insert op does not exist remotely
 type RemoteProvider struct {
 	c    *Client
 	link string
