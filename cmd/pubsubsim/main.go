@@ -38,6 +38,9 @@ type params struct {
 	mode     string
 	eps      float64
 	maxCubes int
+	curve    string
+	cache    int
+	adaptive bool
 	width    float64
 	dist     string
 	seed     int64
@@ -62,6 +65,9 @@ func main() {
 	flag.StringVar(&p.mode, "mode", "approx", "covering mode: off | exact | approx")
 	flag.Float64Var(&p.eps, "eps", 0.2, "approximation parameter for -mode approx")
 	flag.IntVar(&p.maxCubes, "cap", 10000, "per-query probe budget (0 = library default, -1 = unlimited)")
+	flag.StringVar(&p.curve, "curve", "", "space filling curve: z (default) | hilbert | gray | onion")
+	flag.IntVar(&p.cache, "decomp-cache", 0, "decomposition cache size in entries (0 = default, -1 = disabled)")
+	flag.BoolVar(&p.adaptive, "adaptive-budget", false, "derive per-query budgets from observed workload statistics")
 	flag.Float64Var(&p.width, "width", 0.3, "mean subscription width as a fraction of the domain")
 	flag.StringVar(&p.dist, "dist", "uniform", "value distribution: uniform | zipf | clustered | hotspot")
 	flag.Int64Var(&p.seed, "seed", 1, "workload seed")
@@ -103,6 +109,9 @@ func run(p params) error {
 	cfg := broker.Config{
 		Schema:             schema,
 		MaxCubes:           p.maxCubes,
+		Curve:              p.curve,
+		DecompCacheSize:    p.cache,
+		AdaptiveBudget:     p.adaptive,
 		Seed:               p.seed,
 		Backend:            broker.Backend(p.backend),
 		Shards:             p.shards,
@@ -138,12 +147,15 @@ func run(p params) error {
 			// self-contained process.
 			eng, err := engine.New(engine.Config{
 				Detector: core.Config{
-					Schema:   schema,
-					Mode:     cfg.Mode,
-					Epsilon:  cfg.Epsilon,
-					Strategy: cfg.Strategy,
-					MaxCubes: cfg.MaxCubes,
-					Seed:     cfg.Seed,
+					Schema:          schema,
+					Mode:            cfg.Mode,
+					Epsilon:         cfg.Epsilon,
+					Strategy:        cfg.Strategy,
+					Curve:           cfg.Curve,
+					MaxCubes:        cfg.MaxCubes,
+					DecompCacheSize: cfg.DecompCacheSize,
+					AdaptiveBudget:  cfg.AdaptiveBudget,
+					Seed:            cfg.Seed,
 				},
 				Shards: p.shards,
 			})

@@ -59,6 +59,8 @@ type options struct {
 	curve             string
 	array             string
 	maxCubes          int
+	decompCache       int
+	adaptiveBudget    bool
 	shards            int
 	partition         string
 	workers           int
@@ -87,15 +89,17 @@ func buildConfig(o options) (engine.Config, error) {
 	}
 	return engine.Config{
 		Detector: core.Config{
-			Schema:       schema,
-			Mode:         mode,
-			Epsilon:      o.epsilon,
-			Strategy:     core.Strategy(o.strategy),
-			Curve:        o.curve,
-			Array:        o.array,
-			Seed:         o.seed,
-			MaxCubes:     o.maxCubes,
-			TrackCovered: o.trackCovered,
+			Schema:          schema,
+			Mode:            mode,
+			Epsilon:         o.epsilon,
+			Strategy:        core.Strategy(o.strategy),
+			Curve:           o.curve,
+			Array:           o.array,
+			Seed:            o.seed,
+			MaxCubes:        o.maxCubes,
+			DecompCacheSize: o.decompCache,
+			AdaptiveBudget:  o.adaptiveBudget,
+			TrackCovered:    o.trackCovered,
 		},
 		Shards:             o.shards,
 		Partition:          engine.Partition(o.partition),
@@ -195,9 +199,11 @@ func run(args []string, stderr io.Writer) int {
 	fs.StringVar(&o.mode, "mode", "approx", "detection mode: off, exact or approx")
 	fs.Float64Var(&o.epsilon, "epsilon", 0.3, "approximation parameter (0 < eps < 1, approx mode)")
 	fs.StringVar(&o.strategy, "strategy", "sfc", "search backend: sfc, linear or kdtree")
-	fs.StringVar(&o.curve, "curve", "", "space filling curve: z (default), hilbert or gray")
+	fs.StringVar(&o.curve, "curve", "", "space filling curve: z (default), hilbert, gray or onion")
 	fs.StringVar(&o.array, "array", "", "ordered structure: treap (default) or skiplist")
 	fs.IntVar(&o.maxCubes, "maxcubes", daemonMaxCubes, "per-query probe budget (-1 = unlimited)")
+	fs.IntVar(&o.decompCache, "decomp-cache", 0, "decomposition cache size in entries (0 = default, -1 = disabled); hits replay memoized probe orders bit-identically")
+	fs.BoolVar(&o.adaptiveBudget, "adaptive-budget", false, "derive each query's effective epsilon and cube cap from observed workload statistics (configured values become floor/ceiling)")
 	fs.IntVar(&o.shards, "shards", 0, "shard count (0 = default)")
 	fs.StringVar(&o.partition, "partition", "prefix", "partition strategy: prefix (shared-decomposition plan) or hash")
 	fs.IntVar(&o.workers, "workers", 0, "batch worker pool size (0 = GOMAXPROCS)")

@@ -64,6 +64,7 @@ func TestOrShiftedAcrossWordBoundary(t *testing.T) {
 
 func BenchmarkInterleaveFastD4K16(b *testing.B) {
 	coords := []uint32{0xABCD, 0x1234, 0xF0F0, 0x5555}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = interleaveFast(coords, 16)
@@ -72,6 +73,7 @@ func BenchmarkInterleaveFastD4K16(b *testing.B) {
 
 func BenchmarkInterleaveSlowD4K16(b *testing.B) {
 	coords := []uint32{0xABCD, 0x1234, 0xF0F0, 0x5555}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = interleaveSlow(coords, 16)

@@ -127,12 +127,15 @@ func (ps *providerSource) forwarded(brokerID, neighborID int, seed int64) (core.
 	}
 	cfg := ps.cfg
 	dc := core.Config{
-		Schema:   cfg.Schema,
-		Mode:     cfg.Mode,
-		Epsilon:  cfg.Epsilon,
-		Strategy: cfg.Strategy,
-		MaxCubes: cfg.MaxCubes,
-		Seed:     seed,
+		Schema:          cfg.Schema,
+		Mode:            cfg.Mode,
+		Epsilon:         cfg.Epsilon,
+		Strategy:        cfg.Strategy,
+		Curve:           cfg.Curve,
+		MaxCubes:        cfg.MaxCubes,
+		DecompCacheSize: cfg.DecompCacheSize,
+		AdaptiveBudget:  cfg.AdaptiveBudget,
+		Seed:            seed,
 	}
 	link := fmt.Sprintf("fwd-b%d-n%d", brokerID, neighborID)
 	switch cfg.Backend {

@@ -41,6 +41,15 @@ type Config struct {
 	Strategy core.Strategy
 	// MaxCubes caps per-query work in SFC searches (0 = unlimited).
 	MaxCubes int
+	// Curve selects the space filling curve for SFC searches: "z"
+	// (default), "hilbert", "gray" or "onion".
+	Curve string
+	// DecompCacheSize bounds each link index's decomposition cache
+	// (0 = default, negative disables); see core.Config.DecompCacheSize.
+	DecompCacheSize int
+	// AdaptiveBudget derives per-query budgets from observed workload
+	// statistics; see core.Config.AdaptiveBudget.
+	AdaptiveBudget bool
 	// Seed derives the deterministic randomness of the SFC arrays.
 	Seed int64
 	// Backend selects the per-link covering provider: a single Detector

@@ -21,3 +21,34 @@ func TestDetectorProviderConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestDetectorConformancePerCurve runs the same battery once per curve
+// family, so every curve backend — not just the default Z — answers the
+// full Provider contract with the decomposition cache enabled.
+func TestDetectorConformancePerCurve(t *testing.T) {
+	schema := coretest.Schema()
+	for _, curve := range []string{"z", "hilbert", "gray", "onion"} {
+		t.Run(curve, func(t *testing.T) {
+			coretest.RunProviderConformance(t, schema, func(t *testing.T) core.Provider {
+				return core.MustNew(core.Config{Schema: schema, Mode: core.ModeExact, Curve: curve})
+			})
+		})
+	}
+}
+
+// TestDetectorConformanceCacheVariants re-runs the battery with the
+// decomposition cache disabled and with adaptive budgets on, so the two
+// knobs cannot drift from the Provider contract.
+func TestDetectorConformanceCacheVariants(t *testing.T) {
+	schema := coretest.Schema()
+	t.Run("cache-off", func(t *testing.T) {
+		coretest.RunProviderConformance(t, schema, func(t *testing.T) core.Provider {
+			return core.MustNew(core.Config{Schema: schema, Mode: core.ModeExact, DecompCacheSize: -1})
+		})
+	})
+	t.Run("adaptive", func(t *testing.T) {
+		coretest.RunProviderConformance(t, schema, func(t *testing.T) core.Provider {
+			return core.MustNew(core.Config{Schema: schema, Mode: core.ModeExact, AdaptiveBudget: true})
+		})
+	})
+}

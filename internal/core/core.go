@@ -104,6 +104,16 @@ type Config struct {
 	// searches — covers can be missed, which only costs redundant
 	// forwarding, never correctness.
 	MaxCubes int
+	// DecompCacheSize bounds the SFC index's decomposition cache in
+	// entries: 0 selects the dominance package's default, negative
+	// disables caching. Hits replay a memoized probe order bit-identical
+	// to the uncached search. Ignored by non-SFC strategies.
+	DecompCacheSize int
+	// AdaptiveBudget derives each query's effective ε and cube cap from
+	// observed query statistics instead of the fixed Epsilon/MaxCubes;
+	// the configured values become the floor (ε) and ceiling (cap). See
+	// dominance.Config.Adaptive. Ignored by non-SFC strategies.
+	AdaptiveBudget bool
 	// TrackCovered additionally maintains a mirrored index enabling
 	// FindCovered — the reverse question "which stored subscription does s
 	// cover?" — at the cost of a second index insert/delete per
@@ -188,6 +198,7 @@ func New(cfg Config) (*Detector, error) {
 		idx, err := dominance.NewIndex(dominance.Config{
 			Dims: dims, Bits: bits,
 			Curve: cfg.Curve, Array: cfg.Array, Seed: cfg.Seed, MaxCubes: cfg.MaxCubes,
+			CacheSize: cfg.DecompCacheSize, Adaptive: cfg.AdaptiveBudget,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
@@ -208,6 +219,7 @@ func New(cfg Config) (*Detector, error) {
 		idx, err := dominance.NewIndex(dominance.Config{
 			Dims: dims, Bits: bits,
 			Curve: cfg.Curve, Array: cfg.Array, Seed: cfg.Seed + 1, MaxCubes: cfg.MaxCubes,
+			CacheSize: cfg.DecompCacheSize, Adaptive: cfg.AdaptiveBudget,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
@@ -493,6 +505,22 @@ func (d *Detector) Add(s *subscription.Subscription) (id uint64, covered bool, c
 		return 0, false, 0, err
 	}
 	return id, covered, coveredBy, nil
+}
+
+// CacheStats sums the decomposition-cache hit and miss counters across
+// the detector's SFC indexes (primary and, when present, the mirror).
+// Zeros for non-SFC strategies and disabled caches. The counters are
+// atomics, so no detector lock is taken.
+func (d *Detector) CacheStats() (hits, misses uint64) {
+	if d.sfc != nil {
+		hits, misses = d.sfc.CacheStats()
+	}
+	if d.mirror != nil {
+		h, m := d.mirror.CacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // Totals returns a snapshot of the aggregate query counters.

@@ -242,6 +242,11 @@ type ProviderStats struct {
 	// ShardSearches counts per-shard searches issued (equals Queries for a
 	// single detector and for the shared-decomposition engine plan).
 	ShardSearches int
+	// DecompCacheHits and DecompCacheMisses are the decomposition cache's
+	// lifetime counters, summed across the provider's SFC indexes (zeros
+	// when the cache is disabled or the strategy has no SFC index).
+	DecompCacheHits   uint64
+	DecompCacheMisses uint64
 	// Shards is the number of partitions (1 for a single detector).
 	Shards int
 	// ShardSizes is the per-shard subscription count.
@@ -330,6 +335,7 @@ func (d *Detector) Stats() ProviderStats {
 		CubesGenerated: d.totals.CubesGenerated,
 		ShardSearches:  d.totals.Queries,
 	}
+	ps.DecompCacheHits, ps.DecompCacheMisses = d.CacheStats()
 	ps.SetShardSizes([]int{len(d.subs)})
 	return ps
 }

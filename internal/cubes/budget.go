@@ -1,8 +1,6 @@
 package cubes
 
 import (
-	"fmt"
-
 	"sfccover/internal/geom"
 )
 
@@ -47,59 +45,11 @@ type BudgetResult struct {
 // maxCubes cap, in contrast, is a hard resource limit and may cut a level
 // midway (reported via LowestLevelComplete).
 func DecomposeBudget(r geom.Rect, k int, targetVolume float64, maxCubes int) (BudgetResult, error) {
-	d := r.Dims()
-	if k < 1 || k > 32 {
-		return BudgetResult{}, fmt.Errorf("cubes: universe bits k=%d out of range [1,32]", k)
+	var dc Decomposer
+	res, err := dc.DecomposeBudget(r, k, targetVolume, maxCubes)
+	if err != nil {
+		return BudgetResult{}, err
 	}
-	max := uint64(1) << uint(k)
-	for i := 0; i < d; i++ {
-		if uint64(r.Hi[i]) >= max {
-			return BudgetResult{}, fmt.Errorf("cubes: rectangle exceeds universe on dimension %d", i)
-		}
-	}
-
-	res := BudgetResult{LowestLevelComplete: true}
-	frontier := []Cube{{Corner: make([]uint32, d), Side: max}}
-	level := k
-	for side := max; side >= 1 && len(frontier) > 0; side /= 2 {
-		var next []Cube
-		emittedThisLevel := false
-		for _, cube := range frontier {
-			cr := cube.Rect()
-			if !r.Intersects(cr) {
-				continue
-			}
-			if r.ContainsRect(cr) {
-				res.Cubes = append(res.Cubes, cube)
-				res.Volume += cube.Volume()
-				if !emittedThisLevel {
-					emittedThisLevel = true
-					res.LowestLevel = level
-				}
-				if maxCubes > 0 && len(res.Cubes) >= maxCubes {
-					res.LowestLevelComplete = false
-					return res, nil
-				}
-				continue
-			}
-			half := cube.Side / 2
-			for mask := 0; mask < 1<<uint(d); mask++ {
-				child := make([]uint32, d)
-				for i := 0; i < d; i++ {
-					child[i] = cube.Corner[i]
-					if mask>>uint(i)&1 == 1 {
-						child[i] = uint32(uint64(cube.Corner[i]) + half)
-					}
-				}
-				next = append(next, Cube{Corner: child, Side: half})
-			}
-		}
-		if targetVolume > 0 && res.Volume >= targetVolume {
-			return res, nil
-		}
-		frontier = next
-		level--
-	}
-	res.Complete = true
+	res.Cubes = cloneCubes(res.Cubes)
 	return res, nil
 }

@@ -45,11 +45,35 @@ func (c Cube) Volume() float64 {
 
 // Rect materializes the cube as a geometry rectangle.
 func (c Cube) Rect() geom.Rect {
-	hi := make([]uint32, len(c.Corner))
-	for i, lo := range c.Corner {
-		hi[i] = uint32(uint64(lo) + c.Side - 1)
+	return c.RectInto(make([]uint32, len(c.Corner)), make([]uint32, len(c.Corner)))
+}
+
+// RectInto is Rect writing into caller-provided scratch: lo and hi must
+// each hold Dims coordinates. The returned rectangle aliases them, so
+// hot paths can rematerialize cubes without allocating.
+func (c Cube) RectInto(lo, hi []uint32) geom.Rect {
+	for i, l := range c.Corner {
+		lo[i] = l
+		hi[i] = uint32(uint64(l) + c.Side - 1)
 	}
-	return geom.Rect{Lo: append([]uint32(nil), c.Corner...), Hi: hi}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// cubeRelation classifies the standard cube (corner, side) against r
+// without materializing a rectangle: intersects reports a shared cell,
+// inside that the cube lies entirely within r.
+func cubeRelation(r geom.Rect, corner []uint32, side uint64) (intersects, inside bool) {
+	inside = true
+	for i, lo := range corner {
+		hi := uint64(lo) + side - 1
+		if hi < uint64(r.Lo[i]) || uint64(lo) > uint64(r.Hi[i]) {
+			return false, false
+		}
+		if uint64(lo) < uint64(r.Lo[i]) || hi > uint64(r.Hi[i]) {
+			inside = false
+		}
+	}
+	return true, inside
 }
 
 func (c Cube) String() string { return fmt.Sprintf("Cube{corner=%v side=%d}", c.Corner, c.Side) }
@@ -65,43 +89,12 @@ func (c Cube) String() string { return fmt.Sprintf("Cube{corner=%v side=%d}", c.
 // the paper's case for approximate search, so callers wanting bounded work
 // must truncate the region first (see TruncateExtremal).
 func Decompose(r geom.Rect, k int) ([]Cube, error) {
-	d := r.Dims()
-	if k < 1 || k > 32 {
-		return nil, fmt.Errorf("cubes: universe bits k=%d out of range [1,32]", k)
+	var dc Decomposer
+	cs, err := dc.Decompose(r, k)
+	if err != nil {
+		return nil, err
 	}
-	max := uint64(1) << uint(k)
-	for i := 0; i < d; i++ {
-		if uint64(r.Hi[i]) >= max {
-			return nil, fmt.Errorf("cubes: rectangle exceeds universe on dimension %d: hi=%d >= 2^%d", i, r.Hi[i], k)
-		}
-	}
-	var out []Cube
-	var rec func(corner []uint32, side uint64)
-	rec = func(corner []uint32, side uint64) {
-		cube := Cube{Corner: corner, Side: side}
-		cr := cube.Rect()
-		if !r.Intersects(cr) {
-			return
-		}
-		if r.ContainsRect(cr) {
-			out = append(out, cube)
-			return
-		}
-		// side == 1 cannot reach here: a unit cube intersecting r is inside it.
-		half := side / 2
-		child := make([]uint32, d)
-		for mask := 0; mask < 1<<uint(d); mask++ {
-			for i := 0; i < d; i++ {
-				child[i] = corner[i]
-				if mask>>uint(i)&1 == 1 {
-					child[i] = uint32(uint64(corner[i]) + half)
-				}
-			}
-			rec(append([]uint32(nil), child...), half)
-		}
-	}
-	rec(make([]uint32, d), max)
-	return out, nil
+	return cloneCubes(cs), nil
 }
 
 // Runs converts a cube partition into the minimal set of SFC runs: each

@@ -30,23 +30,44 @@ func EnumLevelCubes(e geom.Extremal, level int) ([]Cube, error) {
 	return out, nil
 }
 
-// EnumLevelVisit is the allocation-free form of EnumLevelCubes: visit is
+// EnumLevelVisit is the callback form of EnumLevelCubes: visit is
 // called once per cube of D_i with the cube's minimum corner and side. The
 // corner slice is reused between calls and must not be retained. Returning
 // false stops the enumeration early (EnumLevelVisit still returns nil).
 // This is the query hot path: the Section 5 search probes each cube's key
-// range the moment it is enumerated and stops at the first hit.
+// range the moment it is enumerated and stops at the first hit. Callers
+// that enumerate repeatedly should hold a LevelEnum instead — this form
+// allocates its enumerator state per call.
 func EnumLevelVisit(e geom.Extremal, level int, visit func(corner []uint32, side uint64) bool) error {
+	var le LevelEnum
+	return le.Visit(e, level, visit)
+}
+
+// LevelEnum is reusable scratch for the Appendix-A level enumeration:
+// the selection and coordinate vectors (and the enumerator frame) are
+// kept between calls, so a worker that owns a LevelEnum enumerates with
+// zero allocations in steady state. Not safe for concurrent use.
+type LevelEnum struct {
+	en enumerator
+}
+
+// Visit is EnumLevelVisit against the reusable state.
+//
+//sfc:hotpath
+func (le *LevelEnum) Visit(e geom.Extremal, level int, visit func(corner []uint32, side uint64) bool) error {
 	d := len(e.Len)
 	k := e.K
 	if level < 0 || level > k {
 		return fmt.Errorf("cubes: level %d out of range [0,%d]", level, k)
 	}
-	en := &enumerator{
-		lens: e.Len, d: d, k: k, i: level,
-		p: make([]int, d), q: make([]uint32, d),
-		visit: visit,
+	en := &le.en
+	if cap(en.p) < d {
+		en.p = make([]int, d)
+		en.q = make([]uint32, d)
 	}
+	en.p, en.q = en.p[:d], en.q[:d]
+	en.lens, en.d, en.k, en.i = e.Len, d, k, level
+	en.visit, en.stopped = visit, false
 	// Algorithm 1: one pass per dimension s whose length has bit i set.
 	for s := 0; s < d && !en.stopped; s++ {
 		if bits.BitOf(e.Len[s], level) == 1 {
@@ -54,6 +75,8 @@ func EnumLevelVisit(e geom.Extremal, level int, visit func(corner []uint32, side
 			en.enumRectangles(0)
 		}
 	}
+	// Drop the references so the scratch does not pin caller state.
+	en.visit, en.lens = nil, nil
 	return nil
 }
 

@@ -73,8 +73,8 @@ type Config struct {
 	Dims int
 	// Bits is k; coordinates range over [0, 2^k−1].
 	Bits int
-	// Curve selects the space filling curve: "z" (default), "hilbert" or
-	// "gray".
+	// Curve selects the space filling curve: "z" (default), "hilbert",
+	// "gray" or "onion".
 	Curve string
 	// Array selects the ordered structure: "treap" (default) or "skiplist".
 	Array string
@@ -85,6 +85,18 @@ type Config struct {
 	// the partition, so it degrades to a coarser approximation; Stats
 	// reports the volume actually covered.
 	MaxCubes int
+	// CacheSize bounds the decomposition cache in entries: 0 selects
+	// DefaultCacheSize, negative disables the cache. Cache hits replay a
+	// memoized probe order bit-identical to the uncached search, skipping
+	// decomposition and run-merging.
+	CacheSize int
+	// Adaptive derives each query's effective ε and cube cap from
+	// observed query statistics (aspect ratio, volume fraction, cube
+	// counts) instead of the fixed Epsilon/MaxCubes; the configured
+	// values become the floor (ε) and ceiling (cube cap). Soundness is
+	// unaffected — only the searched volume fraction varies, and Stats
+	// reports it.
+	Adaptive bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +110,11 @@ func (c Config) withDefaults() Config {
 }
 
 // Index is the SFC-based dominance index of Section 5.
+//
+// Writes were never safe for concurrent use (the ordered structures are
+// single-writer); queries now share per-index scratch buffers, so
+// queries are single-goroutine too. Wrap an Index in a lock (as
+// core.Detector does) or use ShardedIndex for concurrent querying.
 type Index struct {
 	cfg   Config
 	curve sfc.Curve
@@ -105,6 +122,15 @@ type Index struct {
 	// probeHist, when set via SetObserver, receives sampled run-probe
 	// latencies.
 	probeHist *obs.Histogram
+	// rawProbe is the array's range probe bound once at construction:
+	// binding it per query would allocate a method value on every call.
+	rawProbe probeFn
+	// scratch holds the query path's reusable buffers.
+	scratch queryScratch
+	// cache memoizes decompositions (nil when disabled).
+	cache *decompCache
+	// budget drives adaptive per-query budgets (nil unless enabled).
+	budget *budgetState
 }
 
 // NewIndex builds an SFC dominance index.
@@ -118,7 +144,24 @@ func NewIndex(cfg Config) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dominance: %w", err)
 	}
-	return &Index{cfg: cfg, curve: curve, arr: arr}, nil
+	x := &Index{cfg: cfg, curve: curve, arr: arr}
+	x.rawProbe = x.arr.FirstInRange
+	if cfg.CacheSize >= 0 {
+		x.cache = newDecompCache(cfg.CacheSize)
+	}
+	if cfg.Adaptive {
+		x.budget = &budgetState{}
+	}
+	return x, nil
+}
+
+// CacheStats reports the decomposition cache's hit and miss counts
+// (zeros when the cache is disabled).
+func (x *Index) CacheStats() (hits, misses uint64) {
+	if x.cache == nil {
+		return 0, 0
+	}
+	return x.cache.hits.Load(), x.cache.misses.Load()
 }
 
 // MustIndex is NewIndex for known-good configurations.

@@ -24,16 +24,16 @@ type probeFn func(lo, hi bits.Key) (id uint64, ok bool)
 // run merge, "probes" the probe loop.
 //
 //sfc:hotpath
-func searchExhaustive(curve sfc.Curve, k int, probe probeFn, region geom.Extremal, stats *Stats, tr *obs.QueryTrace) (uint64, bool, error) {
+func searchExhaustive(curve sfc.Curve, k int, sc *queryScratch, probe probeFn, region geom.Extremal, stats *Stats, tr *obs.QueryTrace) (uint64, bool, error) {
 	var t0 time.Time
 	if tr != nil {
 		t0 = time.Now()
 	}
-	partition, err := cubes.Decompose(region.Rect(), k)
+	partition, err := sc.dec.Decompose(sc.rect(region), k)
 	if err != nil {
 		return 0, false, err
 	}
-	runs := cubes.Runs(curve, partition)
+	runs := sc.dec.Runs(curve, partition)
 	if tr != nil {
 		tr.AddStage("decompose", time.Since(t0), len(partition))
 		pt := time.Now()
@@ -62,7 +62,7 @@ func searchExhaustive(curve sfc.Curve, k int, probe probeFn, region geom.Extrema
 // cube enumeration and probe loop.
 //
 //sfc:hotpath
-func searchApprox(curve sfc.Curve, k, maxCubes int, probe probeFn, region geom.Extremal, eps float64, stats *Stats, tr *obs.QueryTrace) (uint64, bool, error) {
+func searchApprox(curve sfc.Curve, k, maxCubes int, sc *queryScratch, probe probeFn, region geom.Extremal, eps float64, stats *Stats, tr *obs.QueryTrace) (uint64, bool, error) {
 	fullVol := region.Volume()
 	var t0 time.Time
 	if tr != nil {
@@ -86,7 +86,7 @@ func searchApprox(curve sfc.Curve, k, maxCubes int, probe probeFn, region geom.E
 		capped   bool
 	)
 	for level := k; level >= 0; level-- {
-		err := cubes.EnumLevelVisit(target, level, func(corner []uint32, side uint64) bool {
+		err := sc.enum.Visit(target, level, func(corner []uint32, side uint64) bool {
 			stats.CubesGenerated++
 			stats.RunsProbed++
 			cubeVol := 1.0

@@ -48,6 +48,16 @@ type ShardedIndex struct {
 	// probeHist, when set via SetObserver, receives sampled run-probe
 	// latencies.
 	probeHist *obs.Histogram
+	// rawProbe is the routed probe bound once at construction; binding
+	// the method value per query would allocate.
+	rawProbe probeFn
+	// scratchPool hands each concurrent query its own reusable buffers.
+	scratchPool sync.Pool
+	// cache memoizes decompositions (nil when disabled); entries are
+	// immutable, so concurrent queries share them freely.
+	cache *decompCache
+	// budget drives adaptive per-query budgets (nil unless enabled).
+	budget *budgetState
 
 	// table points at the current boundary table: table[i] is the first
 	// key slice i owns, table[0] is the zero key, and slice i ends where
@@ -104,6 +114,14 @@ func NewSharded(cfg Config, n int) (*ShardedIndex, error) {
 		curve:  curve,
 		keyLen: keyLen,
 		shards: make([]shardSlot, n),
+	}
+	x.rawProbe = x.probe
+	x.scratchPool.New = func() any { return new(queryScratch) }
+	if cfg.CacheSize >= 0 {
+		x.cache = newDecompCache(cfg.CacheSize)
+	}
+	if cfg.Adaptive {
+		x.budget = &budgetState{}
 	}
 	for i := range x.shards {
 		x.shards[i].seed = cfg.Seed + int64(i)
@@ -449,4 +467,13 @@ func abs(v int) int {
 // counted once).
 func (x *ShardedIndex) Query(q []uint32, eps float64) (uint64, bool, Stats, error) {
 	return x.QueryTraced(q, eps, nil)
+}
+
+// CacheStats reports the decomposition cache's hit and miss counts
+// (zeros when the cache is disabled).
+func (x *ShardedIndex) CacheStats() (hits, misses uint64) {
+	if x.cache == nil {
+		return 0, 0
+	}
+	return x.cache.hits.Load(), x.cache.misses.Load()
 }

@@ -6,6 +6,7 @@ import (
 	"sfccover/internal/bits"
 	"sfccover/internal/geom"
 	"sfccover/internal/obs"
+	"sfccover/internal/sfc"
 )
 
 // probeSampleMask times one run probe in 8 within a traced query: a
@@ -36,38 +37,53 @@ func (x *Index) Query(q []uint32, eps float64) (uint64, bool, Stats, error) {
 }
 
 // QueryTraced is Query with an optional trace record: when tr is
-// non-nil the search appends its stage timings (decomposition or
-// truncation, then the probe loop) to it. tr may be nil.
+// non-nil the search appends its stage timings (cache replay or build,
+// decomposition or truncation, then the probe loop) to it. tr may be
+// nil.
 //
 //sfc:hotpath
 func (x *Index) QueryTraced(q []uint32, eps float64, tr *obs.QueryTrace) (uint64, bool, Stats, error) {
-	var stats Stats
 	if len(q) != x.cfg.Dims {
-		return 0, false, stats, errDims(len(q), x.cfg.Dims)
+		return 0, false, Stats{}, errDims(len(q), x.cfg.Dims)
 	}
 	if eps < 0 || eps >= 1 {
-		return 0, false, stats, errEps(eps)
+		return 0, false, Stats{}, errEps(eps)
 	}
-	region := geom.QueryRegion(q, x.cfg.Bits)
+	sc := &x.scratch
+	sc.stats = Stats{}
+	stats := &sc.stats
+	region := sc.region(q, x.cfg.Bits)
 	stats.AspectRatio = region.AspectRatio()
+	maxCubes := x.cfg.MaxCubes
+	if x.budget != nil {
+		eps, maxCubes = x.budget.adapt(eps, maxCubes, x.cfg.Dims, region)
+	}
 	// Probe metering rides the trace sample: untraced queries — the vast
 	// majority — run the raw probe with no wrapper, no counter and no
 	// clock reads.
-	probe := probeFn(x.arr.FirstInRange)
+	probe := x.rawProbe
 	if tr != nil {
 		probe = sampledProbe(probe, x.probeHist)
 	}
-	var (
-		id  uint64
-		ok  bool
-		err error
-	)
-	if eps == 0 {
-		id, ok, err = searchExhaustive(x.curve, x.cfg.Bits, probe, region, &stats, tr)
-	} else {
-		id, ok, err = searchApprox(x.curve, x.cfg.Bits, x.cfg.MaxCubes, probe, region, eps, &stats, tr)
+	id, ok, err := dispatchSearch(x.curve, x.cfg.Bits, maxCubes, x.cache, sc, probe, region, eps, stats, tr)
+	if x.budget != nil && err == nil {
+		x.budget.record(stats, eps)
 	}
-	return id, ok, stats, err
+	return id, ok, sc.stats, err
+}
+
+// dispatchSearch routes one query to the cache when one is attached and
+// to the uncached searches otherwise.
+//
+//sfc:hotpath
+func dispatchSearch(curve sfc.Curve, k, maxCubes int, cache *decompCache, sc *queryScratch, probe probeFn, region geom.Extremal, eps float64, stats *Stats, tr *obs.QueryTrace) (uint64, bool, error) {
+	if cache != nil {
+		return cache.search(curve, k, maxCubes, sc, probe, region, eps, stats, tr)
+	}
+	if eps == 0 {
+		return searchExhaustive(curve, k, sc, probe, region, stats, tr)
+	}
+	return searchApprox(curve, k, maxCubes, sc, probe, region, eps, stats, tr)
 }
 
 // QueryTraced is Query with an optional trace record: stage timings
@@ -76,27 +92,28 @@ func (x *Index) QueryTraced(q []uint32, eps float64, tr *obs.QueryTrace) (uint64
 //
 //sfc:hotpath
 func (x *ShardedIndex) QueryTraced(q []uint32, eps float64, tr *obs.QueryTrace) (uint64, bool, Stats, error) {
-	var stats Stats
 	if len(q) != x.cfg.Dims {
-		return 0, false, stats, errDims(len(q), x.cfg.Dims)
+		return 0, false, Stats{}, errDims(len(q), x.cfg.Dims)
 	}
 	if eps < 0 || eps >= 1 {
-		return 0, false, stats, errEps(eps)
+		return 0, false, Stats{}, errEps(eps)
 	}
-	region := geom.QueryRegion(q, x.cfg.Bits)
+	sc := x.scratchPool.Get().(*queryScratch)
+	defer x.scratchPool.Put(sc)
+	sc.stats = Stats{}
+	stats := &sc.stats
+	region := sc.region(q, x.cfg.Bits)
 	stats.AspectRatio = region.AspectRatio()
-	probe := x.tracedProbe(tr)
-	var (
-		id  uint64
-		ok  bool
-		err error
-	)
-	if eps == 0 {
-		id, ok, err = searchExhaustive(x.curve, x.cfg.Bits, probe, region, &stats, tr)
-	} else {
-		id, ok, err = searchApprox(x.curve, x.cfg.Bits, x.cfg.MaxCubes, probe, region, eps, &stats, tr)
+	maxCubes := x.cfg.MaxCubes
+	if x.budget != nil {
+		eps, maxCubes = x.budget.adapt(eps, maxCubes, x.cfg.Dims, region)
 	}
-	return id, ok, stats, err
+	probe := x.tracedProbe(tr)
+	id, ok, err := dispatchSearch(x.curve, x.cfg.Bits, maxCubes, x.cache, sc, probe, region, eps, stats, tr)
+	if x.budget != nil && err == nil {
+		x.budget.record(stats, eps)
+	}
+	return id, ok, sc.stats, err
 }
 
 // tracedProbe picks the probe implementation for one query: the plain
@@ -107,7 +124,7 @@ func (x *ShardedIndex) QueryTraced(q []uint32, eps float64, tr *obs.QueryTrace) 
 // to the lock-free probe path.
 func (x *ShardedIndex) tracedProbe(tr *obs.QueryTrace) probeFn {
 	if tr == nil {
-		return x.probe
+		return x.rawProbe
 	}
 	hist := x.probeHist
 	n := 0

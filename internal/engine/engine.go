@@ -147,6 +147,10 @@ type backend interface {
 	shardFor(p []uint32) int
 	length() int
 	shardSizes() []int
+	// cacheStats sums the decomposition-cache hit/miss counters across
+	// the plan's SFC indexes (zeros when the strategy has none or the
+	// cache is disabled).
+	cacheStats() (hits, misses uint64)
 	// setObserver attaches latency histograms to the plan's search
 	// internals (shard searches, run probes). Called once at
 	// construction, before the engine serves traffic.
@@ -635,6 +639,7 @@ func (e *Engine) Stats() core.ProviderStats {
 		BoundaryMoves:   int(e.boundaryMoves.Load()),
 		MigratedEntries: int(e.migratedEntries.Load()),
 	}
+	ps.DecompCacheHits, ps.DecompCacheMisses = e.be.cacheStats()
 	ps.SetShardSizes(e.be.shardSizes())
 	return ps
 }

@@ -76,6 +76,17 @@ func newFanout(det core.Config, shards int, part Partition) (*fanout, error) {
 
 func (f *fanout) shardFor(p []uint32) int { return f.place(p) }
 
+// cacheStats sums the decomposition-cache counters across the shard
+// detectors.
+func (f *fanout) cacheStats() (hits, misses uint64) {
+	for _, d := range f.dets {
+		h, m := d.CacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
 func (f *fanout) length() int {
 	n := 0
 	for _, d := range f.dets {

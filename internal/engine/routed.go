@@ -41,6 +41,7 @@ func newRouted(det core.Config, shards int) (*routed, error) {
 	dcfg := dominance.Config{
 		Dims: schema.Dims(), Bits: schema.Bits(),
 		Curve: det.Curve, Array: det.Array, Seed: det.Seed, MaxCubes: det.MaxCubes,
+		CacheSize: det.DecompCacheSize, Adaptive: det.AdaptiveBudget,
 	}
 	idx, err := dominance.NewSharded(dcfg, shards)
 	if err != nil {
@@ -78,6 +79,18 @@ func (r *routed) mirrorPoint(p []uint32) []uint32 {
 }
 
 func (r *routed) shardFor(p []uint32) int { return r.idx.ShardFor(p) }
+
+// cacheStats sums the decomposition-cache counters across the primary
+// and (when present) the mirror index.
+func (r *routed) cacheStats() (hits, misses uint64) {
+	hits, misses = r.idx.CacheStats()
+	if r.mirror != nil {
+		h, m := r.mirror.CacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
 
 func (r *routed) length() int {
 	n := 0

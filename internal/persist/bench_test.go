@@ -83,6 +83,7 @@ func benchRecover(b *testing.B, snapshotted, churn bool) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			subs := benchSubs(b, schema, n)
 			dir := seedDir(b, schema, subs, snapshotted, churn)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				st, err := persist.Open(dir, schema, persist.Options{})
@@ -138,6 +139,7 @@ func BenchmarkDurableAddBatch(b *testing.B) {
 			name = "engine-durable"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				eng := engine.MustNew(engine.Config{

@@ -8,7 +8,7 @@ package sfc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"sfccover/internal/bits"
 )
@@ -19,7 +19,7 @@ import (
 // every standard cube occupies one contiguous, block-aligned key range
 // (Fact 2.1), which CubeRange exploits.
 type Curve interface {
-	// Name identifies the curve ("z", "hilbert", "gray").
+	// Name identifies the curve ("z", "hilbert", "gray", "onion").
 	Name() string
 	// Dims returns d, the number of dimensions.
 	Dims() int
@@ -52,7 +52,7 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// New constructs a curve by name: "z", "hilbert" or "gray".
+// New constructs a curve by name: "z", "hilbert", "gray" or "onion".
 func New(name string, cfg Config) (Curve, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -64,10 +64,15 @@ func New(name string, cfg Config) (Curve, error) {
 		return NewHilbert(cfg)
 	case "gray":
 		return NewGray(cfg)
+	case "onion":
+		return NewOnion(cfg)
 	default:
 		return nil, fmt.Errorf("sfc: unknown curve %q", name)
 	}
 }
+
+// Names lists the curve families New accepts, in their canonical order.
+func Names() []string { return []string{"z", "hilbert", "gray", "onion"} }
 
 // KeyRange is a closed interval [Lo, Hi] of curve keys. A run in the
 // paper's terminology is a maximal KeyRange whose cells all belong to the
@@ -108,19 +113,34 @@ func MergeRanges(ranges []KeyRange) []KeyRange {
 		return nil
 	}
 	sorted := append([]KeyRange(nil), ranges...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo.Less(sorted[j].Lo) })
-	out := make([]KeyRange, 0, len(sorted))
-	cur := sorted[0]
-	for _, r := range sorted[1:] {
-		next, ok := cur.Hi.Inc()
+	return MergeRangesInPlace(sorted)
+}
+
+// MergeRangesInPlace is MergeRanges for scratch buffers: the input slice
+// is sorted and compacted in place and the merged runs are returned as a
+// prefix of it — no allocation in steady state. Callers that need the
+// original ranges must use MergeRanges.
+func MergeRangesInPlace(ranges []KeyRange) []KeyRange {
+	if len(ranges) == 0 {
+		return nil
+	}
+	slices.SortFunc(ranges, compareRangeLo)
+	n := 0
+	for _, r := range ranges[1:] {
+		next, ok := ranges[n].Hi.Inc()
 		if ok && r.Lo.Cmp(next) <= 0 {
-			if cur.Hi.Less(r.Hi) {
-				cur.Hi = r.Hi
+			if ranges[n].Hi.Less(r.Hi) {
+				ranges[n].Hi = r.Hi
 			}
 			continue
 		}
-		out = append(out, cur)
-		cur = r
+		n++
+		ranges[n] = r
 	}
-	return append(out, cur)
+	return ranges[:n+1]
 }
+
+// compareRangeLo orders key ranges by their low end. A package-level
+// function keeps MergeRangesInPlace allocation-free: sort.Slice would
+// allocate its closure (and sort.Sort its interface box) on every call.
+func compareRangeLo(a, b KeyRange) int { return a.Lo.Cmp(b.Lo) }

@@ -11,8 +11,11 @@ import (
 func allCurves(t *testing.T, d, k int) []Curve {
 	t.Helper()
 	cfg := Config{Dims: d, Bits: k}
-	out := make([]Curve, 0, 3)
-	for _, name := range []string{"z", "hilbert", "gray"} {
+	out := make([]Curve, 0, 4)
+	for _, name := range Names() {
+		if name == "onion" && d > OnionMaxDims {
+			continue
+		}
 		c, err := New(name, cfg)
 		if err != nil {
 			t.Fatalf("New(%q,%v): %v", name, cfg, err)

@@ -20,6 +20,8 @@ var scalarMetrics = []metricDef{
 	{"sfcd_runs_probed_total", "counter", "SFC run probes issued, the paper's unit of query cost."},
 	{"sfcd_cubes_generated_total", "counter", "Standard cubes generated across all searches."},
 	{"sfcd_shard_searches_total", "counter", "Per-shard searches issued (fan-out)."},
+	{"sfcd_decomp_cache_hits_total", "counter", "Decomposition cache hits across the provider's SFC indexes."},
+	{"sfcd_decomp_cache_misses_total", "counter", "Decomposition cache misses across the provider's SFC indexes."},
 	{"sfcd_subscriptions", "gauge", "Subscriptions currently held."},
 	{"sfcd_shards", "gauge", "Configured shard count."},
 	{"sfcd_shard_size_max", "gauge", "Largest shard occupancy."},
@@ -47,6 +49,8 @@ func RenderPrometheus(ps core.ProviderStats) string {
 		strconv.Itoa(ps.RunsProbed),
 		strconv.Itoa(ps.CubesGenerated),
 		strconv.Itoa(ps.ShardSearches),
+		strconv.FormatUint(ps.DecompCacheHits, 10),
+		strconv.FormatUint(ps.DecompCacheMisses, 10),
 		strconv.Itoa(ps.Subscriptions),
 		strconv.Itoa(ps.Shards),
 		strconv.Itoa(ps.MaxShardSize),

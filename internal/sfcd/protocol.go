@@ -111,6 +111,11 @@ type Stats struct {
 	RunsProbed     int `json:"runsProbed"`
 	CubesGenerated int `json:"cubesGenerated"`
 	ShardSearches  int `json:"shardSearches"`
+	// DecompCacheHits/DecompCacheMisses are the decomposition cache's
+	// lifetime counters across the provider's SFC indexes (always zero
+	// when the cache is disabled or the strategy has no SFC index).
+	DecompCacheHits   uint64 `json:"decompCacheHits,omitempty"`
+	DecompCacheMisses uint64 `json:"decompCacheMisses,omitempty"`
 	// Subscriptions is the number of currently held subscriptions.
 	Subscriptions int `json:"subscriptions"`
 	// ShardSizes is the per-shard subscription count.

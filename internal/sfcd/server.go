@@ -620,22 +620,24 @@ func (s *Server) serve(req Request) *Response {
 	case "stats":
 		ps := prov.Stats()
 		return &Response{OK: true, Stats: &Stats{
-			Queries:         ps.Queries,
-			Hits:            ps.Hits,
-			RunsProbed:      ps.RunsProbed,
-			CubesGenerated:  ps.CubesGenerated,
-			ShardSearches:   ps.ShardSearches,
-			Subscriptions:   ps.Subscriptions,
-			ShardSizes:      ps.ShardSizes,
-			MaxShardSize:    ps.MaxShardSize,
-			MinShardSize:    ps.MinShardSize,
-			SkewRatio:       ps.SkewRatio,
-			Rebalances:      ps.Rebalances,
-			BoundaryMoves:   ps.BoundaryMoves,
-			MigratedEntries: ps.MigratedEntries,
-			Snapshots:       ps.Snapshots,
-			WALRecords:      ps.WALRecords,
-			WALBytes:        ps.WALBytes,
+			Queries:           ps.Queries,
+			Hits:              ps.Hits,
+			RunsProbed:        ps.RunsProbed,
+			CubesGenerated:    ps.CubesGenerated,
+			ShardSearches:     ps.ShardSearches,
+			DecompCacheHits:   ps.DecompCacheHits,
+			DecompCacheMisses: ps.DecompCacheMisses,
+			Subscriptions:     ps.Subscriptions,
+			ShardSizes:        ps.ShardSizes,
+			MaxShardSize:      ps.MaxShardSize,
+			MinShardSize:      ps.MinShardSize,
+			SkewRatio:         ps.SkewRatio,
+			Rebalances:        ps.Rebalances,
+			BoundaryMoves:     ps.BoundaryMoves,
+			MigratedEntries:   ps.MigratedEntries,
+			Snapshots:         ps.Snapshots,
+			WALRecords:        ps.WALRecords,
+			WALBytes:          ps.WALBytes,
 		}}
 	case "rebalance":
 		rb, ok := prov.(core.Rebalancer)

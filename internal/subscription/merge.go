@@ -37,7 +37,7 @@ func Merge(a, b *Subscription) (merged *Subscription, ok bool) {
 		return nil, false // disjoint with a gap: union is not an interval
 	}
 	merged = a.Clone()
-	merged.ranges[diff] = Range{Lo: min32(ra.Lo, rb.Lo), Hi: max32(ra.Hi, rb.Hi)}
+	merged.setRangeAt(diff, Range{Lo: min32(ra.Lo, rb.Lo), Hi: max32(ra.Hi, rb.Hi)})
 	return merged, true
 }
 

@@ -31,7 +31,7 @@ func Parse(schema *Schema, expr string) (*Subscription, error) {
 		if lo > hi {
 			return nil, fmt.Errorf("subscription: constraints on %q are contradictory", attr)
 		}
-		s.ranges[i] = Range{Lo: lo, Hi: hi}
+		s.setRangeAt(i, Range{Lo: lo, Hi: hi})
 	}
 	return s, nil
 }

@@ -104,15 +104,34 @@ func (r Range) Width() uint64 { return uint64(r.Hi) - uint64(r.Lo) + 1 }
 type Subscription struct {
 	schema *Schema
 	ranges []Range
+	// point is the Edelsbrunner–Overmars transform of ranges, maintained
+	// eagerly by every mutation so the query hot path reads it without
+	// transforming (or allocating) per call.
+	point []uint32
 }
 
 // New returns a subscription with every attribute unconstrained.
 func New(schema *Schema) *Subscription {
 	ranges := make([]Range, schema.NumAttrs())
-	for i := range ranges {
-		ranges[i] = Range{Lo: 0, Hi: schema.MaxValue()}
+	s := &Subscription{
+		schema: schema,
+		ranges: ranges,
+		point:  make([]uint32, 2*len(ranges)),
 	}
-	return &Subscription{schema: schema, ranges: ranges}
+	full := Range{Lo: 0, Hi: schema.MaxValue()}
+	for i := range ranges {
+		s.setRangeAt(i, full)
+	}
+	return s
+}
+
+// setRangeAt is the single mutation point for a constraint: it keeps the
+// transformed point in lockstep with the rectangle.
+func (s *Subscription) setRangeAt(i int, r Range) {
+	s.ranges[i] = r
+	max := s.schema.MaxValue()
+	s.point[2*i] = max - r.Lo
+	s.point[2*i+1] = r.Hi
 }
 
 // Schema returns the subscription's schema.
@@ -133,7 +152,7 @@ func (s *Subscription) SetRange(attr string, lo, hi uint32) error {
 	if hi > s.schema.MaxValue() {
 		return fmt.Errorf("subscription: value %d exceeds domain max %d on %q", hi, s.schema.MaxValue(), attr)
 	}
-	s.ranges[i] = Range{Lo: lo, Hi: hi}
+	s.setRangeAt(i, Range{Lo: lo, Hi: hi})
 	return nil
 }
 
@@ -150,7 +169,11 @@ func (s *Subscription) SetMax(attr string, v uint32) error { return s.SetRange(a
 
 // Clone returns an independent copy.
 func (s *Subscription) Clone() *Subscription {
-	return &Subscription{schema: s.schema, ranges: append([]Range(nil), s.ranges...)}
+	return &Subscription{
+		schema: s.schema,
+		ranges: append([]Range(nil), s.ranges...),
+		point:  append([]uint32(nil), s.point...),
+	}
 }
 
 // Matches reports whether the event satisfies every constraint.
@@ -194,18 +217,14 @@ func (s *Subscription) Equal(o *Subscription) bool {
 	return true
 }
 
-// Point applies the Edelsbrunner–Overmars transform, producing the
-// 2β-dimensional point whose dominance order mirrors covering: coordinate
-// 2i is 2^k−1−ℓ_i (wider-to-the-left sorts higher) and coordinate 2i+1 is
-// r_i.
-func (s *Subscription) Point() []uint32 {
-	max := s.schema.MaxValue()
-	p := make([]uint32, 0, 2*len(s.ranges))
-	for _, r := range s.ranges {
-		p = append(p, max-r.Lo, r.Hi)
-	}
-	return p
-}
+// Point is the Edelsbrunner–Overmars transform of the subscription: the
+// 2β-dimensional point whose dominance order mirrors covering —
+// coordinate 2i is 2^k−1−ℓ_i (wider-to-the-left sorts higher) and
+// coordinate 2i+1 is r_i. The returned slice is the subscription's own,
+// maintained by every mutation: callers must treat it as read-only and
+// not retain it across a SetRange. Index layers that store points copy
+// them, so the shared slice never escapes into long-lived state.
+func (s *Subscription) Point() []uint32 { return s.point }
 
 // FromPoint inverts Point, reconstructing the subscription rectangle.
 func FromPoint(schema *Schema, p []uint32) (*Subscription, error) {
@@ -219,7 +238,7 @@ func FromPoint(schema *Schema, p []uint32) (*Subscription, error) {
 		if lo > hi {
 			return nil, fmt.Errorf("subscription: point decodes to inverted range on attribute %d", i)
 		}
-		s.ranges[i] = Range{Lo: lo, Hi: hi}
+		s.setRangeAt(i, Range{Lo: lo, Hi: hi})
 	}
 	return s, nil
 }

@@ -52,7 +52,7 @@ func UnmarshalSubscription(schema *Schema, data []byte) (*Subscription, error) {
 		if lo > hi || hi > uint64(schema.MaxValue()) {
 			return nil, fmt.Errorf("subscription: range [%d,%d] invalid for attribute %d", lo, hi, i)
 		}
-		s.ranges[i] = Range{Lo: uint32(lo), Hi: uint32(hi)}
+		s.setRangeAt(i, Range{Lo: uint32(lo), Hi: uint32(hi)})
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("subscription: %d trailing bytes", len(rest))
