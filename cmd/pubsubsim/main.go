@@ -50,6 +50,7 @@ type params struct {
 	churn    float64
 	rounds   int
 	daemon   string
+	failover int
 
 	rebalThreshold float64
 	rebalInterval  time.Duration
@@ -72,7 +73,8 @@ func main() {
 	flag.StringVar(&p.dist, "dist", "uniform", "value distribution: uniform | zipf | clustered | hotspot")
 	flag.Int64Var(&p.seed, "seed", 1, "workload seed")
 	flag.StringVar(&p.backend, "backend", "detector", "per-link provider: detector | engine-hash | engine-prefix | remote")
-	flag.StringVar(&p.daemon, "daemon", "", "sfcd daemon address for -backend remote; \"local\" spins an in-process daemon so the whole overlay shares one index service")
+	flag.StringVar(&p.daemon, "daemon", "", "sfcd daemon address for -backend remote; \"local\" spins an in-process daemon so the whole overlay shares one index service; \"local-ha\" spins a replicated primary+follower pair with client-side failover")
+	flag.IntVar(&p.failover, "failover-round", 0, "kill the primary daemon and promote the follower at the start of this churn round (needs -daemon local-ha; 0 = never)")
 	flag.IntVar(&p.shards, "shards", 0, "per-link engine shard count (engine backends; 0 = default)")
 	flag.IntVar(&p.batch, "batch", 0, "covered-set re-forward probe batch size (0 = whole set)")
 	flag.Float64Var(&p.churn, "churn", 0.25, "fraction of the remaining subscriptions withdrawn per churn round")
@@ -82,16 +84,26 @@ func main() {
 	flag.DurationVar(&p.rebalInterval, "rebalance-interval", 0,
 		"background rebalancer poll period (0 = engine default)")
 	flag.Parse()
-	if err := run(p); err != nil {
+	if _, err := run(p); err != nil {
 		fmt.Fprintf(os.Stderr, "pubsubsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(p params) error {
+// simResult carries the final counters out of run so the failover smoke
+// test can compare a kill-and-promote run against a never-killed one.
+type simResult struct {
+	Metrics           broker.Metrics
+	TableRows         int
+	ForwardedEntries  int
+	SuppressedEntries int
+}
+
+func run(p params) (simResult, error) {
+	var res simResult
 	schema, err := subscription.NewSchema(10, "topic", "price")
 	if err != nil {
-		return err
+		return res, err
 	}
 	var topo broker.Topology
 	switch p.topology {
@@ -104,7 +116,7 @@ func run(p params) error {
 	case "random":
 		topo = broker.RandomTree(p.brokers, p.seed)
 	default:
-		return fmt.Errorf("unknown topology %q", p.topology)
+		return res, fmt.Errorf("unknown topology %q", p.topology)
 	}
 	cfg := broker.Config{
 		Schema:             schema,
@@ -129,18 +141,40 @@ func run(p params) error {
 		cfg.Mode = core.ModeApprox
 		cfg.Epsilon = p.eps
 	default:
-		return fmt.Errorf("unknown mode %q", p.mode)
+		return res, fmt.Errorf("unknown mode %q", p.mode)
 	}
 	if p.churn < 0 || p.churn > 1 {
-		return fmt.Errorf("churn fraction %v out of [0,1]", p.churn)
+		return res, fmt.Errorf("churn fraction %v out of [0,1]", p.churn)
 	}
 	if p.rounds < 1 {
-		return fmt.Errorf("churn rounds %d must be positive", p.rounds)
+		return res, fmt.Errorf("churn rounds %d must be positive", p.rounds)
 	}
+	if p.failover != 0 && (p.failover < 1 || p.failover > p.rounds) {
+		return res, fmt.Errorf("-failover-round %d out of the churn-round range [1,%d]", p.failover, p.rounds)
+	}
+	if p.failover != 0 && p.daemon != "local-ha" {
+		return res, fmt.Errorf("-failover-round needs -daemon local-ha (there is no follower to promote)")
+	}
+	var cluster *haCluster
 	if cfg.Backend == broker.BackendRemote {
 		switch p.daemon {
 		case "":
-			return fmt.Errorf("-backend remote needs -daemon (an sfcd address, or \"local\")")
+			return res, fmt.Errorf("-backend remote needs -daemon (an sfcd address, \"local\", or \"local-ha\")")
+		case "local-ha":
+			// A replicated in-process pair: the overlay's shared client
+			// carries both addresses and -failover-round exercises the whole
+			// kill → promote → reconnect path.
+			dir, err := os.MkdirTemp("", "pubsubsim-ha-")
+			if err != nil {
+				return res, err
+			}
+			defer os.RemoveAll(dir)
+			if cluster, err = startHACluster(schema, cfg, p.shards, dir); err != nil {
+				return res, err
+			}
+			defer cluster.Close()
+			cfg.DaemonAddrs = cluster.addrs()
+			cfg.DaemonTimeout = 30 * time.Second
 		case "local":
 			// One in-process daemon backing every broker link — the
 			// shared-daemon deployment the remote backend exists for, in a
@@ -160,13 +194,13 @@ func run(p params) error {
 				Shards: p.shards,
 			})
 			if err != nil {
-				return err
+				return res, err
 			}
 			defer eng.Close()
 			srv := sfcd.NewServer(eng)
 			addr, err := srv.Listen("127.0.0.1:0")
 			if err != nil {
-				return err
+				return res, err
 			}
 			defer srv.Close()
 			cfg.DaemonAddr = addr.String()
@@ -180,29 +214,29 @@ func run(p params) error {
 		WidthFrac: p.width, Seed: p.seed,
 	})
 	if err != nil {
-		return err
+		return res, err
 	}
 	events, err := workload.Events(workload.EventSpec{Schema: schema, N: p.nEvents, Seed: p.seed + 1})
 	if err != nil {
-		return err
+		return res, err
 	}
 
 	net, err := broker.NewNetwork(topo, cfg)
 	if err != nil {
-		return err
+		return res, err
 	}
 	defer net.Close()
 	clients := make([]*broker.Client, p.nClients)
 	for i := range clients {
 		c, err := net.AttachClient(i % net.NumBrokers())
 		if err != nil {
-			return err
+			return res, err
 		}
 		clients[i] = c
 	}
 	for i, s := range subs {
 		if err := net.Subscribe(clients[i%p.nClients].ID, s); err != nil {
-			return err
+			return res, err
 		}
 	}
 	net.Drain()
@@ -219,10 +253,24 @@ func run(p params) error {
 	lt := stats.NewTable("round", "churned", "deliveries", "p50", "p95", "p99")
 	prev := net.DeliveryLatency()
 	for r := 1; r <= p.rounds; r++ {
+		if cluster != nil && p.failover == r {
+			// The overlay is drained, so nothing is in flight: the kill
+			// exercises reconnection and promotion, not the (typed,
+			// caller-decided) in-flight failure surface. Traffic resumes
+			// once the overlay's client reports the replacement connection
+			// installed (see awaitReconnect).
+			fs, _ := net.DaemonFailoverStats()
+			if err := cluster.failover(); err != nil {
+				return res, fmt.Errorf("failover: %w", err)
+			}
+			if err := awaitReconnect(net, fs.Reconnects); err != nil {
+				return res, fmt.Errorf("failover: %w", err)
+			}
+		}
 		k := int(p.churn * float64(len(live)))
 		for _, i := range live[:k] {
 			if err := net.Unsubscribe(clients[i%p.nClients].ID, subs[i]); err != nil {
-				return err
+				return res, err
 			}
 		}
 		live = live[k:]
@@ -230,7 +278,7 @@ func run(p params) error {
 		net.Drain()
 		for i, ev := range events {
 			if err := net.Publish(clients[i%p.nClients].ID, ev); err != nil {
-				return err
+				return res, err
 			}
 		}
 		net.Drain()
@@ -242,6 +290,12 @@ func run(p params) error {
 
 	m := net.Metrics()
 	tot := net.CoverTotals()
+	res = simResult{
+		Metrics:           m,
+		TableRows:         net.TableRows(),
+		ForwardedEntries:  net.ForwardedEntries(),
+		SuppressedEntries: net.SuppressedEntries(),
+	}
 	fmt.Printf("pubsubsim: %d brokers (%s), %d clients, %d subscriptions (%d churned), %d events, mode=%s backend=%s",
 		topo.N, p.topology, p.nClients, p.nSubs, nChurn, p.nEvents, p.mode, cfg.Backend)
 	if cfg.Mode == core.ModeApprox {
@@ -268,7 +322,7 @@ func run(p params) error {
 	fmt.Println("delivery latency per churn round (publish to client hand-off):")
 	fmt.Println(lt)
 	if m.ProtocolErrors != 0 {
-		return fmt.Errorf("simulation reported %d protocol errors", m.ProtocolErrors)
+		return res, fmt.Errorf("simulation reported %d protocol errors", m.ProtocolErrors)
 	}
-	return nil
+	return res, nil
 }

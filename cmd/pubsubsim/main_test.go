@@ -15,7 +15,7 @@ func TestRunAllModesAndTopologies(t *testing.T) {
 	for _, topo := range []string{"line", "star", "tree", "random"} {
 		p := base()
 		p.topology = topo
-		if err := run(p); err != nil {
+		if _, err := run(p); err != nil {
 			t.Errorf("topology %s: %v", topo, err)
 		}
 	}
@@ -23,7 +23,7 @@ func TestRunAllModesAndTopologies(t *testing.T) {
 		p := base()
 		p.brokers, p.nSubs, p.nClients = 5, 30, 4
 		p.mode, p.eps, p.maxCubes, p.seed = mode, 0.3, 2000, 2
-		if err := run(p); err != nil {
+		if _, err := run(p); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
@@ -31,7 +31,7 @@ func TestRunAllModesAndTopologies(t *testing.T) {
 		p := base()
 		p.brokers, p.nSubs, p.nClients, p.nEvents = 3, 20, 3, 5
 		p.topology, p.mode, p.width, p.dist, p.seed = "line", "off", 0.25, dist, 3
-		if err := run(p); err != nil {
+		if _, err := run(p); err != nil {
 			t.Errorf("dist %s: %v", dist, err)
 		}
 	}
@@ -44,7 +44,7 @@ func TestRunEngineBackends(t *testing.T) {
 		p.mode, p.eps, p.maxCubes = "approx", 0.3, 2000
 		p.backend, p.shards, p.batch = backend, 2, 8
 		p.churn, p.rounds = 0.5, 3
-		if err := run(p); err != nil {
+		if _, err := run(p); err != nil {
 			t.Errorf("backend %s: %v", backend, err)
 		}
 	}
@@ -57,7 +57,7 @@ func TestRunRemoteBackend(t *testing.T) {
 	p.brokers, p.nSubs = 5, 30
 	p.backend, p.daemon, p.shards = "remote", "local", 2
 	p.churn = 0.5
-	if err := run(p); err != nil {
+	if _, err := run(p); err != nil {
 		t.Errorf("remote backend: %v", err)
 	}
 }
@@ -77,8 +77,36 @@ func TestRunRejectsBadArguments(t *testing.T) {
 		p := base()
 		p.brokers, p.nSubs, p.nClients, p.nEvents = 5, 10, 2, 2
 		mutate(&p)
-		if err := run(p); err == nil {
+		if _, err := run(p); err == nil {
 			t.Errorf("%s must fail", name)
 		}
+	}
+}
+
+// TestFailoverMatchesCleanRun is the PR's acceptance gate in miniature:
+// the same workload against the replicated daemon pair, once with the
+// primary killed and the follower promoted mid-run and once untouched,
+// must converge to identical routing state and delivery counters — zero
+// lost subscriptions, zero protocol errors, bit-identical cover answers.
+func TestFailoverMatchesCleanRun(t *testing.T) {
+	ha := base()
+	ha.brokers, ha.nSubs, ha.nClients = 5, 40, 4
+	ha.backend, ha.daemon, ha.shards = "remote", "local-ha", 2
+	ha.churn, ha.rounds = 0.3, 3
+
+	clean, err := run(ha)
+	if err != nil {
+		t.Fatalf("clean HA run: %v", err)
+	}
+	ha.failover = 2
+	killed, err := run(ha)
+	if err != nil {
+		t.Fatalf("failover run: %v", err)
+	}
+	if killed.Metrics.ProtocolErrors != 0 {
+		t.Fatalf("failover run hit %d protocol errors", killed.Metrics.ProtocolErrors)
+	}
+	if killed != clean {
+		t.Fatalf("failover run diverged from clean run\n got %+v\nwant %+v", killed, clean)
 	}
 }

@@ -13,7 +13,14 @@
 // every link namespace) is durable: adds and removes ride a write-ahead
 // log, -snapshot-interval compacts it periodically, and a restarted
 // daemon recovers its full pre-crash state before accepting the first
-// connection.
+// connection. -wal-sync fsyncs per append; -wal-sync-interval trades a
+// bounded power-failure window for group-commit throughput.
+//
+// With -follow the daemon boots as a read-only follower replicating the
+// named primary's WAL stream into its own data dir; SIGUSR1 (or the
+// promote wire op) flips it to primary:
+//
+//	sfcd -addr :7422 -data-dir /var/lib/sfcd-b -follow primary:7421
 //
 // A quick session with netcat:
 //
@@ -141,6 +148,8 @@ type serveOptions struct {
 	dataDir          string
 	snapshotInterval time.Duration
 	walSync          bool
+	walSyncInterval  time.Duration
+	follow           string
 	logLevel         string
 	slowQuery        time.Duration
 	slowLogSize      int
@@ -158,12 +167,24 @@ func validateServeOptions(so serveOptions) error {
 	if so.snapshotInterval < 0 {
 		return fmt.Errorf("-snapshot-interval %v is negative (0 means no periodic snapshots)", so.snapshotInterval)
 	}
+	if so.walSyncInterval < 0 {
+		return fmt.Errorf("-wal-sync-interval %v is negative (0 means no group commit)", so.walSyncInterval)
+	}
+	if so.walSync && so.walSyncInterval > 0 {
+		return fmt.Errorf("-wal-sync and -wal-sync-interval are mutually exclusive (per-append fsync vs group commit)")
+	}
 	if so.dataDir == "" {
 		if so.snapshotInterval > 0 {
 			return fmt.Errorf("-snapshot-interval needs -data-dir (there is no durable state to snapshot)")
 		}
 		if so.walSync {
 			return fmt.Errorf("-wal-sync needs -data-dir (there is no write-ahead log to sync)")
+		}
+		if so.walSyncInterval > 0 {
+			return fmt.Errorf("-wal-sync-interval needs -data-dir (there is no write-ahead log to sync)")
+		}
+		if so.follow != "" {
+			return fmt.Errorf("-follow needs -data-dir (a follower replicates into a durable store)")
 		}
 	}
 	if _, err := obs.ParseLevel(so.logLevel); err != nil {
@@ -191,6 +212,8 @@ func run(args []string, stderr io.Writer) int {
 	fs.StringVar(&so.dataDir, "data-dir", "", "directory for durable subscription state: WAL + snapshots; recovery runs at boot (empty = in-memory only)")
 	fs.DurationVar(&so.snapshotInterval, "snapshot-interval", 0, "period between automatic snapshots compacting the WAL (0 = only on shutdown; needs -data-dir)")
 	fs.BoolVar(&so.walSync, "wal-sync", false, "fsync the WAL after every append (bounds loss on power failure at a throughput cost; needs -data-dir)")
+	fs.DurationVar(&so.walSyncInterval, "wal-sync-interval", 0, "group commit: fsync the WAL at this interval instead of per append, coalescing concurrent appends into one sync (needs -data-dir; exclusive with -wal-sync)")
+	fs.StringVar(&so.follow, "follow", "", "primary daemon address to replicate from; the daemon boots as a read-only follower until promoted via SIGUSR1 or the promote op (needs -data-dir)")
 	fs.StringVar(&so.logLevel, "log-level", "info", "daemon log threshold: debug, info, warn or error")
 	fs.DurationVar(&so.slowQuery, "slow-query", 0, "queries at least this slow enter the slow-query log (0 = default 10ms, negative = log every traced query)")
 	fs.IntVar(&so.slowLogSize, "slow-log-size", 0, "slow-query ring capacity (0 = default 128)")
@@ -246,19 +269,23 @@ func run(args []string, stderr io.Writer) int {
 	var srv *sfcd.Server
 	var store *persist.Store
 	if so.dataDir != "" {
-		store, err = persist.Open(so.dataDir, cfg.Detector.Schema, persist.Options{Sync: so.walSync})
+		store, err = persist.Open(so.dataDir, cfg.Detector.Schema, persist.Options{Sync: so.walSync, SyncEvery: so.walSyncInterval})
 		if err != nil {
 			fmt.Fprintf(stderr, "sfcd: %v\n", err)
 			return 1
 		}
 		defer store.Close()
-		srv, err = sfcd.NewPersistentServer(eng, store, scfg)
+		if so.follow != "" {
+			srv, err = sfcd.NewFollowerServer(eng, store, scfg, so.follow)
+		} else {
+			srv, err = sfcd.NewPersistentServer(eng, store, scfg)
+		}
 		if err != nil {
 			fmt.Fprintf(stderr, "sfcd: %v\n", err)
 			return 1
 		}
 		ss := store.Stats()
-		lg.Info("recovered durable state", "entries", ss.Entries, "links", ss.Links, "dir", so.dataDir)
+		lg.Info("recovered durable state", "entries", ss.Entries, "links", ss.Links, "dir", so.dataDir, "role", srv.Role())
 	} else {
 		srv = sfcd.NewServerWith(eng, scfg)
 	}
@@ -269,7 +296,8 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 	lg.Info("serving", "addr", bound.String(), "bits", o.bits, "attrs", o.attrs,
-		"shards", eng.NumShards(), "partition", string(eng.PartitionStrategy()), "mode", eng.Mode().String())
+		"shards", eng.NumShards(), "partition", string(eng.PartitionStrategy()), "mode", eng.Mode().String(),
+		"role", srv.Role())
 
 	if so.metricsAddr != "" {
 		mux := http.NewServeMux()
@@ -302,6 +330,21 @@ func run(args []string, stderr io.Writer) int {
 			}
 		}()
 	}
+
+	// SIGUSR1 promotes a follower to primary in place: the operator (or an
+	// external failover manager) signals the daemon once the old primary is
+	// confirmed dead. Idempotent — and harmless — on a primary.
+	promote := make(chan os.Signal, 1)
+	signal.Notify(promote, syscall.SIGUSR1)
+	go func() {
+		for range promote {
+			if err := srv.Promote(); err != nil {
+				lg.Error("promotion failed", "err", err)
+				continue
+			}
+			lg.Info("serving as primary", "addr", bound.String())
+		}
+	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

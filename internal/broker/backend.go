@@ -26,12 +26,13 @@ const (
 	// engine (the shared-decomposition plan under the SFC strategy).
 	BackendEnginePrefix Backend = "engine-prefix"
 	// BackendRemote backs every link with an isolated namespace on one
-	// shared sfcd daemon (Config.DaemonAddr): the whole overlay's
-	// forwarded sets live in a single remote process, reached over one
-	// pipelined connection. Covering detection then runs in the daemon's
-	// configured mode — the daemon is the authority, Config.Mode applies
-	// only to the local exact suppressed sets. Networks with this backend
-	// own the connection; call Close when done.
+	// shared sfcd daemon (Config.DaemonAddr) or a replicated daemon
+	// cluster (Config.DaemonAddrs, with client-side failover): the whole
+	// overlay's forwarded sets live in a single remote process, reached
+	// over one pipelined connection. Covering detection then runs in the
+	// daemon's configured mode — the daemon is the authority, Config.Mode
+	// applies only to the local exact suppressed sets. Networks with this
+	// backend own the connection; call Close when done.
 	BackendRemote Backend = "remote"
 )
 
@@ -71,14 +72,15 @@ func newProviderSource(cfg Config) (*providerSource, error) {
 		}
 		return ps, nil
 	case BackendRemote:
-		if cfg.DaemonAddr == "" {
-			return nil, fmt.Errorf("broker: backend %q needs Config.DaemonAddr", cfg.Backend)
+		if cfg.DaemonAddr == "" && len(cfg.DaemonAddrs) == 0 {
+			return nil, fmt.Errorf("broker: backend %q needs Config.DaemonAddr or Config.DaemonAddrs", cfg.Backend)
 		}
 		if cfg.DataDir != "" {
 			return nil, fmt.Errorf("broker: backend %q persists on the daemon (-data-dir there), not through Config.DataDir", cfg.Backend)
 		}
 		client, err := sfcd.DialContext(context.Background(), sfcd.DialConfig{
 			Addr:           cfg.DaemonAddr,
+			Addrs:          cfg.DaemonAddrs,
 			Schema:         cfg.Schema,
 			RequestTimeout: cfg.DaemonTimeout,
 		})

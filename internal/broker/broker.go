@@ -26,6 +26,7 @@ import (
 
 	"sfccover/internal/core"
 	"sfccover/internal/obs"
+	"sfccover/internal/sfcd"
 	"sfccover/internal/subscription"
 )
 
@@ -62,9 +63,19 @@ type Config struct {
 	// (0 = the engine default).
 	Shards int
 	// DaemonAddr is the shared sfcd daemon's TCP address (required for
-	// BackendRemote, ignored otherwise). All links of all brokers
-	// multiplex one pipelined connection to it.
+	// BackendRemote unless DaemonAddrs is set, ignored otherwise). All
+	// links of all brokers multiplex one pipelined connection to it.
 	DaemonAddr string
+	// DaemonAddrs lists a replicated daemon cluster's addresses
+	// (BackendRemote). Setting it puts the shared connection in failover
+	// mode: a lost daemon is redialed across the list — DaemonAddr first,
+	// if also set — until a primary answers, and link namespaces
+	// re-resolve server-side on the next request (daemon links are
+	// materialized lazily by name, so a promoted follower rebuilds them
+	// from its replicated WAL). Ops in flight at the failure still fail
+	// typed with ErrDaemonConnectionLost; the routing layer decides what
+	// is safe to reissue.
+	DaemonAddrs []string
 	// DaemonTimeout is the per-operation deadline on daemon calls
 	// (BackendRemote; 0 = none).
 	DaemonTimeout time.Duration
@@ -383,6 +394,19 @@ func (n *Network) Snapshot() error {
 		return fmt.Errorf("broker: network has no durable store (Config.DataDir unset)")
 	}
 	return n.src.store.Snapshot()
+}
+
+// DaemonFailoverStats reports the shared daemon connection's lifecycle
+// counters (connections lost, reconnects, failovers to another replica).
+// The second return is false on networks whose backend is not
+// BackendRemote. Harnesses killing a primary mid-run watch Reconnects to
+// know when the overlay has re-established its connection and traffic can
+// resume without tripping over the corpse of the old one.
+func (n *Network) DaemonFailoverStats() (sfcd.FailoverStats, bool) {
+	if n.src == nil || n.src.client == nil {
+		return sfcd.FailoverStats{}, false
+	}
+	return n.src.client.FailoverStats(), true
 }
 
 // Close releases every per-link provider and, for BackendRemote, the

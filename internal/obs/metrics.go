@@ -1,0 +1,33 @@
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing metric: lock-free, safe for
+// concurrent use, zero value ready. The histogram machinery deliberately
+// has no scalar siblings for engine counters (those live in the engine's
+// own stats structs); Counter exists for subsystems with no stats struct
+// of their own to extend — replication streams, client failover — where
+// a full struct would be ceremony around two numbers.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable point-in-time metric: lock-free, safe for
+// concurrent use, zero value ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -3,6 +3,7 @@ package persist_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"sfccover/internal/core"
 	"sfccover/internal/engine"
@@ -172,6 +173,94 @@ func BenchmarkDurableAddBatch(b *testing.B) {
 					st.Close()
 				}
 				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkDurableInsertSync compares the three WAL durability settings
+// on the per-append path group commit exists for: a stream of single
+// inserts. "sync" pays one fsync per append, "group" (SyncEvery) returns
+// after the buffered write and lets the store's sync loop fold the whole
+// window into one fsync, "nosync" leaves flushing to the OS entirely.
+// Run with -bench InsertSync; the margin is recorded in EXPERIMENTS.md.
+func BenchmarkDurableInsertSync(b *testing.B) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	for _, mode := range []struct {
+		name string
+		opts persist.Options
+	}{
+		{"sync", persist.Options{Sync: true}},
+		{"group-5ms", persist.Options{SyncEvery: 5 * time.Millisecond}},
+		{"nosync", persist.Options{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			subs := benchSubs(b, schema, 4096)
+			st, err := persist.Open(b.TempDir(), schema, mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			det := core.MustNew(core.Config{Schema: schema, Mode: core.ModeOff})
+			d, err := st.Durable("", det)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Insert(subs[i%len(subs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			d.Close()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkDurableAddBatchSync is the batch-path companion: AddBatch
+// already folds its whole batch into one segment write (and one fsync
+// under Sync), so group commit's win here comes from folding *batches*
+// into one sync window rather than records. Run with -bench AddBatchSync.
+func BenchmarkDurableAddBatchSync(b *testing.B) {
+	schema := subscription.MustSchema(10, "volume", "price")
+	const batch = 64
+	for _, mode := range []struct {
+		name string
+		opts persist.Options
+	}{
+		{"sync", persist.Options{Sync: true}},
+		{"group-5ms", persist.Options{SyncEvery: 5 * time.Millisecond}},
+		{"nosync", persist.Options{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			subs := benchSubs(b, schema, 4096)
+			st, err := persist.Open(b.TempDir(), schema, mode.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			det := core.MustNew(core.Config{Schema: schema, Mode: core.ModeOff})
+			d, err := st.Durable("", det)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := (i * batch) % (len(subs) - batch)
+				for _, r := range d.AddBatch(subs[lo : lo+batch]) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			d.Close()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
 			}
 		})
 	}

@@ -25,7 +25,7 @@ func fuzzSeedBytes(tb testing.TB) (segment, snapshot []byte) {
 	snapshot = encodeSnapshot(schema, map[string]map[uint64][]byte{
 		"":      {1: pay("x >= 3")},
 		"b0-n1": {2: pay("y == 7"), 9: pay("x in [1,200]")},
-	})
+	}, 7)
 	return segment, snapshot
 }
 
@@ -72,17 +72,20 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add([]byte(snapMagic))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		links, err := decodeSnapshot(nil, data)
+		links, basePos, err := decodeSnapshot(nil, data)
 		if err != nil {
 			return
 		}
 		// Whatever decoded is structurally sound: re-encoding it under any
 		// schema and decoding again must reproduce it exactly.
 		schema := subscription.MustSchema(8, "x", "y")
-		re := encodeSnapshot(schema, links)
-		back, err := decodeSnapshot(schema, re)
+		re := encodeSnapshot(schema, links, basePos)
+		back, backPos, err := decodeSnapshot(schema, re)
 		if err != nil {
 			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if backPos != basePos {
+			t.Fatalf("round trip changed basePos %d -> %d", basePos, backPos)
 		}
 		if len(back) != len(links) {
 			t.Fatalf("round trip changed link count %d -> %d", len(links), len(back))

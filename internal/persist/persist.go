@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 	"syscall"
+	"time"
 
 	"sfccover/internal/subscription"
 )
@@ -43,6 +44,14 @@ type Options struct {
 	// additionally bounds loss on power failure at a heavy throughput
 	// cost. Snapshots are always fsynced regardless.
 	Sync bool
+	// SyncEvery enables group commit: appends return after the write
+	// lands in the file (no per-append fsync) and a store-owned ticker
+	// fsyncs the segment at most once per interval, coalescing every
+	// append in the window into one Sync. The process-crash guarantee is
+	// identical to Sync (the OS holds the written bytes); power-failure
+	// loss is bounded by the interval instead of zero. Mutually exclusive
+	// with Sync. Rotation, snapshots and Close still fsync immediately.
+	SyncEvery time.Duration
 	// WriteHook, when non-nil, observes — and may veto — every WAL write
 	// before it reaches the file: the crash battery uses it to fail
 	// appends after a chosen byte. A vetoed write behaves like a crash at
@@ -91,6 +100,22 @@ type Store struct {
 	// snapshots cost nothing instead of rewriting full state forever.
 	dirtyRecords int
 	hasSnapshot  bool
+
+	// pos is the replication stream position: the count of WAL records
+	// ever applied in this dir's history. It survives restarts (snapshots
+	// carry it as basePos, replay advances it) and is what a follower
+	// hands back to resume the primary's stream. Never decremented.
+	pos uint64
+	// ring buffers the most recent records so followers resuming from a
+	// slightly stale position replay from memory instead of forcing a
+	// full-state reset.
+	ring    replRing
+	tailers map[*Tailer]struct{}
+
+	// syncStop/syncDone bracket the group-commit goroutine when
+	// SyncEvery is set; nil otherwise.
+	syncStop chan struct{}
+	syncDone chan struct{}
 }
 
 // Open recovers the durable state under dir (creating it when absent) and
@@ -108,6 +133,12 @@ func Open(dir string, schema *subscription.Schema, opts Options) (*Store, error)
 	}
 	if opts.SegmentBytes < 0 {
 		return nil, fmt.Errorf("persist: invalid segment size %d", opts.SegmentBytes)
+	}
+	if opts.SyncEvery < 0 {
+		return nil, fmt.Errorf("persist: invalid sync interval %v", opts.SyncEvery)
+	}
+	if opts.Sync && opts.SyncEvery > 0 {
+		return nil, fmt.Errorf("persist: Sync and SyncEvery are mutually exclusive")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: creating data dir: %w", err)
@@ -132,18 +163,46 @@ func Open(dir string, schema *subscription.Schema, opts Options) (*Store, error)
 		state:   make(map[string]map[uint64][]byte),
 		wrapped: make(map[string]bool),
 		lock:    lock,
+		tailers: make(map[*Tailer]struct{}),
 	}
 	maxSeq, err := st.recover()
 	if err != nil {
 		lock.Close()
 		return nil, err
 	}
+	st.ring.reset(st.pos)
 	st.w = &walWriter{dir: dir, opts: opts}
 	if err := st.w.openSegment(maxSeq + 1); err != nil {
 		lock.Close()
 		return nil, err
 	}
+	if opts.SyncEvery > 0 {
+		st.syncStop = make(chan struct{})
+		st.syncDone = make(chan struct{})
+		go st.syncLoop()
+	}
 	return st, nil
+}
+
+// syncLoop is the group-commit ticker: one fsync per interval covers
+// every append in the window. A failed sync wedges the writer, so the
+// loop itself never needs to report anything — the next append does.
+func (st *Store) syncLoop() {
+	defer close(st.syncDone)
+	t := time.NewTicker(st.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.syncStop:
+			return
+		case <-t.C:
+			st.mu.Lock()
+			if !st.closed {
+				_ = st.w.sync()
+			}
+			st.mu.Unlock()
+		}
+	}
 }
 
 // recover loads snapshot + WAL into st.state and returns the highest
@@ -161,7 +220,7 @@ func (st *Store) recover() (uint64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("persist: reading snapshot: %w", err)
 		}
-		st.state, err = decodeSnapshot(st.schema, data)
+		st.state, st.pos, err = decodeSnapshot(st.schema, data)
 		if err != nil {
 			return 0, err
 		}
@@ -181,6 +240,7 @@ func (st *Store) recover() (uint64, error) {
 		final := i == len(segs)-1
 		err := replaySegment(filepath.Join(st.dir, segmentName(seq)), final, func(r record) {
 			st.dirtyRecords++
+			st.pos++
 			switch r.op {
 			case opAdd:
 				link := st.state[r.link]
@@ -280,10 +340,7 @@ func (st *Store) append(r record) error {
 	if err != nil {
 		return err
 	}
-	st.walRecords++
-	st.walBytes += int64(n)
-	st.dirtyRecords++
-	st.mirror(r)
+	st.committed([]record{r}, n)
 	return nil
 }
 
@@ -304,13 +361,26 @@ func (st *Store) appendBatch(rs []record) error {
 	if err != nil {
 		return err
 	}
+	st.committed(rs, n)
+	return nil
+}
+
+// committed folds a batch of landed records into every in-memory view:
+// counters, the state mirror, the stream position, the replication ring
+// and any live tailers. Called with st.mu held, after the records are in
+// the log — the stream never runs ahead of the WAL, so a follower can
+// only ever apply records the primary could itself recover.
+func (st *Store) committed(rs []record, n int) {
 	st.walRecords += len(rs)
 	st.walBytes += int64(n)
 	st.dirtyRecords += len(rs)
+	base := st.pos
+	st.pos += uint64(len(rs))
 	for _, r := range rs {
 		st.mirror(r)
 	}
-	return nil
+	st.ring.push(rs)
+	st.notifyTailers(rs, base)
 }
 
 // mirror folds one landed record into the in-memory state. Called with
@@ -356,7 +426,7 @@ func (st *Store) Snapshot() error {
 		return err
 	}
 	cutoff := st.w.seq
-	if err := writeSnapshot(st.dir, cutoff, encodeSnapshot(st.schema, st.state)); err != nil {
+	if err := writeSnapshot(st.dir, cutoff, encodeSnapshot(st.schema, st.state, st.pos)); err != nil {
 		return err
 	}
 	st.snapshots++
@@ -390,11 +460,21 @@ func (st *Store) compact(cutoff uint64) {
 // later append) reports ErrClosed.
 func (st *Store) Close() error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
+		st.mu.Unlock()
 		return ErrClosed
 	}
 	st.closed = true
+	st.closeTailers(ErrClosed)
+	st.mu.Unlock()
+	// Stop the group-commit goroutine outside the lock (its ticks take
+	// st.mu); closed is already set, so no append can slip in between.
+	if st.syncStop != nil {
+		close(st.syncStop)
+		<-st.syncDone
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	err := st.w.close()
 	if cerr := st.lock.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("persist: releasing data dir lock: %w", cerr)

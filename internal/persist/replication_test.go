@@ -1,0 +1,419 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sfccover/internal/core"
+)
+
+// rec builds an add record for the i-th anti-chain member.
+func addRec(t *testing.T, link string, sid uint64, i int) Record {
+	t.Helper()
+	return Record{Link: link, SID: sid, Payload: payload(t, rect(t, testSchema(), i))}
+}
+
+// applyBatch lands one tail batch on a follower store through whichever
+// path its shape demands, exactly as the daemon's stream consumer does.
+func applyBatch(t *testing.T, st *Store, b TailBatch) {
+	t.Helper()
+	if b.Reset {
+		if err := st.InstallState(b.Recs, b.Pos); err != nil {
+			t.Fatalf("InstallState: %v", err)
+		}
+		return
+	}
+	if err := st.ApplyReplicated(b.Base, b.Recs); err != nil {
+		t.Fatalf("ApplyReplicated(base %d): %v", b.Base, err)
+	}
+}
+
+// demandSameState compares two stores' durable state bit-for-bit: same
+// links, same sids, same payload bytes.
+func demandSameState(t *testing.T, got, want *Store) {
+	t.Helper()
+	gl, wl := got.Links(), want.Links()
+	if fmt.Sprint(gl) != fmt.Sprint(wl) {
+		t.Fatalf("links diverge: got %v, want %v", gl, wl)
+	}
+	for _, link := range wl {
+		ge, we := got.Entries(link), want.Entries(link)
+		if len(ge) != len(we) {
+			t.Fatalf("link %q: %d entries, want %d", link, len(ge), len(we))
+		}
+		for i := range we {
+			if ge[i].SID != we[i].SID || !bytes.Equal(ge[i].Payload, we[i].Payload) {
+				t.Fatalf("link %q entry %d diverges: sid %d vs %d", link, i, ge[i].SID, we[i].SID)
+			}
+		}
+	}
+}
+
+// TestTailStreamsCommitsInOrder: a tailer opened at the follower's
+// position sees every commit after it, in order, and applying them
+// converges the follower to the primary's exact state.
+func TestTailStreamsCommitsInOrder(t *testing.T) {
+	schema := testSchema()
+	primary, err := Open(t.TempDir(), schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	follower, err := Open(t.TempDir(), schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	tail, err := primary.Tail(follower.Pos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+
+	if err := primary.appendAdd("a", 1, payload(t, rect(t, schema, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.appendAdd("a", 2, payload(t, rect(t, schema, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.appendAdd("b", 7, payload(t, rect(t, schema, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.appendRemove("a", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel := make(chan struct{})
+	for i := 0; follower.Pos() < primary.Pos(); i++ {
+		if i > 16 {
+			t.Fatalf("follower stuck at %d of %d after %d batches", follower.Pos(), primary.Pos(), i)
+		}
+		b, err := tail.Next(cancel)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		applyBatch(t, follower, b)
+	}
+	demandSameState(t, follower, primary)
+}
+
+// TestReplicationDedupAndGap: overlap with applied history deduplicates
+// by position, a batch beyond the position is refused as a gap, and a
+// store feeding live providers refuses streams entirely.
+func TestReplicationDedupAndGap(t *testing.T) {
+	schema := testSchema()
+	st, err := Open(t.TempDir(), schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	recs := []Record{
+		addRec(t, "a", 1, 0),
+		addRec(t, "a", 2, 1),
+		{Remove: true, Link: "a", SID: 1},
+	}
+	if err := st.ApplyReplicated(0, recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Pos(); got != 3 {
+		t.Fatalf("Pos = %d, want 3", got)
+	}
+	// The whole batch again: a duplicate window, applied zero times more.
+	if err := st.ApplyReplicated(0, recs); err != nil {
+		t.Fatalf("duplicate window refused: %v", err)
+	}
+	if got := st.Pos(); got != 3 {
+		t.Fatalf("Pos moved to %d on a duplicate window", got)
+	}
+	// Overlapping window carrying one new record: only the tail applies.
+	if err := st.ApplyReplicated(1, []Record{recs[1], recs[2], addRec(t, "b", 9, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Pos(); got != 4 {
+		t.Fatalf("Pos = %d after overlap, want 4", got)
+	}
+	// A batch starting beyond the position would skip records: refused.
+	if err := st.ApplyReplicated(10, recs); !errors.Is(err, ErrReplicationGap) {
+		t.Fatalf("gap batch: %v, want ErrReplicationGap", err)
+	}
+	// Wrapping a provider flips the store to primary duty: streams refused.
+	d, err := st.Durable("live", core.MustNew(core.Config{Schema: schema}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := st.ApplyReplicated(4, []Record{addRec(t, "c", 1, 4)}); !errors.Is(err, ErrHasProviders) {
+		t.Fatalf("stream onto a providing store: %v, want ErrHasProviders", err)
+	}
+}
+
+// TestReStreamedWindowsConvergeBitIdentical is the follower-divergence
+// battery: the same history delivered with duplicated and re-streamed
+// overlapping windows — what reconnects produce — must land the follower
+// on the primary's exact durable state, and a cold recovery of the
+// follower's dir must preserve both the state and the stream position.
+func TestReStreamedWindowsConvergeBitIdentical(t *testing.T) {
+	schema := testSchema()
+	primary, err := Open(t.TempDir(), schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	history := []Record{
+		addRec(t, "", 1, 0),
+		addRec(t, "", 2, 1),
+		addRec(t, "L", 1, 2),
+		{Remove: true, Link: "", SID: 2},
+		addRec(t, "L", 2, 3),
+		addRec(t, "", 3, 4),
+		{Remove: true, Link: "L", SID: 1},
+		addRec(t, "M", 5, 5),
+	}
+	for _, r := range history {
+		var err error
+		if r.Remove {
+			err = primary.appendRemove(r.Link, r.SID)
+		} else {
+			err = primary.appendAdd(r.Link, r.SID, r.Payload)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fdir := t.TempDir()
+	follower, err := Open(fdir, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows overlap, duplicate and re-stream from zero mid-way — every
+	// base is at or below the follower's position, as the protocol
+	// guarantees, and idempotent records make the rest safe.
+	windows := []struct{ base, end uint64 }{
+		{0, 3}, {1, 5}, {0, 4}, {3, 8}, {0, 8}, {6, 8},
+	}
+	for _, w := range windows {
+		if err := follower.ApplyReplicated(w.base, history[w.base:w.end]); err != nil {
+			t.Fatalf("window [%d,%d): %v", w.base, w.end, err)
+		}
+	}
+	if follower.Pos() != primary.Pos() {
+		t.Fatalf("Pos = %d, want %d", follower.Pos(), primary.Pos())
+	}
+	demandSameState(t, follower, primary)
+
+	// Cold recovery: the follower's dir replays to the same state and the
+	// same stream position, so a restarted follower resumes, not resets.
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Open(fdir, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if recovered.Pos() != primary.Pos() {
+		t.Fatalf("recovered Pos = %d, want %d", recovered.Pos(), primary.Pos())
+	}
+	demandSameState(t, recovered, primary)
+}
+
+// TestResetDumpInstallsAndSurvivesRestart: a follower outside the ring
+// window (here: claiming a divergent position ahead of the primary) gets
+// a Reset dump; installing it replaces local state wholesale, adopts the
+// primary's position, and both survive a cold recovery.
+func TestResetDumpInstallsAndSurvivesRestart(t *testing.T) {
+	schema := testSchema()
+	primary, err := Open(t.TempDir(), schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	for i := 0; i < 4; i++ {
+		if err := primary.appendAdd("a", uint64(i+1), payload(t, rect(t, schema, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.appendRemove("a", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	tail, err := primary.Tail(primary.Pos() + 100) // divergent: ahead of the primary
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	b, err := tail.Next(make(chan struct{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Reset {
+		t.Fatalf("divergent position got a plain batch (base %d), want a Reset dump", b.Base)
+	}
+
+	fdir := t.TempDir()
+	follower, err := Open(fdir, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-existing local state the dump must wipe.
+	if err := follower.appendAdd("stale", 9, payload(t, rect(t, schema, 9))); err != nil {
+		t.Fatal(err)
+	}
+	applyBatch(t, follower, b)
+	if follower.Pos() != primary.Pos() {
+		t.Fatalf("Pos = %d after install, want %d", follower.Pos(), primary.Pos())
+	}
+	demandSameState(t, follower, primary)
+
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Open(fdir, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if recovered.Pos() != primary.Pos() {
+		t.Fatalf("recovered Pos = %d, want %d", recovered.Pos(), primary.Pos())
+	}
+	demandSameState(t, recovered, primary)
+}
+
+// TestGroupCommitTornTailBattery: with SyncEvery (group commit) the
+// window since the last fsync is exposed to power failure. Simulate every
+// interesting tear of that window — each record boundary and a mid-record
+// cut — and demand recovery to exactly the clean prefix: records wholly
+// before the cut survive, the torn record and everything after it are
+// gone, and recovery itself never errors (a torn tail is a crash artifact,
+// not corruption).
+func TestGroupCommitTornTailBattery(t *testing.T) {
+	schema := testSchema()
+	live := t.TempDir()
+	// An interval the test never reaches keeps every append unsynced: the
+	// whole log is one exposed window, the worst case.
+	st, err := Open(live, schema, Options{SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	type step struct {
+		remove  bool
+		link    string
+		sid     uint64
+		rectIdx int
+		offset  int64 // segment size after the record landed
+	}
+	steps := []step{
+		{link: "a", sid: 1, rectIdx: 0},
+		{link: "a", sid: 2, rectIdx: 1},
+		{link: "b", sid: 1, rectIdx: 2},
+		{remove: true, link: "a", sid: 1},
+		{link: "b", sid: 2, rectIdx: 3},
+		{remove: true, link: "b", sid: 1},
+		{link: "a", sid: 3, rectIdx: 4},
+	}
+	seq, _ := finalSegment(t, live)
+	seg := filepath.Join(live, segmentName(seq))
+	for i := range steps {
+		s := &steps[i]
+		var err error
+		if s.remove {
+			err = st.appendRemove(s.link, s.sid)
+		} else {
+			err = st.appendAdd(s.link, s.sid, payload(t, rect(t, schema, s.rectIdx)))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.offset = fi.Size()
+	}
+
+	// wantState replays the first n steps into the expected mirror.
+	wantState := func(n int) map[string]map[uint64][]byte {
+		state := map[string]map[uint64][]byte{}
+		for _, s := range steps[:n] {
+			if s.remove {
+				delete(state[s.link], s.sid)
+				continue
+			}
+			if state[s.link] == nil {
+				state[s.link] = map[uint64][]byte{}
+			}
+			state[s.link][s.sid] = payload(t, rect(t, schema, s.rectIdx))
+		}
+		return state
+	}
+
+	type cutpoint struct {
+		name     string
+		offset   int64
+		survived int
+	}
+	var cuts []cutpoint
+	for i, s := range steps {
+		cuts = append(cuts,
+			cutpoint{fmt.Sprintf("boundary-%d", i+1), s.offset, i + 1},
+			// One byte short of the boundary tears record i: it and
+			// everything after must vanish.
+			cutpoint{fmt.Sprintf("torn-%d", i+1), s.offset - 1, i},
+		)
+	}
+
+	for _, cut := range cuts {
+		t.Run(cut.name, func(t *testing.T) {
+			dir := cloneDir(t, live)
+			if err := os.Truncate(filepath.Join(dir, segmentName(seq)), cut.offset); err != nil {
+				t.Fatal(err)
+			}
+			rst, err := Open(dir, schema, Options{SyncEvery: time.Hour})
+			if err != nil {
+				t.Fatalf("recovery after tear at %d bytes: %v", cut.offset, err)
+			}
+			defer rst.Close()
+			if got, want := rst.Pos(), uint64(cut.survived); got != want {
+				t.Fatalf("Pos = %d, want %d surviving records", got, want)
+			}
+			want := wantState(cut.survived)
+			for link, sids := range want {
+				if len(sids) == 0 {
+					continue
+				}
+				entries := rst.Entries(link)
+				if len(entries) != len(sids) {
+					t.Fatalf("link %q: %d entries, want %d", link, len(entries), len(sids))
+				}
+				for _, e := range entries {
+					if !bytes.Equal(sids[e.SID], e.Payload) {
+						t.Fatalf("link %q sid %d: payload diverges from the clean prefix", link, e.SID)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSyncOptionsValidation: the group-commit knob composes with nothing
+// else that fsyncs per append.
+func TestSyncOptionsValidation(t *testing.T) {
+	schema := testSchema()
+	if _, err := Open(t.TempDir(), schema, Options{Sync: true, SyncEvery: time.Second}); err == nil {
+		t.Fatal("Sync together with SyncEvery must be refused")
+	}
+	if _, err := Open(t.TempDir(), schema, Options{SyncEvery: -time.Second}); err == nil {
+		t.Fatal("negative SyncEvery must be refused")
+	}
+}

@@ -17,8 +17,9 @@ import (
 // recovery loads the newest valid snapshot and replays only segments with
 // seq >= it.
 //
-//	snapshot: "SFCS1\n"
+//	snapshot: "SFCS2\n"
 //	          | uvarint bits | uvarint numAttrs | (uvarint len | name)*
+//	          | uvarint basePos
 //	          | uvarint numLinks
 //	          | link*                      (sorted by name)
 //	          | crc32(everything above) (4 bytes LE)
@@ -31,7 +32,15 @@ import (
 // payloads. Entries are sorted by sid so recovery can feed the engine's
 // sorted bulk-load path directly, and the decoder enforces the order (a
 // violation is ErrCorrupt, not a silent reorder).
-const snapMagic = "SFCS1\n"
+//
+// basePos is the replication stream position the snapshot covers: the
+// count of WAL records ever applied in this dir's history up to the
+// snapshot point. Recovery seeds Store.Pos from it (plus whatever the WAL
+// replays on top), which is how a follower knows where to resume the
+// primary's stream after its own restart. SFCS2 bumped the magic when the
+// field was added; SFCS1 dirs predate any release and are refused as
+// corrupt rather than carrying a second decode path forever.
+const snapMagic = "SFCS2\n"
 
 // Entry is one persisted subscription: its durable sid and its binary
 // wire payload.
@@ -41,8 +50,9 @@ type Entry struct {
 }
 
 // encodeSnapshot serializes the per-link state. links maps link name to
-// sid -> payload.
-func encodeSnapshot(schema *subscription.Schema, links map[string]map[uint64][]byte) []byte {
+// sid -> payload; basePos is the replication stream position the state
+// corresponds to.
+func encodeSnapshot(schema *subscription.Schema, links map[string]map[uint64][]byte, basePos uint64) []byte {
 	buf := append([]byte(nil), snapMagic...)
 	buf = binary.AppendUvarint(buf, uint64(schema.Bits()))
 	attrs := schema.Attrs()
@@ -51,6 +61,7 @@ func encodeSnapshot(schema *subscription.Schema, links map[string]map[uint64][]b
 		buf = binary.AppendUvarint(buf, uint64(len(a)))
 		buf = append(buf, a...)
 	}
+	buf = binary.AppendUvarint(buf, basePos)
 	names := make([]string, 0, len(links))
 	for name := range links {
 		names = append(names, name)
@@ -101,98 +112,103 @@ func (c *snapCursor) bytes(n uint64, what string) ([]byte, error) {
 	return out, nil
 }
 
-// decodeSnapshot parses and checksum-verifies a snapshot file's bytes.
-// A nil schema skips the schema check (the fuzz target's mode); otherwise
-// bits and attribute names must match exactly.
-func decodeSnapshot(schema *subscription.Schema, data []byte) (map[string]map[uint64][]byte, error) {
+// decodeSnapshot parses and checksum-verifies a snapshot file's bytes,
+// returning the per-link state and the stream basePos it covers. A nil
+// schema skips the schema check (the fuzz target's mode); otherwise bits
+// and attribute names must match exactly.
+func decodeSnapshot(schema *subscription.Schema, data []byte) (map[string]map[uint64][]byte, uint64, error) {
 	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("%w: snapshot has bad magic", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: snapshot has bad magic", ErrCorrupt)
 	}
 	body, crc := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crc) {
-		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
 	}
 	c := &snapCursor{rest: body[len(snapMagic):]}
 	bits, err := c.uvarint("schema bits")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	numAttrs, err := c.uvarint("attr count")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	attrs := make([]string, 0, numAttrs)
 	for i := uint64(0); i < numAttrs; i++ {
 		n, err := c.uvarint("attr name length")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		name, err := c.bytes(n, "attr name")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		attrs = append(attrs, string(name))
 	}
 	if schema != nil {
 		if int(bits) != schema.Bits() || len(attrs) != schema.NumAttrs() {
-			return nil, fmt.Errorf("%w: snapshot has %d bits and %d attrs, schema has %d and %d",
+			return nil, 0, fmt.Errorf("%w: snapshot has %d bits and %d attrs, schema has %d and %d",
 				ErrSchemaMismatch, bits, len(attrs), schema.Bits(), schema.NumAttrs())
 		}
 		for i, a := range schema.Attrs() {
 			if attrs[i] != a {
-				return nil, fmt.Errorf("%w: snapshot attribute %d is %q, schema says %q", ErrSchemaMismatch, i, attrs[i], a)
+				return nil, 0, fmt.Errorf("%w: snapshot attribute %d is %q, schema says %q", ErrSchemaMismatch, i, attrs[i], a)
 			}
 		}
 	}
+	basePos, err := c.uvarint("stream base position")
+	if err != nil {
+		return nil, 0, err
+	}
 	numLinks, err := c.uvarint("link count")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	links := make(map[string]map[uint64][]byte)
 	for i := uint64(0); i < numLinks; i++ {
 		n, err := c.uvarint("link name length")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		nameB, err := c.bytes(n, "link name")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		name := string(nameB)
 		if _, dup := links[name]; dup {
-			return nil, fmt.Errorf("%w: duplicate link %q in snapshot", ErrCorrupt, name)
+			return nil, 0, fmt.Errorf("%w: duplicate link %q in snapshot", ErrCorrupt, name)
 		}
 		count, err := c.uvarint("entry count")
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		state := make(map[uint64][]byte)
 		prev, first := uint64(0), true
 		for j := uint64(0); j < count; j++ {
 			sid, err := c.uvarint("entry sid")
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if !first && sid <= prev {
-				return nil, fmt.Errorf("%w: snapshot entries out of order in link %q", ErrCorrupt, name)
+				return nil, 0, fmt.Errorf("%w: snapshot entries out of order in link %q", ErrCorrupt, name)
 			}
 			prev, first = sid, false
 			plen, err := c.uvarint("payload length")
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			payload, err := c.bytes(plen, "payload")
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			state[sid] = append([]byte(nil), payload...)
 		}
 		links[name] = state
 	}
 	if len(c.rest) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(c.rest))
+		return nil, 0, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(c.rest))
 	}
-	return links, nil
+	return links, basePos, nil
 }
 
 // writeSnapshot durably lands encoded snapshot bytes under seq: temp
@@ -223,6 +239,7 @@ func writeSnapshot(dir string, seq uint64, data []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("persist: publishing snapshot: %w", err)
 	}
-	syncDir(dir)
-	return nil
+	// The rename must itself survive a crash, or compaction could delete
+	// segments a recovery would still need.
+	return syncDir(dir)
 }

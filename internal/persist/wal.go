@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 )
 
 // The write-ahead log is a sequence of segment files named
@@ -191,6 +192,10 @@ type walWriter struct {
 	f       *os.File
 	seq     uint64
 	written int64
+	// dirty marks bytes written to the current segment since its last
+	// fsync — the group-commit tick syncs only when set, so an idle
+	// daemon's interval timer costs nothing.
+	dirty bool
 	// err wedges the writer: set when a failed append could not be
 	// snipped back to the last record boundary, so continuing would put
 	// acked records after torn bytes that replay silently drops. Every
@@ -221,6 +226,12 @@ func (w *walWriter) createSegment(seq uint64) (*os.File, error) {
 		f.Close()
 		return nil, err
 	}
+	// The segment's directory entry must survive a crash too, or a synced
+	// record could sit in a file recovery never lists.
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -231,6 +242,7 @@ func (w *walWriter) openSegment(seq uint64) error {
 		return err
 	}
 	w.f, w.seq, w.written = f, seq, int64(len(walMagic))
+	w.dirty = true // header written, not yet fsynced
 	return nil
 }
 
@@ -277,6 +289,7 @@ func (w *walWriter) appendBytes(buf []byte) (int, error) {
 		w.snip(err)
 		return 0, err
 	}
+	w.dirty = true
 	if w.opts.Sync {
 		if err := w.f.Sync(); err != nil {
 			// The record is reported failed (callers roll their state
@@ -285,9 +298,30 @@ func (w *walWriter) appendBytes(buf []byte) (int, error) {
 			w.snip(err)
 			return 0, fmt.Errorf("persist: syncing segment: %w", err)
 		}
+		w.dirty = false
 	}
 	w.written += int64(len(buf))
 	return len(buf), nil
+}
+
+// sync is the group-commit tick: one fsync covers every append since the
+// last one. A failed interval sync wedges the writer — records appended
+// during the window were acked under a bounded-loss promise that just
+// broke, so every later append surfaces the failure instead of quietly
+// widening the window.
+func (w *walWriter) sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.dirty || w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("persist: group-commit sync failed: %w", err)
+		return w.err
+	}
+	w.dirty = false
+	return nil
 }
 
 // snip restores the segment to its last record boundary after a failed
@@ -316,6 +350,7 @@ func (w *walWriter) rotate() error {
 	}
 	old := w.f
 	w.f, w.seq, w.written = f, w.seq+1, int64(len(walMagic))
+	w.dirty = true // the fresh segment's header is not fsynced yet
 	if old != nil {
 		if err := old.Sync(); err != nil {
 			old.Close()
@@ -361,12 +396,18 @@ func listSeqs(dir, prefix, suffix string) ([]uint64, error) {
 }
 
 // syncDir flushes directory metadata so renames and creates survive a
-// crash; best effort on filesystems that reject directory fsync.
-func syncDir(dir string) {
+// crash. Filesystems that do not implement directory fsync report ENOTSUP
+// or EINVAL; that documented pair is tolerated (the create/rename itself
+// still happened), but any other failure is surfaced to the caller —
+// group commit must not claim durability the directory cannot provide.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return fmt.Errorf("persist: opening dir for metadata sync: %w", err)
 	}
 	defer d.Close()
-	_ = d.Sync()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.ENOTSUP) && !errors.Is(err, syscall.EINVAL) {
+		return fmt.Errorf("persist: syncing dir metadata: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,272 @@
+package sfcd
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"slices"
+	"time"
+
+	"sfccover/internal/persist"
+)
+
+// Replication over the wire: a follower daemon dials its primary, sends
+// the stream position its store has durably applied, and the primary's
+// serveReplicate streams every WAL record from there on — out of the
+// store's in-memory ring when the follower is close behind, as a
+// full-state reset otherwise. The follower applies each frame through
+// the store's replay path before reading the next, so its durable state
+// is always a prefix of the primary's history and a re-streamed overlap
+// (after a reconnect) deduplicates by position instead of diverging.
+
+// maxRepFrameRecords bounds one stream frame so a large catch-up batch
+// or reset dump splits across lines instead of hitting MaxLineBytes.
+const maxRepFrameRecords = 1024
+
+// followDialTimeout bounds one connection attempt to the primary.
+const followDialTimeout = 5 * time.Second
+
+// serveReplicate is the primary half: it turns one replicate request
+// into an open-ended sequence of response frames, all echoing the
+// request id, ending with an error response when the stream dies
+// (store closed, follower lagged past the ring, connection gone). It
+// occupies one of the connection's worker slots for as long as the
+// stream lives.
+func (s *Server) serveReplicate(req Request, cs *connState) {
+	if s.store == nil {
+		cs.respCh <- connResponse{resp: &Response{ID: req.ID, OK: false, Code: CodeUnsupported, Error: "daemon runs without a data dir"}}
+		return
+	}
+	t, err := s.store.Tail(req.Pos)
+	if err != nil {
+		cs.respCh <- connResponse{resp: &Response{ID: req.ID, OK: false, Code: CodeOpFailed, Error: err.Error()}}
+		return
+	}
+	defer t.Close()
+	// The connection now carries an open-ended stream: the follower
+	// sends nothing after its replicate line, which must not read as
+	// idleness, so lift the read deadline for the connection's lifetime.
+	cs.streaming.Store(true)
+	cs.conn.SetReadDeadline(time.Time{})
+	s.repFollowers.Add(1)
+	defer s.repFollowers.Add(-1)
+	for {
+		b, err := t.Next(cs.readerGone)
+		if err != nil {
+			// Best effort: if the follower is still there, the error frame
+			// tells it to re-request from its applied position.
+			cs.respCh <- connResponse{resp: &Response{ID: req.ID, OK: false, Code: CodeOpFailed, Error: err.Error()}}
+			return
+		}
+		for _, f := range repFrames(b) {
+			cs.respCh <- connResponse{resp: &Response{ID: req.ID, OK: true, Rep: f}}
+		}
+		s.repStreamed.Add(uint64(len(b.Recs)))
+	}
+}
+
+// repFrames splits one tail batch into wire frames of at most
+// maxRepFrameRecords records each.
+func repFrames(b persist.TailBatch) []*RepFrame {
+	if len(b.Recs) == 0 {
+		if b.Reset {
+			// An empty store's dump still needs one frame: it carries the
+			// position and tells the follower to clear its own state.
+			return []*RepFrame{{Reset: true, Pos: b.Pos}}
+		}
+		return nil
+	}
+	var frames []*RepFrame
+	for off := 0; off < len(b.Recs); off += maxRepFrameRecords {
+		end := min(off+maxRepFrameRecords, len(b.Recs))
+		chunk := b.Recs[off:end]
+		f := &RepFrame{Recs: base64.StdEncoding.EncodeToString(persist.EncodeRecords(chunk))}
+		if b.Reset {
+			f.Reset = true
+			f.More = end < len(b.Recs)
+			f.Pos = b.Pos
+		} else {
+			f.Base = b.Base + uint64(off)
+			f.Pos = f.Base + uint64(len(chunk))
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+// followLoop keeps the store tailing the primary until stopped,
+// redialing with jittered exponential backoff so a dead — or not yet
+// listening — primary is retried without hammering, and a fleet of
+// followers does not reconnect in lockstep.
+func (s *Server) followLoop() {
+	defer close(s.followDone)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	attempt := 0
+	for {
+		select {
+		case <-s.followStop:
+			return
+		default:
+		}
+		s.repReconnects.Inc()
+		start := time.Now()
+		err := s.followOnce()
+		if err == nil {
+			return // stopped cleanly mid-stream
+		}
+		if time.Since(start) > time.Minute {
+			attempt = 0 // the stream was healthy for a while; back off from scratch
+		}
+		attempt++
+		select {
+		case <-s.followStop:
+			return
+		case <-time.After(followBackoff(rng, attempt)):
+		}
+	}
+}
+
+// followBackoff is the delay before reconnect attempt (1-based): 50ms
+// doubling to a 2s cap, uniformly jittered over [d/2, d].
+func followBackoff(rng *rand.Rand, attempt int) time.Duration {
+	d := 50 * time.Millisecond << uint(min(attempt-1, 5))
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// followOnce runs one stream session: dial, schema handshake, replicate
+// from the store's position, apply frames until the connection dies or
+// the loop is stopped. Returns nil only when stopped; any other exit is
+// an error the loop retries.
+func (s *Server) followOnce() error {
+	conn, err := net.DialTimeout("tcp", s.followAddr, followDialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
+	go func() {
+		// The apply loop blocks in reads; closing the connection is the
+		// only way a stop can interrupt it promptly.
+		select {
+		case <-s.followStop:
+			conn.Close()
+		case <-sessionDone:
+		}
+	}()
+	stopped := func() bool {
+		select {
+		case <-s.followStop:
+			return true
+		default:
+			return false
+		}
+	}
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), MaxLineBytes)
+	readResp := func() (*Response, error) {
+		for {
+			if !sc.Scan() {
+				if err := sc.Err(); err != nil {
+					return nil, err
+				}
+				return nil, errors.New("stream closed")
+			}
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			resp := new(Response)
+			if err := json.Unmarshal(sc.Bytes(), resp); err != nil {
+				return nil, fmt.Errorf("malformed stream frame: %w", err)
+			}
+			return resp, nil
+		}
+	}
+	// Schema handshake before applying a single record: a primary serving
+	// a different schema must be refused, not replicated.
+	if err := enc.Encode(Request{ID: 1, Op: "hello"}); err != nil {
+		return err
+	}
+	hello, err := readResp()
+	if err != nil {
+		if stopped() {
+			return nil
+		}
+		return err
+	}
+	if !hello.OK {
+		return fmt.Errorf("primary refused hello: %s", hello.Error)
+	}
+	if hello.Bits != s.schema.Bits() || !slices.Equal(hello.Attrs, s.schema.Attrs()) {
+		return fmt.Errorf("primary serves a different schema (%d bits, attrs %v)", hello.Bits, hello.Attrs)
+	}
+	if err := enc.Encode(Request{ID: 2, Op: "replicate", Pos: s.store.Pos()}); err != nil {
+		return err
+	}
+	var resetRecs []persist.Record
+	for {
+		resp, err := readResp()
+		if err != nil {
+			if stopped() {
+				return nil
+			}
+			return err
+		}
+		if !resp.OK {
+			return fmt.Errorf("stream ended: %s (%s)", resp.Error, resp.Code)
+		}
+		if resp.Rep == nil {
+			return fmt.Errorf("stream frame without rep payload (id %d)", resp.ID)
+		}
+		if err := s.applyFrame(resp.Rep, &resetRecs); err != nil {
+			return err
+		}
+		if stopped() {
+			return nil
+		}
+	}
+}
+
+// applyFrame lands one stream frame in the store. Reset frames
+// accumulate in resetRecs until the dump's final frame installs them
+// atomically; plain frames apply in place, deduplicated by position.
+func (s *Server) applyFrame(f *RepFrame, resetRecs *[]persist.Record) error {
+	var recs []persist.Record
+	if f.Recs != "" {
+		raw, err := base64.StdEncoding.DecodeString(f.Recs)
+		if err != nil {
+			return fmt.Errorf("stream frame payload is not base64: %w", err)
+		}
+		if recs, err = persist.DecodeRecords(raw); err != nil {
+			return err
+		}
+	}
+	if f.Reset {
+		*resetRecs = append(*resetRecs, recs...)
+		if f.More {
+			return nil
+		}
+		if err := s.store.InstallState(*resetRecs, f.Pos); err != nil {
+			return err
+		}
+		*resetRecs = nil
+		s.repResets.Inc()
+	} else if err := s.store.ApplyReplicated(f.Base, recs); err != nil {
+		// A gap means this session missed frames (it cannot self-heal);
+		// the reconnect re-requests from the store's applied position.
+		return err
+	} else {
+		s.repApplied.Add(uint64(len(recs)))
+	}
+	s.repPrimaryPos.Set(int64(f.Pos))
+	return nil
+}

@@ -197,3 +197,61 @@ func TestClientDoubleClose(t *testing.T) {
 		t.Fatalf("Ping after Close = %v, want ErrClientClosed", err)
 	}
 }
+
+// TestRefuseSlowLorisDoesNotStallAccept pins that over-limit refusals
+// run off the accept loop: a herd of mute over-limit dialers — each
+// entitled to the refusal path's bounded first-line wait — must not
+// serialize behind one another, stall the served connection, or delay a
+// well-behaved dialer's conn_limit answer. Before refusals became
+// asynchronous, each mute connection held the accept loop for its full
+// wait, so the herd added tens of seconds of accept latency.
+func TestRefuseSlowLorisDoesNotStallAccept(t *testing.T) {
+	schema := coretest.Schema()
+	addr := startHardenedServer(t, schema, ServerConfig{MaxConns: 1})
+
+	c1, err := Dial(addr, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// 25 over-limit connections that never write a byte. Serialized
+	// 1s-per-connection refusals would take 25s; the test allows 5.
+	const herd = 25
+	mutes := make([]net.Conn, 0, herd)
+	defer func() {
+		for _, m := range mutes {
+			m.Close()
+		}
+	}()
+	for i := 0; i < herd; i++ {
+		m, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutes = append(mutes, m)
+	}
+
+	// The served connection keeps answering while the herd pends.
+	if err := c1.Ping(bg); err != nil {
+		t.Fatalf("served connection stalled by refusal herd: %v", err)
+	}
+
+	// A well-behaved over-limit dialer gets its typed refusal promptly:
+	// Dial sends hello immediately, so the refusal path answers without
+	// waiting out its first-line deadline — unless it is stuck in line
+	// behind the mutes.
+	start := time.Now()
+	_, err = Dial(addr, schema)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != CodeConnLimit {
+		t.Fatalf("over-limit dial error = %v, want ServerError code %q", err, CodeConnLimit)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("refusal took %v, herd serialized the refusal path", elapsed)
+	}
+
+	if err := c1.Ping(bg); err != nil {
+		t.Fatalf("served connection unhealthy after refusal storm: %v", err)
+	}
+}

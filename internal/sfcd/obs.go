@@ -39,7 +39,9 @@ var wireOps = []string{
 	"subscribe", "insert", "subscribe_batch",
 	"unsubscribe", "unsubscribe_batch",
 	"query", "query_batch", "covered", "get", "match",
-	"stats", "rebalance", "snapshot", "metrics",
+	"stats", "rebalance", "snapshot", "metrics", "promote",
+	// "replicate" is deliberately absent: a stream's lifetime is not a
+	// latency, so the streaming op is never metered per-request.
 }
 
 // opHists is the per-request path's view of the op latency histograms:
@@ -89,14 +91,54 @@ func (h *opHists) observe(op string, d time.Duration) {
 // endpoint.
 func (s *Server) MetricsText() string {
 	var sb strings.Builder
-	sb.WriteString(RenderPrometheus(s.shared.Stats()))
+	// A follower's shared provider and links are cold until promotion
+	// hydrates them (racing that hydration is the other reason to skip:
+	// serve() orders provider access after the primary flag, and so does
+	// this).
+	primary := s.primary.Load()
+	if primary {
+		sb.WriteString(RenderPrometheus(s.shared.Stats()))
+	}
 	if s.obs != nil {
 		obs.RenderHistograms(&sb, "sfcd_op_latency_seconds",
 			"Latency of daemon operations and engine stages, by op.",
 			s.obs.Registry().Snapshot())
 	}
-	s.renderLinkGauges(&sb)
+	if primary {
+		s.renderLinkGauges(&sb)
+	}
+	s.renderReplication(&sb, primary)
 	return sb.String()
+}
+
+// renderReplication appends the replication/role gauges: which side this
+// daemon is, the stream positions both sides agree on, and the lifetime
+// stream counters. Rendered on every daemon with a store so dashboards
+// need no scrape-config split between primaries and followers.
+func (s *Server) renderReplication(sb *strings.Builder, primary bool) {
+	role := 0
+	if primary {
+		role = 1
+	}
+	fmt.Fprintf(sb, "# HELP sfcd_primary Whether this daemon serves as primary (1) or follower (0).\n# TYPE sfcd_primary gauge\nsfcd_primary %d\n", role)
+	if s.store == nil {
+		return
+	}
+	pos := s.store.Pos()
+	fmt.Fprintf(sb, "# HELP sfcd_replication_pos Replication stream position this daemon has durably applied.\n# TYPE sfcd_replication_pos gauge\nsfcd_replication_pos %d\n", pos)
+	fmt.Fprintf(sb, "# HELP sfcd_replication_followers Follower streams currently being served.\n# TYPE sfcd_replication_followers gauge\nsfcd_replication_followers %d\n", s.repFollowers.Value())
+	fmt.Fprintf(sb, "# HELP sfcd_replication_streamed_records_total Records streamed out to followers.\n# TYPE sfcd_replication_streamed_records_total counter\nsfcd_replication_streamed_records_total %d\n", s.repStreamed.Value())
+	fmt.Fprintf(sb, "# HELP sfcd_replication_applied_records_total Records applied from a primary's stream.\n# TYPE sfcd_replication_applied_records_total counter\nsfcd_replication_applied_records_total %d\n", s.repApplied.Value())
+	fmt.Fprintf(sb, "# HELP sfcd_replication_resets_total Full-state resets installed from a primary's stream.\n# TYPE sfcd_replication_resets_total counter\nsfcd_replication_resets_total %d\n", s.repResets.Value())
+	fmt.Fprintf(sb, "# HELP sfcd_replication_reconnects_total Stream connection attempts to the primary.\n# TYPE sfcd_replication_reconnects_total counter\nsfcd_replication_reconnects_total %d\n", s.repReconnects.Value())
+	if !primary {
+		primaryPos := s.repPrimaryPos.Value()
+		lag := primaryPos - int64(pos)
+		if lag < 0 {
+			lag = 0
+		}
+		fmt.Fprintf(sb, "# HELP sfcd_replication_lag Records the primary has committed that this follower has not yet applied (as of the last stream frame).\n# TYPE sfcd_replication_lag gauge\nsfcd_replication_lag %d\n", lag)
+	}
 }
 
 // renderLinkGauges appends a links-materialized gauge and a per-link

@@ -25,7 +25,19 @@
 //
 // Operations: hello, ping, subscribe, subscribe_batch, insert,
 // unsubscribe, unsubscribe_batch, query, query_batch, covered, get,
-// match, stats, metrics, rebalance, snapshot, unlink, trace, slowlog.
+// match, stats, metrics, rebalance, snapshot, unlink, trace, slowlog,
+// replicate, promote.
+//
+// "replicate" opens the replication stream: the caller (a follower
+// daemon) sends its applied stream position and the server answers with
+// an unbounded sequence of response lines — each carrying one RepFrame —
+// until the stream ends with an error response. It is the one streaming
+// op in an otherwise request/response protocol; see RepFrame for the
+// catch-up/reset semantics. "promote" flips a read-only follower to
+// primary once it has drained its stream (idempotent on a primary).
+// Daemons running without a data dir answer both with code
+// "unsupported"; a follower answers every state-touching op with code
+// "not_primary" until promoted.
 //
 // "trace" runs one covering query with tracing forced on and returns the
 // full trace record: per-stage timings (decomposition, probe loop, shard
@@ -87,6 +99,9 @@ type Request struct {
 	SID uint64 `json:"sid,omitempty"`
 	// SIDs identifies a batch of subscriptions to unsubscribe.
 	SIDs []uint64 `json:"sids,omitempty"`
+	// Pos is the replicate op's resume point: the follower's applied
+	// stream position (0 = from the beginning).
+	Pos uint64 `json:"pos,omitempty"`
 }
 
 // Result is one per-item outcome inside a batch response.
@@ -170,6 +185,16 @@ const (
 	// capability for (rebalance on a non-prefix or detector-backed
 	// namespace).
 	CodeUnsupported = "unsupported"
+	// CodeNotPrimary marks an operation refused because the daemon is a
+	// read-only follower still draining a primary's replication stream;
+	// clients should fail over to the (possibly newly promoted) primary.
+	CodeNotPrimary = "not_primary"
+)
+
+// Role values carried in hello/promote responses (Response.Role).
+const (
+	RolePrimary  = "primary"
+	RoleFollower = "follower"
 )
 
 // Response is one protocol response line.
@@ -188,6 +213,10 @@ type Response struct {
 	Shards    int      `json:"shards,omitempty"`
 	Partition string   `json:"partition,omitempty"`
 	Mode      string   `json:"mode,omitempty"`
+	// Role reports "primary" or "follower" in hello (and promote)
+	// responses. Empty on daemons predating replication, which clients
+	// treat as primary.
+	Role string `json:"role,omitempty"`
 
 	// Single-operation outcome (subscribe, insert, query, covered, get,
 	// match, unsubscribe).
@@ -204,6 +233,31 @@ type Response struct {
 	// operation's batch (newest first).
 	Trace  *Trace  `json:"trace,omitempty"`
 	Traces []Trace `json:"traces,omitempty"`
+	// Rep is one replication stream frame (replicate op only). The op is
+	// the protocol's single streaming exception: one request produces
+	// many response lines, all echoing the request id, until an error
+	// response ends the stream.
+	Rep *RepFrame `json:"rep,omitempty"`
+}
+
+// RepFrame is one hop of a replication stream. Recs carries WAL records
+// in the segment wire encoding (self-delimiting, CRC-protected),
+// base64-encoded like every binary payload on this protocol.
+//
+// When Reset is false the records sit at stream positions Base+1..Pos
+// and the follower applies them in place (idempotent; an overlap with
+// already-applied history deduplicates by position). When Reset is true
+// the frames carry a full-state dump at position Pos — the follower was
+// too far behind the primary's in-memory ring (or ahead of it entirely,
+// after a divergent history) — split across frames with More set on all
+// but the last; the follower accumulates and installs the dump atomically
+// once More is clear.
+type RepFrame struct {
+	Reset bool   `json:"reset,omitempty"`
+	More  bool   `json:"more,omitempty"`
+	Base  uint64 `json:"base,omitempty"`
+	Pos   uint64 `json:"pos"`
+	Recs  string `json:"recs,omitempty"`
 }
 
 // TraceStage is one timed step of a traced query.

@@ -10,6 +10,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sfccover/internal/core"
@@ -73,6 +74,31 @@ type Server struct {
 	// opLat holds the pre-resolved per-op histograms the request path
 	// records into (nil when obs is nil).
 	opLat *opHists
+
+	// primary is false while the server is a read-only follower draining
+	// a primary's replication stream; Promote flips it (exactly once) to
+	// true. The atomic store publishes the hydrated shared provider and
+	// links: serve() loads it before touching either, so an op observing
+	// true also observes the completed hydration.
+	primary atomic.Bool
+	// promoteMu serializes Promote against itself and Close.
+	promoteMu sync.Mutex
+	// followAddr/followStop/followDone bracket the follower tail loop;
+	// nil on servers born primary.
+	followAddr     string
+	followStop     chan struct{}
+	followDone     chan struct{}
+	stopFollowOnce sync.Once
+
+	// Replication telemetry, rendered by MetricsText. The counters split
+	// by side: streamed/followers count the primary serving tails,
+	// applied/resets/reconnects count the follower consuming one.
+	repStreamed   obs.Counter // records streamed out to followers
+	repApplied    obs.Counter // records applied from the primary's stream
+	repResets     obs.Counter // full-state resets installed
+	repReconnects obs.Counter // stream (re)connect attempts
+	repFollowers  obs.Gauge   // live follower streams being served
+	repPrimaryPos obs.Gauge   // primary's stream position, as last seen
 }
 
 // NewServer wraps an engine in a protocol server with permissive
@@ -97,6 +123,7 @@ func NewServerWith(eng *engine.Engine, cfg ServerConfig) *Server {
 	if s.obs != nil {
 		s.opLat = newOpHists(s.obs.Hist)
 	}
+	s.primary.Store(true)
 	return s
 }
 
@@ -116,29 +143,108 @@ func NewPersistentServer(eng *engine.Engine, store *persist.Store, cfg ServerCon
 	}
 	s := NewServerWith(eng, cfg)
 	s.store = store
-	shared, err := store.Durable("", eng)
+	if err := s.hydrate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// hydrate wraps the engine in the store's shared link and eagerly
+// rebuilds every named link namespace the store records — the boot path
+// of a persistent primary, and the promotion path of a follower whose
+// store just finished draining the stream. On failure everything built
+// so far is unwound: the store links are released (a retry over the same
+// open store would otherwise hit "already wrapped") and the orphaned
+// detectors closed.
+func (s *Server) hydrate() error {
+	shared, err := s.store.Durable("", s.eng)
 	if err != nil {
-		return nil, fmt.Errorf("sfcd: recovering shared engine: %w", err)
+		return fmt.Errorf("sfcd: recovering shared engine: %w", err)
 	}
 	s.shared = shared
-	for _, link := range store.Links() {
+	for _, link := range s.store.Links() {
 		if link == "" {
 			continue
 		}
 		p, err := s.buildLink(link)
 		if err != nil {
-			// Unwind what recovery built so far: the store links must be
-			// released (a retry over the same open store would otherwise
-			// hit "already wrapped") and the orphaned detectors closed.
-			for _, built := range s.links {
+			s.linkMu.Lock()
+			links := s.links
+			s.links = make(map[string]core.Provider)
+			s.linkMu.Unlock()
+			for _, built := range links {
 				built.Close()
 			}
 			shared.Release()
-			return nil, fmt.Errorf("sfcd: recovering link %q: %w", link, err)
+			s.shared = s.eng
+			return fmt.Errorf("sfcd: recovering link %q: %w", link, err)
 		}
+		s.linkMu.Lock()
 		s.links[link] = p
+		s.linkMu.Unlock()
 	}
+	return nil
+}
+
+// NewFollowerServer wraps an engine in a read-only follower: its store
+// tails the primary at primaryAddr (reconnecting with jittered backoff
+// across primary deaths) and the engine stays cold until Promote, which
+// stops the stream and hydrates the engine from the drained store.
+// Until then every state-touching op answers with code "not_primary";
+// ping, hello, promote, replicate (chained followers) and the shared
+// metrics page are served. The engine must be freshly built and the
+// store freshly opened with no providers wrapped; the caller owns both,
+// as with NewPersistentServer.
+func NewFollowerServer(eng *engine.Engine, store *persist.Store, cfg ServerConfig, primaryAddr string) (*Server, error) {
+	if store.Schema() != eng.Schema() {
+		return nil, fmt.Errorf("sfcd: store schema differs from engine schema")
+	}
+	s := NewServerWith(eng, cfg)
+	s.store = store
+	s.primary.Store(false)
+	s.followAddr = primaryAddr
+	s.followStop = make(chan struct{})
+	s.followDone = make(chan struct{})
+	go s.followLoop()
 	return s, nil
+}
+
+// Promote flips a follower to primary: the tail loop is stopped (the
+// frame being applied completes first, so the stream is drained of
+// everything received), the engine is hydrated from the store, and the
+// full op surface opens. Idempotent on a primary. On hydration failure
+// the server stays a follower with its stream stopped; Promote can be
+// retried.
+func (s *Server) Promote() error {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.primary.Load() {
+		return nil
+	}
+	s.stopFollow()
+	if err := s.hydrate(); err != nil {
+		return err
+	}
+	s.primary.Store(true)
+	return nil
+}
+
+// Role reports RolePrimary or RoleFollower.
+func (s *Server) Role() string {
+	if s.primary.Load() {
+		return RolePrimary
+	}
+	return RoleFollower
+}
+
+// stopFollow ends the tail loop and waits for it. Safe to call multiple
+// times and on servers born primary (no-op).
+func (s *Server) stopFollow() {
+	if s.followStop == nil {
+		return
+	}
+	s.stopFollowOnce.Do(func() { close(s.followStop) })
+	<-s.followDone
 }
 
 // SharedProvider returns the provider behind the empty-link namespace:
@@ -270,6 +376,7 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	s.stopFollow()
 	s.wg.Wait()
 	s.linkMu.Lock()
 	links := s.links
@@ -300,6 +407,18 @@ type connResponse struct {
 	closeAfter bool
 }
 
+// connState is the per-connection context handlers work against: the
+// writer queue, plus what the one streaming op (replicate) needs — a
+// signal that the read loop exited (the stream's cancellation) and a
+// flag exempting the connection from idle reaping while it streams (a
+// follower sends nothing after its replicate line, which is not idleness).
+type connState struct {
+	conn       net.Conn
+	respCh     chan connResponse
+	readerGone chan struct{}
+	streaming  atomic.Bool
+}
+
 // handleConn pumps one connection: the read loop dispatches each request
 // line to a pool of handler workers (grown on demand up to connInflight —
 // persistent workers keep warmed-up stacks across requests, while an idle
@@ -308,7 +427,12 @@ type connResponse struct {
 // queue runs dry so bursts of pipelined completions share syscalls.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.dropConn(conn)
-	respCh := make(chan connResponse, connInflight)
+	cs := &connState{
+		conn:       conn,
+		respCh:     make(chan connResponse, connInflight),
+		readerGone: make(chan struct{}),
+	}
+	respCh := cs.respCh
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
@@ -350,7 +474,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 64<<10), MaxLineBytes)
 	for {
-		if s.scfg.ReadTimeout > 0 {
+		if s.scfg.ReadTimeout > 0 && !cs.streaming.Load() {
 			conn.SetReadDeadline(time.Now().Add(s.scfg.ReadTimeout))
 		}
 		if !scanner.Scan() {
@@ -369,40 +493,52 @@ func (s *Server) handleConn(conn net.Conn) {
 				go func() {
 					defer handlers.Done()
 					for l := range lines {
-						respCh <- s.handleLine(l)
+						s.handleLine(l, cs)
 					}
 				}()
 			}
 			lines <- line
 		}
 	}
+	close(cs.readerGone) // cancels any replicate stream on this connection
 	close(lines)
 	handlers.Wait()
 	close(respCh)
 	<-writerDone
 }
 
-// handleLine parses and serves one request line. Lines the server cannot
-// parse — and requests carrying the reserved id 0 — get a connection-level
-// error frame: the response cannot be attributed to a request id, and a
-// pipelining client must treat an id-0 frame as fatal (a stray one would
-// otherwise poison response demultiplexing), so the connection is closed
-// after it.
+// handleLine parses and serves one request line, queueing the response
+// (or, for the streaming replicate op, every frame of the stream) on the
+// connection's writer. Lines the server cannot parse — and requests
+// carrying the reserved id 0 — get a connection-level error frame: the
+// response cannot be attributed to a request id, and a pipelining client
+// must treat an id-0 frame as fatal (a stray one would otherwise poison
+// response demultiplexing), so the connection is closed after it.
 //
 //sfc:hotpath
-func (s *Server) handleLine(line []byte) connResponse {
+func (s *Server) handleLine(line []byte, cs *connState) {
 	var req Request
 	if err := json.Unmarshal(line, &req); err != nil {
-		return connResponse{
+		cs.respCh <- connResponse{
 			resp:       &Response{OK: false, Code: CodeBadRequest, Error: fmt.Sprintf("malformed request: %v", err)},
 			closeAfter: true,
 		}
+		return
 	}
 	if req.ID == 0 {
-		return connResponse{
+		cs.respCh <- connResponse{
 			resp:       &Response{OK: false, Code: CodeBadRequest, Error: "request id 0 is reserved for connection-level frames"},
 			closeAfter: true,
 		}
+		return
+	}
+	if req.Op == "replicate" {
+		// The one streaming op: many response lines per request, open
+		// until the stream ends. It occupies this worker slot for the
+		// connection's lifetime and is not per-op latency metered (a
+		// stream's duration is not a latency).
+		s.serveReplicate(req, cs)
+		return
 	}
 	var t0 time.Time
 	if s.obs != nil {
@@ -415,7 +551,7 @@ func (s *Server) handleLine(line []byte) connResponse {
 		s.opLat.observe(req.Op, time.Since(t0))
 	}
 	resp.ID = req.ID
-	return connResponse{resp: resp}
+	cs.respCh <- connResponse{resp: resp}
 }
 
 // linkSeed derives a link namespace's index seed from the engine
@@ -495,6 +631,24 @@ func (s *Server) unlink(link string) *Response {
 
 // serve dispatches one request.
 func (s *Server) serve(req Request) *Response {
+	if !s.primary.Load() {
+		// A follower's engine is cold: its state lives only in the store
+		// mirror until promotion hydrates it. Refuse everything that
+		// would touch (or lazily build) a provider; what remains is
+		// liveness (ping, hello), the promotion trigger, the shared
+		// metrics page and — for chained followers — the stream itself,
+		// which reads the store, not the engine.
+		switch req.Op {
+		case "ping", "hello", "promote":
+		case "metrics":
+			if req.Link != "" {
+				return &Response{OK: false, Code: CodeNotPrimary, Error: "daemon is a follower; link metrics are served by the primary"}
+			}
+			return &Response{OK: true, Metrics: s.MetricsText()}
+		default:
+			return &Response{OK: false, Code: CodeNotPrimary, Error: "daemon is a follower; promote it or address the primary"}
+		}
+	}
 	switch req.Op {
 	case "ping":
 		return &Response{OK: true}
@@ -506,7 +660,16 @@ func (s *Server) serve(req Request) *Response {
 			Shards:    s.eng.NumShards(),
 			Partition: string(s.eng.PartitionStrategy()),
 			Mode:      s.eng.Mode().String(),
+			Role:      s.Role(),
 		}
+	case "promote":
+		if s.store == nil {
+			return &Response{OK: false, Code: CodeUnsupported, Error: "daemon runs without a data dir"}
+		}
+		if err := s.Promote(); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Role: s.Role()}
 	case "unlink":
 		return s.unlink(req.Link)
 	case "trace":

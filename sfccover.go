@@ -217,6 +217,10 @@ var (
 	ErrDaemonConnectionLost = sfcd.ErrConnectionLost
 	// ErrDaemonClientClosed: the operation ran after Close.
 	ErrDaemonClientClosed = sfcd.ErrClientClosed
+	// ErrDaemonNotPrimary: a failover client's dial found a daemon still
+	// serving as a read-only follower (state ops on a directly dialed
+	// follower fail per op with a typed not_primary error frame instead).
+	ErrDaemonNotPrimary = sfcd.ErrNotPrimary
 )
 
 // Observer is the telemetry hub an Engine records into: an op-latency
@@ -440,6 +444,18 @@ func NewDaemonServerWith(e *Engine, cfg DaemonServerConfig) *DaemonServer {
 // after the server.
 func NewPersistentDaemonServer(e *Engine, store *PersistStore, cfg DaemonServerConfig) (*DaemonServer, error) {
 	return sfcd.NewPersistentServer(e, store, cfg)
+}
+
+// NewFollowerDaemonServer boots a read-only replica: it tails the
+// primary's WAL stream into its own store and serves only
+// ping/hello/promote (plus daemon-level metrics) until promoted —
+// (*DaemonServer).Promote in-process, the promote wire op, or SIGUSR1
+// under cmd/sfcd — at which point it recovers the engine from the
+// replicated store and serves writes. Pair it with a failover client
+// (DaemonDialConfig.Addrs, or NetworkConfig.DaemonAddrs for a broker
+// overlay) for a kill-the-primary story with zero lost subscriptions.
+func NewFollowerDaemonServer(e *Engine, store *PersistStore, cfg DaemonServerConfig, primaryAddr string) (*DaemonServer, error) {
+	return sfcd.NewFollowerServer(e, store, cfg, primaryAddr)
 }
 
 // DialDaemon connects to an sfcd server with default configuration,
